@@ -1,0 +1,123 @@
+//! Ablations for the design choices DESIGN.md §5 calls out:
+//!
+//! * `dominators`: Lengauer–Tarjan vs the iterative Cooper–Harvey–Kennedy
+//!   construction (the workspace default) on real flowgraphs;
+//! * `traversal_tree`: Figure 7 driven by the postdominator tree's preorder
+//!   vs the lexical successor tree's (§3: either is admissible);
+//! * `closure`: the conventional slicer's worklist closure vs a recursive
+//!   formulation;
+//! * `control_dependence`: the Ferrante–Ottenstein–Warren edge walk vs the
+//!   postdominance-frontier construction (results are identical; the
+//!   pdg crate's tests cross-check them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bench};
+use jumpslice_bench::{live_writes, sized_structured, sized_unstructured};
+use jumpslice_core::{agrawal_slice, agrawal_slice_with_order, Analysis, Criterion};
+use jumpslice_graph::DomTree;
+use jumpslice_lang::StmtId;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn dominators(c: &mut Bench) {
+    let mut group = c.benchmark_group("ablation/dominators");
+    for size in [200usize, 800, 3200] {
+        let p = sized_unstructured(size);
+        let cfg = jumpslice_cfg::Cfg::build(&p);
+        let rev = cfg.graph().reversed();
+        let exit = cfg.exit();
+        group.bench_with_input(BenchmarkId::new("iterative", p.len()), &rev, |b, g| {
+            b.iter(|| black_box(DomTree::iterative(g, exit)))
+        });
+        group.bench_with_input(BenchmarkId::new("lengauer-tarjan", p.len()), &rev, |b, g| {
+            b.iter(|| black_box(DomTree::lengauer_tarjan(g, exit)))
+        });
+    }
+    group.finish();
+}
+
+fn traversal_tree(c: &mut Bench) {
+    let mut group = c.benchmark_group("ablation/traversal_tree");
+    for size in [200usize, 800] {
+        let p = sized_unstructured(size);
+        let a = Analysis::new(&p);
+        let crit = Criterion::at_stmt(*live_writes(&p, &a).last().unwrap());
+        let lst_order = a.jumps_in_lst_preorder();
+        group.bench_with_input(BenchmarkId::new("pdom-preorder", p.len()), &a, |b, a| {
+            b.iter(|| black_box(agrawal_slice(a, &crit)))
+        });
+        group.bench_with_input(BenchmarkId::new("lst-preorder", p.len()), &a, |b, a| {
+            b.iter(|| black_box(agrawal_slice_with_order(a, &crit, &lst_order)))
+        });
+    }
+    group.finish();
+}
+
+/// Recursive closure used only by this ablation.
+fn recursive_closure(a: &Analysis<'_>, seed: StmtId, out: &mut BTreeSet<StmtId>) {
+    if !out.insert(seed) {
+        return;
+    }
+    for &d in a.pdg().data().deps(seed) {
+        recursive_closure(a, d, out);
+    }
+    for &d in a.pdg().control().deps(seed) {
+        recursive_closure(a, d, out);
+    }
+}
+
+fn closure(c: &mut Bench) {
+    let mut group = c.benchmark_group("ablation/closure");
+    for size in [200usize, 800, 3200] {
+        let p = sized_structured(size);
+        let a = Analysis::new(&p);
+        let crit = *live_writes(&p, &a).last().unwrap();
+        group.bench_with_input(BenchmarkId::new("worklist", p.len()), &a, |b, a| {
+            b.iter(|| black_box(a.pdg().backward_closure([crit])))
+        });
+        group.bench_with_input(BenchmarkId::new("recursive", p.len()), &a, |b, a| {
+            b.iter(|| {
+                let mut out = BTreeSet::new();
+                recursive_closure(a, crit, &mut out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn control_dependence(c: &mut Bench) {
+    let mut group = c.benchmark_group("ablation/control_dependence");
+    for size in [200usize, 800, 3200] {
+        let p = sized_unstructured(size);
+        let cfg = jumpslice_cfg::Cfg::build(&p);
+        group.bench_with_input(BenchmarkId::new("fow-walk", p.len()), &p, |b, p| {
+            b.iter(|| black_box(jumpslice_pdg::ControlDeps::compute(black_box(p), &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("pdom-frontiers", p.len()), &p, |b, p| {
+            b.iter(|| {
+                black_box(jumpslice_pdg::ControlDeps::compute_via_frontiers(
+                    black_box(p),
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = dominators, traversal_tree, closure, control_dependence
+}
+
+/// Short measurement windows: ~145 benchmarks must fit a CI budget; the
+/// effects measured here are orders-of-magnitude, not single percents.
+fn short() -> Bench {
+    Bench::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Shared fixtures for the benchmark harness: the corpora every bench and
+//! the figure-regeneration binary draw from.
+
+#![forbid(unsafe_code)]
+
+use jumpslice_core::{Analysis, Criterion, Slice};
+use jumpslice_lang::{Program, StmtId, StmtKind};
+use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
+
+/// A named slicing algorithm, for table-driven benches.
+pub type Algo = (&'static str, fn(&Analysis<'_>, &Criterion) -> Slice);
+
+/// Every algorithm in the workspace, paper order then baselines.
+pub const ALL_ALGOS: &[Algo] = &[
+    ("conventional", jumpslice_core::conventional_slice),
+    ("fig7-agrawal", jumpslice_core::agrawal_slice),
+    ("fig12-structured", jumpslice_core::structured_slice),
+    ("fig13-conservative", jumpslice_core::conservative_slice),
+    ("ball-horwitz", jumpslice_core::baselines::ball_horwitz_slice),
+    ("lyle", jumpslice_core::baselines::lyle_slice),
+    ("gallagher", jumpslice_core::baselines::gallagher_slice),
+    ("jzr", jumpslice_core::baselines::jzr_slice),
+];
+
+/// The algorithms compared in the scaling sweeps (the paper's own three
+/// plus the two reference points).
+pub const CORE_ALGOS: &[Algo] = &[
+    ("conventional", jumpslice_core::conventional_slice),
+    ("fig7-agrawal", jumpslice_core::agrawal_slice),
+    ("fig13-conservative", jumpslice_core::conservative_slice),
+    ("ball-horwitz", jumpslice_core::baselines::ball_horwitz_slice),
+];
+
+/// Reachable `write` statements — the default criterion pool.
+pub fn live_writes(p: &Program, a: &Analysis<'_>) -> Vec<StmtId> {
+    p.stmt_ids()
+        .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Write { .. }) && a.is_live(s))
+        .collect()
+}
+
+/// A structured corpus of `n` programs around `size` statements.
+pub fn structured_corpus(n: u64, size: usize) -> Vec<Program> {
+    (0..n).map(|seed| gen_structured(&GenConfig::sized(seed, size))).collect()
+}
+
+/// An unstructured goto corpus of `n` programs around `size` statements.
+pub fn unstructured_corpus(n: u64, size: usize) -> Vec<Program> {
+    (0..n)
+        .map(|seed| {
+            gen_unstructured(&GenConfig {
+                jump_density: 0.3,
+                ..GenConfig::sized(seed, size)
+            })
+        })
+        .collect()
+}
+
+/// One representative large program per family for scaling sweeps.
+pub fn sized_structured(size: usize) -> Program {
+    gen_structured(&GenConfig::sized(7, size))
+}
+
+/// One unstructured program of roughly `size` statements.
+pub fn sized_unstructured(size: usize) -> Program {
+    gen_unstructured(&GenConfig {
+        jump_density: 0.25,
+        ..GenConfig::sized(7, size)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_nonempty_and_sliceable() {
+        for p in structured_corpus(3, 30).iter().chain(&unstructured_corpus(3, 25)) {
+            let a = Analysis::new(p);
+            assert!(!live_writes(p, &a).is_empty());
+        }
+    }
+
+    #[test]
+    fn sized_generators_scale() {
+        assert!(sized_structured(200).len() > sized_structured(50).len());
+        assert!(sized_unstructured(200).len() > sized_unstructured(50).len());
+    }
+}

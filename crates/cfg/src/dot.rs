@@ -1,0 +1,55 @@
+//! Graphviz/ASCII rendering of flowgraphs for the figure harness.
+
+use crate::{Cfg, CfgNode};
+use jumpslice_lang::Program;
+use std::fmt::Write as _;
+
+/// Renders a flowgraph in Graphviz `dot` syntax, labeling statement nodes
+/// with their paper-style lexical line numbers.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_lang::parse;
+/// use jumpslice_cfg::{Cfg, cfg_dot};
+/// let p = parse("x = 1; write(x);")?;
+/// let dot = cfg_dot(&Cfg::build(&p), &p);
+/// assert!(dot.starts_with("digraph cfg {"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cfg_dot(cfg: &Cfg, prog: &Program) -> String {
+    let mut out = String::from("digraph cfg {\n");
+    for n in cfg.graph().nodes() {
+        let label = match cfg.node_kind(n) {
+            CfgNode::Entry => "entry".to_owned(),
+            CfgNode::Exit => "exit".to_owned(),
+            CfgNode::Stmt(s) => format!("{}", prog.line_of(s)),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.index(), label);
+    }
+    for (a, b) in cfg.graph().edges() {
+        let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_lang::parse;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let p = parse("x = 1; write(x);").unwrap();
+        let cfg = Cfg::build(&p);
+        let dot = cfg_dot(&cfg, &p);
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            cfg.graph().num_edges(),
+            "{dot}"
+        );
+        assert!(dot.contains("label=\"entry\""));
+        assert!(dot.contains("label=\"exit\""));
+    }
+}

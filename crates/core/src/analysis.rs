@@ -1,0 +1,285 @@
+//! One-stop bundle of the structures the slicing algorithms consume.
+
+use crate::{LexSuccTree, SlicePoint};
+use jumpslice_cfg::Cfg;
+use jumpslice_graph::DomTree;
+use jumpslice_lang::{Program, StmtId, StmtKind, Structure};
+use jumpslice_pdg::Pdg;
+use std::collections::BTreeSet;
+
+/// Everything the algorithms in this crate need, computed once per program:
+/// the flowgraph, its postdominator tree, the (unmodified) program
+/// dependence graph, the lexical successor tree, and structural queries.
+///
+/// Note what is *not* here: no augmented flowgraph and no augmented PDG —
+/// the paper's algorithm leaves both graphs intact and only adds the lexical
+/// successor tree. The Ball–Horwitz baseline builds its augmented PDG
+/// privately in [`crate::baselines`].
+#[derive(Debug)]
+pub struct Analysis<'p> {
+    prog: &'p Program,
+    structure: Structure,
+    cfg: Cfg,
+    pdom: DomTree,
+    pdg: Pdg,
+    lst: LexSuccTree,
+    /// Per-node entry reachability.
+    live: Vec<bool>,
+}
+
+impl<'p> Analysis<'p> {
+    /// Analyzes `prog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some reachable statement cannot reach the exit (a genuinely
+    /// infinite loop): postdominators — and with them every algorithm in the
+    /// paper — are undefined there. Use [`Cfg::all_reach_exit`] to check
+    /// first when handling untrusted input.
+    pub fn new(prog: &'p Program) -> Analysis<'p> {
+        let structure = Structure::of(prog);
+        let cfg = Cfg::build(prog);
+        assert!(
+            cfg.all_reach_exit(),
+            "program has statements that cannot reach the exit; postdominators are undefined"
+        );
+        let pdom = cfg.postdominators();
+        let pdg = Pdg::build(prog, &cfg);
+        let lst = LexSuccTree::build(prog, &structure);
+        let live = cfg.reachable();
+        Analysis {
+            prog,
+            structure,
+            cfg,
+            pdom,
+            pdg,
+            lst,
+            live,
+        }
+    }
+
+    /// The analyzed program.
+    pub fn prog(&self) -> &'p Program {
+        self.prog
+    }
+
+    /// Lexical-structure queries.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The flowgraph.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The postdominator tree of the flowgraph.
+    pub fn pdom(&self) -> &DomTree {
+        &self.pdom
+    }
+
+    /// The (unaugmented) program dependence graph.
+    pub fn pdg(&self) -> &Pdg {
+        &self.pdg
+    }
+
+    /// The lexical successor tree.
+    pub fn lst(&self) -> &LexSuccTree {
+        &self.lst
+    }
+
+    /// Whether `s` is a jump statement (including the fused conditional
+    /// goto).
+    pub fn is_jump(&self, s: StmtId) -> bool {
+        self.prog.stmt(s).kind.is_jump()
+    }
+
+    /// The statement a jump transfers control to (`None` = exit). For
+    /// `break` that is the statement following the enclosing breakable
+    /// construct; for `continue`, the enclosing loop's predicate.
+    ///
+    /// Returns `None` for non-jumps as well as for `return`; pair with
+    /// [`Analysis::is_jump`] when the distinction matters.
+    pub fn jump_target(&self, s: StmtId) -> SlicePoint {
+        match &self.prog.stmt(s).kind {
+            StmtKind::Goto { target } | StmtKind::CondGoto { target, .. } => {
+                self.prog.label_target(*target)
+            }
+            StmtKind::Break => {
+                let b = self
+                    .structure
+                    .enclosing_breakable(s)
+                    .expect("validated: break inside breakable");
+                self.lst.immediate(b)
+            }
+            StmtKind::Continue => self.structure.enclosing_loop(s),
+            StmtKind::Return { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The nearest postdominator of `s` that is in `slice` (`None` = exit,
+    /// which is implicitly in every slice).
+    pub fn nearest_pdom_in(&self, s: StmtId, slice: &BTreeSet<StmtId>) -> SlicePoint {
+        let node = self.cfg.node(s);
+        for a in self.pdom.ancestors(node) {
+            if a == self.cfg.exit() {
+                return None;
+            }
+            if let Some(t) = self.cfg.stmt(a) {
+                if slice.contains(&t) {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// The nearest lexical successor of `s` that is in `slice` (`None` =
+    /// exit).
+    pub fn nearest_lexsucc_in(&self, s: StmtId, slice: &BTreeSet<StmtId>) -> SlicePoint {
+        self.lst.nearest_where(s, |t| slice.contains(&t))
+    }
+
+    /// Extension guard for `do-while`, a construct outside the paper's
+    /// language: walking the lexical-successor chain from jump `j` toward
+    /// its nearest in-slice successor, returns `true` if the walk passes
+    /// through a `do-while` that is *not* in the slice but whose body
+    /// contains slice statements.
+    ///
+    /// Deleting such a jump makes control fall into the do-while's
+    /// *condition*, which may loop back and re-execute the in-slice body —
+    /// even when the condition was dead code in the original program (a
+    /// body ending in `break`). The paper's npd-vs-nls test cannot see
+    /// this because a do-while's entry (its body) differs from its
+    /// flowgraph node (its condition); for the paper's own constructs the
+    /// guard never fires. See `tests/extension_gaps.rs`.
+    pub fn dowhile_hazard(&self, j: StmtId, slice: &BTreeSet<StmtId>) -> bool {
+        let mut prev = j;
+        for t in self.lst.successors(j) {
+            if slice.contains(&t) {
+                return false;
+            }
+            // Only an arrival *from inside the body* lands on the loop
+            // condition (the last-body-statement rule); reaching a do-while
+            // from outside enters its body, which is harmless.
+            if matches!(self.prog.stmt(t).kind, StmtKind::DoWhile { .. })
+                && self.structure.contains(t, prev)
+                && slice.iter().any(|&s| self.structure.contains(t, s))
+            {
+                return true;
+            }
+            prev = t;
+        }
+        false
+    }
+
+    /// Whether `s` is reachable from the program entry. Dead statements are
+    /// never considered for slice inclusion: they cannot execute, and
+    /// including one without its (removed) guards would change the residual
+    /// program's flow.
+    pub fn is_live(&self, s: StmtId) -> bool {
+        self.live[self.cfg.node(s).index()]
+    }
+
+    /// *Unconditional* jump statements in preorder of the postdominator
+    /// tree — the visit order and candidate set of the paper's Figure 7.
+    ///
+    /// Conditional jumps are deliberately absent: §3 handles them through
+    /// the conventional algorithm's adaptation (the fused conditional goto
+    /// is included exactly when its predicate is), and the traversal
+    /// question is posed only for unconditional jumps. Examining fused
+    /// conditional gotos here would make the iteration order-dependent and
+    /// strictly coarser than Ball–Horwitz (an early npd ≠ nls judgement can
+    /// be invalidated by later closure additions). Dead jumps are skipped.
+    pub fn jumps_in_pdom_preorder(&self) -> Vec<StmtId> {
+        self.pdom
+            .preorder()
+            .filter_map(|n| self.cfg.stmt(n))
+            .filter(|&s| self.prog.stmt(s).kind.is_unconditional_jump() && self.is_live(s))
+            .collect()
+    }
+
+    /// Unconditional jump statements in preorder of the lexical successor
+    /// tree — the alternative driver the paper mentions; used by the
+    /// ablation bench. Dead jumps are skipped.
+    pub fn jumps_in_lst_preorder(&self) -> Vec<StmtId> {
+        self.lst
+            .preorder()
+            .into_iter()
+            .filter(|&s| self.prog.stmt(s).kind.is_unconditional_jump() && self.is_live(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_lang::parse;
+
+    #[test]
+    fn jump_targets() {
+        let p = parse(
+            "while (c) {
+               if (a) break;
+               if (b) continue;
+               goto OUT;
+             }
+             OUT: write(x);
+             return;",
+        )
+        .unwrap();
+        let a = Analysis::new(&p);
+        // Lines: 1 while, 2 if, 3 break, 4 if, 5 continue, 6 goto, 7 write,
+        // 8 return.
+        assert_eq!(a.jump_target(p.at_line(3)), Some(p.at_line(7)));
+        assert_eq!(a.jump_target(p.at_line(5)), Some(p.at_line(1)));
+        assert_eq!(a.jump_target(p.at_line(6)), Some(p.at_line(7)));
+        assert_eq!(a.jump_target(p.at_line(8)), None);
+        assert_eq!(a.jump_target(p.at_line(7)), None, "non-jump");
+    }
+
+    #[test]
+    fn break_at_end_of_program_targets_exit() {
+        let p = parse("while (c) { break; }").unwrap();
+        let a = Analysis::new(&p);
+        assert_eq!(a.jump_target(p.at_line(2)), None);
+    }
+
+    #[test]
+    fn nearest_queries() {
+        let p = parse("a = 1; b = 2; c = 3; d = 4;").unwrap();
+        let a = Analysis::new(&p);
+        let slice: BTreeSet<StmtId> = [p.at_line(3)].into_iter().collect();
+        assert_eq!(a.nearest_pdom_in(p.at_line(1), &slice), Some(p.at_line(3)));
+        assert_eq!(a.nearest_lexsucc_in(p.at_line(1), &slice), Some(p.at_line(3)));
+        assert_eq!(a.nearest_pdom_in(p.at_line(3), &slice), None, "proper ancestors only");
+        assert_eq!(a.nearest_pdom_in(p.at_line(4), &slice), None, "falls to exit");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reach the exit")]
+    fn infinite_loop_rejected() {
+        let p = parse("L: goto L;").unwrap();
+        let _ = Analysis::new(&p);
+    }
+
+    #[test]
+    fn jump_orders_cover_unconditional_jumps_only() {
+        let p = parse("L3: if (eof()) goto L14; goto L3; L14: write(x);").unwrap();
+        let a = Analysis::new(&p);
+        // The fused conditional goto on line 1 is handled by the
+        // conventional adaptation, not the traversal; only `goto L3` is a
+        // traversal candidate.
+        assert_eq!(a.jumps_in_pdom_preorder(), vec![p.at_line(2)]);
+        assert_eq!(a.jumps_in_lst_preorder(), vec![p.at_line(2)]);
+    }
+
+    #[test]
+    fn dead_jumps_excluded_from_orders() {
+        let p = parse("goto END; goto END; END: write(x);").unwrap();
+        let a = Analysis::new(&p);
+        assert!(!a.is_live(p.at_line(2)), "second goto is dead");
+        assert_eq!(a.jumps_in_pdom_preorder(), vec![p.at_line(1)]);
+    }
+}

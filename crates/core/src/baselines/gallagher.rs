@@ -1,0 +1,142 @@
+//! Gallagher's algorithm (paper, §5; [11]).
+
+use crate::{reassociate_labels, Analysis, Criterion, Slice};
+use jumpslice_lang::StmtId;
+
+/// Gallagher's rule: include a jump `Goto L` iff (a) **some statement of the
+/// block labeled `L`** is in the slice, and (b) the predicates the jump is
+/// directly control dependent on are in the slice. Following the paper,
+/// `break`/`continue`/`return` are treated as gotos with dummy labels on
+/// their implicit targets.
+///
+/// Correct on Figure 5 (it rightly drops the `continue` on line 11), but
+/// **unsound on Figure 16**: the goto on line 4 is omitted because no
+/// statement of the block labeled `L6` survives in the slice, leaving a
+/// residual program where `y = f2(x)` always executes.
+///
+/// The "block labeled L" is read as the basic block starting at the label:
+/// the maximal single-entry straight-line run of statements from the target.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_core::{corpus, Analysis, Criterion};
+/// use jumpslice_core::baselines::gallagher_slice;
+/// let p = corpus::fig16();
+/// let a = Analysis::new(&p);
+/// let s = gallagher_slice(&a, &Criterion::at_stmt(p.at_line(10)));
+/// assert!(!s.lines(&p).contains(&4), "misses the goto — Figure 16-b");
+/// ```
+pub fn gallagher_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
+    let mut stmts = crate::conventional_slice(a, crit).stmts;
+    let jumps: Vec<StmtId> = a
+        .prog()
+        .stmt_ids()
+        .filter(|&s| a.prog().stmt(s).kind.is_unconditional_jump() && a.is_live(s))
+        .collect();
+    loop {
+        let mut added = false;
+        for &j in &jumps {
+            if stmts.contains(&j) {
+                continue;
+            }
+            let block = target_block(a, j);
+            let block_hit = block.iter().any(|t| stmts.contains(t));
+            let preds_in = a
+                .pdg()
+                .control()
+                .deps(j)
+                .iter()
+                .all(|p| stmts.contains(p));
+            // Top-level jumps have no controlling predicate; condition (b)
+            // is vacuous there.
+            if block_hit && preds_in {
+                stmts.extend(a.pdg().backward_closure([j]));
+                added = true;
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    let moved_labels = reassociate_labels(a, &stmts);
+    Slice {
+        stmts,
+        moved_labels,
+        traversals: 0,
+    }
+}
+
+/// The basic block at the jump's target: statements along the maximal
+/// straight-line (single successor / single predecessor) run from the
+/// target node. `return` targets the exit — an empty block that can never
+/// intersect a slice, so Gallagher drops returns unless their target block
+/// is nonempty; we instead treat the exit as always included, matching the
+/// dummy-label reading.
+fn target_block(a: &Analysis<'_>, j: StmtId) -> Vec<StmtId> {
+    let Some(target) = a.jump_target(j) else {
+        return Vec::new();
+    };
+    let g = a.cfg().graph();
+    let mut out = Vec::new();
+    let mut node = a.cfg().node(target);
+    loop {
+        match a.cfg().stmt(node) {
+            Some(s) => out.push(s),
+            None => break, // reached exit
+        }
+        let succs = g.succs(node);
+        if succs.len() != 1 {
+            break;
+        }
+        let next = succs[0];
+        if g.preds(next).len() != 1 {
+            break;
+        }
+        node = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{agrawal_slice, corpus};
+
+    #[test]
+    fn correct_on_figure_5() {
+        // §5: "this algorithm will correctly omit the continue statement on
+        // line 11, and thus the predicate on line 9."
+        let p = corpus::fig5();
+        let a = Analysis::new(&p);
+        let s = gallagher_slice(&a, &Criterion::at_stmt(p.at_line(14)));
+        assert_eq!(s.lines(&p), vec![2, 3, 4, 5, 7, 8, 14]);
+    }
+
+    #[test]
+    fn unsound_on_figure_16() {
+        // §5 / Figure 16-b: the goto on line 4 is missed because no
+        // statement in the block labeled L6 is in the slice.
+        let p = corpus::fig16();
+        let a = Analysis::new(&p);
+        let s = gallagher_slice(&a, &Criterion::at_stmt(p.at_line(10)));
+        assert_eq!(s.lines(&p), vec![1, 2, 3, 5, 10], "Figure 16-b");
+        // The correct slice (Figure 16-c) keeps the goto.
+        let correct = agrawal_slice(&a, &Criterion::at_stmt(p.at_line(10)));
+        assert_eq!(correct.lines(&p), vec![1, 2, 3, 4, 5, 10]);
+    }
+
+    #[test]
+    fn target_blocks_are_straight_line() {
+        let p = corpus::fig16();
+        let a = Analysis::new(&p);
+        // goto L6 (line 4) targets the if on line 6, a block of its own.
+        let block = target_block(&a, p.at_line(4));
+        let lines: Vec<usize> = block.iter().map(|&s| p.line_of(s)).collect();
+        assert_eq!(lines, vec![6]);
+        // goto L10 (line 8) targets write(y); write(z) follows in the block.
+        let block = target_block(&a, p.at_line(8));
+        let lines: Vec<usize> = block.iter().map(|&s| p.line_of(s)).collect();
+        assert_eq!(lines, vec![10, 11]);
+    }
+}

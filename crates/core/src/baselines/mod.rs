@@ -1,0 +1,25 @@
+//! The related-work algorithms of §5, re-implemented from the paper's
+//! descriptions as comparison baselines.
+//!
+//! * [`ball_horwitz_slice`] — Ball–Horwitz / Choi–Ferrante: the conventional
+//!   closure over the *augmented* PDG. Provably equivalent to
+//!   [`crate::agrawal_slice`]; the equivalence is exercised by the property
+//!   tests.
+//! * [`lyle_slice`] — Lyle's extremely conservative rule: keep every jump
+//!   lying between a slice statement and the criterion in the flowgraph.
+//! * [`gallagher_slice`] — Gallagher's rule: keep `goto L` when the block
+//!   labeled `L` intersects the slice and the goto's controlling predicates
+//!   are in the slice. Unsound on Figure 16.
+//! * [`jzr_slice`] — the Jiang–Zhou–Robson rule set, reconstructed as
+//!   "keep jumps directly control dependent on an included predicate"
+//!   applied without the structuredness precondition. Unsound on Figure 8.
+
+mod ball_horwitz;
+mod gallagher;
+mod jzr;
+mod lyle;
+
+pub use ball_horwitz::ball_horwitz_slice;
+pub use gallagher::gallagher_slice;
+pub use jzr::jzr_slice;
+pub use lyle::lyle_slice;

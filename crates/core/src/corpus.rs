@@ -1,0 +1,230 @@
+//! The paper's figure programs, verbatim (modulo concrete right-hand sides
+//! for the paper's `...` placeholders).
+//!
+//! Statement numbering follows the paper exactly: the statement the paper
+//! calls "line n" is `program.at_line(n)` (lexical preorder, 1-based).
+
+use jumpslice_lang::{parse, Program};
+
+/// Figure 1-a: the jump-free running example.
+pub const FIG1_SRC: &str = "\
+sum = 0;
+positives = 0;
+while (!eof()) {
+  read(x);
+  if (x <= 0)
+    sum = sum + f1(x);
+  else {
+    positives = positives + 1;
+    if (x % 2 == 0)
+      sum = sum + f2(x);
+    else
+      sum = sum + f3(x);
+  }
+}
+write(sum);
+write(positives);
+";
+
+/// Figure 3-a: the `goto` version of Figure 1-a (indirect jumps via L13).
+pub const FIG3_SRC: &str = "\
+sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L13;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L13;
+L12: sum = sum + f3(x);
+L13: goto L3;
+L14: write(sum);
+write(positives);
+";
+
+/// Figure 5-a: the `continue` version of Figure 3-a.
+pub const FIG5_SRC: &str = "\
+sum = 0;
+positives = 0;
+while (!eof()) {
+  read(x);
+  if (x <= 0) {
+    sum = sum + f1(x);
+    continue;
+  }
+  positives = positives + 1;
+  if (x % 2 == 0) {
+    sum = sum + f2(x);
+    continue;
+  }
+  sum = sum + f3(x);
+}
+write(sum);
+write(positives);
+";
+
+/// Figure 8-a: Figure 3-a with the indirect jumps through L13 replaced by
+/// direct jumps to L3.
+pub const FIG8_SRC: &str = "\
+sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L3;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L3;
+L12: sum = sum + f3(x);
+goto L3;
+L14: write(sum);
+write(positives);
+";
+
+/// Figure 10-a: the unstructured program (adapted from Ball–Horwitz) whose
+/// slice needs two traversals of the postdominator tree.
+pub const FIG10_SRC: &str = "\
+if (c1) {
+  goto L6;
+  L3: y = 1;
+  goto L8;
+}
+z = 2;
+L6: x = 3;
+goto L3;
+L8: write(x);
+write(y);
+write(z);
+";
+
+/// Figure 14-a: the structured `switch` program separating Figures 12
+/// and 13.
+pub const FIG14_SRC: &str = "\
+switch (c) {
+  case 1:
+    x = 1;
+    break;
+  case 2:
+    y = 2;
+    break;
+  case 3:
+    z = 3;
+    break;
+}
+write(x);
+write(y);
+write(z);
+";
+
+/// Figure 16-a: the example on which Gallagher's algorithm produces an
+/// incorrect slice.
+pub const FIG16_SRC: &str = "\
+read(x);
+if (x < 0) {
+  y = f1(x);
+  goto L6;
+}
+y = f2(x);
+L6: if (y < 0) {
+  z = g1(y);
+  goto L10;
+}
+z = g2(y);
+L10: write(y);
+write(z);
+";
+
+fn must(src: &str) -> Program {
+    parse(src).expect("corpus programs are well-formed")
+}
+
+/// Figure 1-a as a parsed program.
+pub fn fig1() -> Program {
+    must(FIG1_SRC)
+}
+
+/// Figure 3-a as a parsed program.
+pub fn fig3() -> Program {
+    must(FIG3_SRC)
+}
+
+/// Figure 5-a as a parsed program.
+pub fn fig5() -> Program {
+    must(FIG5_SRC)
+}
+
+/// Figure 8-a as a parsed program.
+pub fn fig8() -> Program {
+    must(FIG8_SRC)
+}
+
+/// Figure 10-a as a parsed program.
+pub fn fig10() -> Program {
+    must(FIG10_SRC)
+}
+
+/// Figure 14-a as a parsed program.
+pub fn fig14() -> Program {
+    must(FIG14_SRC)
+}
+
+/// Figure 16-a as a parsed program.
+pub fn fig16() -> Program {
+    must(FIG16_SRC)
+}
+
+/// Every corpus program with its figure name and the paper's slicing
+/// criterion line for it (the figure harness and corpus-wide tests iterate
+/// this).
+pub fn all() -> Vec<(&'static str, Program, usize)> {
+    vec![
+        ("fig1", fig1(), 12),
+        ("fig3", fig3(), 15),
+        ("fig5", fig5(), 14),
+        ("fig8", fig8(), 15),
+        ("fig10", fig10(), 9),
+        ("fig14", fig14(), 9),
+        ("fig16", fig16(), 10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_counts_match_paper_numbering() {
+        assert_eq!(fig1().lexical_order().len(), 12);
+        assert_eq!(fig3().lexical_order().len(), 15);
+        assert_eq!(fig5().lexical_order().len(), 14);
+        assert_eq!(fig8().lexical_order().len(), 15);
+        assert_eq!(fig10().lexical_order().len(), 10);
+        assert_eq!(fig14().lexical_order().len(), 10);
+        assert_eq!(fig16().lexical_order().len(), 11);
+    }
+
+    #[test]
+    fn criterion_lines_are_the_papers() {
+        for (name, p, line) in all() {
+            let s = p.at_line(line);
+            assert!(
+                matches!(p.stmt(s).kind, jumpslice_lang::StmtKind::Write { .. }),
+                "{name}: criterion line {line} should be a write"
+            );
+        }
+    }
+
+    #[test]
+    fn goto_programs_have_expected_labels() {
+        let p = fig3();
+        for l in ["L3", "L8", "L12", "L13", "L14"] {
+            assert!(p.label(l).is_some(), "fig3 is missing label {l}");
+        }
+        assert_eq!(p.label_target(p.label("L13").unwrap()), Some(p.at_line(13)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Dataflow analyses over the flowgraph: reaching definitions, def-use
+//! chains (data dependence), and live variables.
+//!
+//! The data-dependence edges produced here are one half of the program
+//! dependence graph (paper, §2): statement `u` is *data dependent* on
+//! statement `d` when `d` defines a variable that may reach a use of the same
+//! variable at `u`. Both analyses are classic iterative fixpoints over
+//! compact bitsets.
+//!
+//! # Examples
+//!
+//! ```
+//! use jumpslice_lang::parse;
+//! use jumpslice_cfg::Cfg;
+//! use jumpslice_dataflow::DataDeps;
+//!
+//! let p = parse("x = 1; y = x + 1; write(y);")?;
+//! let cfg = Cfg::build(&p);
+//! let dd = DataDeps::compute(&p, &cfg);
+//! assert_eq!(dd.deps(p.at_line(2)), &[p.at_line(1)]); // y = x+1 depends on x = 1
+//! assert_eq!(dd.deps(p.at_line(3)), &[p.at_line(2)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod live;
+mod reaching;
+
+pub use bitset::BitSet;
+pub use live::LiveVars;
+pub use reaching::{DataDeps, ReachingDefs, VarTable};

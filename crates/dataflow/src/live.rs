@@ -1,0 +1,140 @@
+//! Live-variables analysis (backward may).
+//!
+//! Not needed by the slicing algorithms themselves, but used by tests as an
+//! independent sanity oracle (a slice criterion variable must be live at the
+//! criterion if the slice is nonempty) and by the ablation bench.
+
+use crate::{BitSet, VarTable};
+use jumpslice_cfg::Cfg;
+use jumpslice_graph::NodeId;
+use jumpslice_lang::{Name, Program};
+
+/// Live variables at node entry/exit.
+#[derive(Clone, Debug)]
+pub struct LiveVars {
+    vars: VarTable,
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+}
+
+impl LiveVars {
+    /// Runs the backward fixpoint.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> LiveVars {
+        let vars = VarTable::of(prog);
+        let n = cfg.graph().len();
+        let nv = vars.len();
+        let mut use_sets = vec![BitSet::new(nv); n];
+        let mut def_sets = vec![BitSet::new(nv); n];
+        for s in prog.stmt_ids() {
+            let node = cfg.node(s).index();
+            for u in prog.uses(s) {
+                use_sets[node].insert(vars.index_of(u).expect("collected"));
+            }
+            if let Some(d) = prog.defs(s) {
+                def_sets[node].insert(vars.index_of(d).expect("collected"));
+            }
+        }
+
+        let mut live_in = vec![BitSet::new(nv); n];
+        let mut live_out = vec![BitSet::new(nv); n];
+        // Backward: iterate in postorder from entry (approximately reverse
+        // flow order); plain fixpoint so order only affects speed.
+        let order = jumpslice_graph::dfs_postorder(cfg.graph(), cfg.entry());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in &order {
+                let i = node.index();
+                let mut out = BitSet::new(nv);
+                for &s in cfg.graph().succs(node) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inn = out.clone();
+                inn.subtract(&def_sets[i]);
+                inn.union_with(&use_sets[i]);
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        LiveVars {
+            vars,
+            live_in,
+            live_out,
+        }
+    }
+
+    /// Whether `v` is live at the entry of `node`.
+    pub fn live_in(&self, node: NodeId, v: Name) -> bool {
+        self.vars
+            .index_of(v)
+            .is_some_and(|i| self.live_in[node.index()].contains(i))
+    }
+
+    /// Whether `v` is live at the exit of `node`.
+    pub fn live_out(&self, node: NodeId, v: Name) -> bool {
+        self.vars
+            .index_of(v)
+            .is_some_and(|i| self.live_out[node.index()].contains(i))
+    }
+
+    /// All variables live at the entry of `node`.
+    pub fn live_in_vars(&self, node: NodeId) -> Vec<Name> {
+        self.live_in[node.index()]
+            .iter()
+            .map(|i| self.vars.var(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_lang::parse;
+
+    #[test]
+    fn straight_line_liveness() {
+        let p = parse("x = 1; y = x; write(y);").unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = LiveVars::compute(&p, &cfg);
+        let x = p.name("x").unwrap();
+        let y = p.name("y").unwrap();
+        assert!(lv.live_out(cfg.node(p.at_line(1)), x));
+        assert!(!lv.live_out(cfg.node(p.at_line(2)), x));
+        assert!(lv.live_in(cfg.node(p.at_line(3)), y));
+        assert!(!lv.live_out(cfg.node(p.at_line(3)), y));
+    }
+
+    #[test]
+    fn loop_keeps_variable_live() {
+        let p = parse("x = 0; while (x < 3) { x = x + 1; } write(x);").unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = LiveVars::compute(&p, &cfg);
+        let x = p.name("x").unwrap();
+        assert!(lv.live_in(cfg.node(p.at_line(2)), x));
+        assert!(lv.live_out(cfg.node(p.at_line(3)), x));
+    }
+
+    #[test]
+    fn dead_assignment_not_live() {
+        let p = parse("x = 1; x = 2; write(x);").unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = LiveVars::compute(&p, &cfg);
+        let x = p.name("x").unwrap();
+        assert!(!lv.live_out(cfg.node(p.at_line(1)), x), "first def is dead");
+    }
+
+    #[test]
+    fn live_through_goto() {
+        let p = parse("read(x); goto L; write(0); L: write(x);").unwrap();
+        let cfg = Cfg::build(&p);
+        let lv = LiveVars::compute(&p, &cfg);
+        let x = p.name("x").unwrap();
+        assert!(lv.live_out(cfg.node(p.at_line(2)), x));
+        let live = lv.live_in_vars(cfg.node(p.at_line(4)));
+        assert_eq!(live, vec![x]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Reaching definitions and the data-dependence edges derived from them.
+
+use crate::BitSet;
+use jumpslice_cfg::Cfg;
+use jumpslice_graph::NodeId;
+use jumpslice_lang::{Name, Program, StmtId};
+use std::collections::HashMap;
+
+/// Dense numbering of the variables a program defines or uses.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    vars: Vec<Name>,
+    index: HashMap<Name, usize>,
+}
+
+impl VarTable {
+    /// Collects every variable defined or used anywhere in `prog`.
+    pub fn of(prog: &Program) -> VarTable {
+        let mut t = VarTable::default();
+        for s in prog.stmt_ids() {
+            if let Some(d) = prog.defs(s) {
+                t.add(d);
+            }
+            for u in prog.uses(s) {
+                t.add(u);
+            }
+        }
+        t
+    }
+
+    fn add(&mut self, n: Name) {
+        if !self.index.contains_key(&n) {
+            self.index.insert(n, self.vars.len());
+            self.vars.push(n);
+        }
+    }
+
+    /// Number of distinct variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the program mentions no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Dense index of a variable.
+    pub fn index_of(&self, n: Name) -> Option<usize> {
+        self.index.get(&n).copied()
+    }
+
+    /// Variable at a dense index.
+    pub fn var(&self, i: usize) -> Name {
+        self.vars[i]
+    }
+}
+
+/// The classic forward may-analysis: which definition sites reach each node.
+///
+/// Definition sites are the statements with a def (`x = e;`, `read(x);`),
+/// numbered densely.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// Definition sites, in discovery order.
+    def_sites: Vec<StmtId>,
+    /// IN set per CFG node, over def-site indices.
+    in_sets: Vec<BitSet>,
+    vars: VarTable,
+}
+
+impl ReachingDefs {
+    /// Runs the fixpoint on `prog`'s flowgraph.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
+        let vars = VarTable::of(prog);
+        let mut def_sites = Vec::new();
+        let mut site_of_stmt: Vec<Option<usize>> = vec![None; prog.len()];
+        let mut sites_of_var: Vec<Vec<usize>> = vec![Vec::new(); vars.len()];
+        for s in prog.stmt_ids() {
+            if let Some(v) = prog.defs(s) {
+                let idx = def_sites.len();
+                def_sites.push(s);
+                site_of_stmt[s.index()] = Some(idx);
+                sites_of_var[vars.index_of(v).expect("collected")].push(idx);
+            }
+        }
+
+        let n = cfg.graph().len();
+        let nsites = def_sites.len();
+        let mut in_sets = vec![BitSet::new(nsites); n];
+        let mut out_sets = vec![BitSet::new(nsites); n];
+
+        // gen/kill per node.
+        let mut gen = vec![BitSet::new(nsites); n];
+        let mut kill = vec![BitSet::new(nsites); n];
+        for s in prog.stmt_ids() {
+            if let Some(idx) = site_of_stmt[s.index()] {
+                let node = cfg.node(s);
+                gen[node.index()].insert(idx);
+                let v = prog.defs(s).expect("site has def");
+                for &other in &sites_of_var[vars.index_of(v).expect("collected")] {
+                    if other != idx {
+                        kill[node.index()].insert(other);
+                    }
+                }
+            }
+        }
+
+        // Worklist in reverse postorder from entry for fast convergence.
+        let order = jumpslice_graph::reverse_postorder(cfg.graph(), cfg.entry());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in &order {
+                let i = node.index();
+                let mut new_in = BitSet::new(nsites);
+                for &p in cfg.graph().preds(node) {
+                    new_in.union_with(&out_sets[p.index()]);
+                }
+                let mut new_out = new_in.clone();
+                new_out.subtract(&kill[i]);
+                new_out.union_with(&gen[i]);
+                if new_in != in_sets[i] || new_out != out_sets[i] {
+                    in_sets[i] = new_in;
+                    out_sets[i] = new_out;
+                    changed = true;
+                }
+            }
+        }
+
+        ReachingDefs {
+            def_sites,
+            in_sets,
+            vars,
+        }
+    }
+
+    /// The variable table used by this analysis.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// The definition statements reaching the *entry* of `node`.
+    pub fn reaching_in(&self, node: NodeId) -> impl Iterator<Item = StmtId> + '_ {
+        self.in_sets[node.index()].iter().map(|i| self.def_sites[i])
+    }
+}
+
+/// Data-dependence edges: `u` depends on `d` when a definition at `d`
+/// reaches a use of the same variable at `u`.
+#[derive(Clone, Debug)]
+pub struct DataDeps {
+    /// For each statement, the definition statements it depends on (sorted).
+    deps: Vec<Vec<StmtId>>,
+    /// Reverse direction: statements depending on each statement (sorted).
+    dependents: Vec<Vec<StmtId>>,
+}
+
+impl DataDeps {
+    /// Computes data dependence from reaching definitions over the
+    /// (unaugmented) flowgraph — the paper is explicit that data dependence
+    /// always comes from the standard flowgraph.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> DataDeps {
+        let rd = ReachingDefs::compute(prog, cfg);
+        Self::from_reaching(prog, cfg, &rd)
+    }
+
+    /// Derives the edges from a precomputed [`ReachingDefs`].
+    pub fn from_reaching(prog: &Program, cfg: &Cfg, rd: &ReachingDefs) -> DataDeps {
+        let n = prog.len();
+        let mut deps = vec![Vec::new(); n];
+        let mut dependents = vec![Vec::new(); n];
+        for u in prog.stmt_ids() {
+            let used = prog.uses(u);
+            if used.is_empty() {
+                continue;
+            }
+            let node = cfg.node(u);
+            for d in rd.reaching_in(node) {
+                let v = prog.defs(d).expect("def site");
+                if used.contains(&v) {
+                    deps[u.index()].push(d);
+                    dependents[d.index()].push(u);
+                }
+            }
+        }
+        for v in deps.iter_mut().chain(dependents.iter_mut()) {
+            v.sort();
+            v.dedup();
+        }
+        DataDeps { deps, dependents }
+    }
+
+    /// The definitions statement `s` depends on.
+    pub fn deps(&self, s: StmtId) -> &[StmtId] {
+        &self.deps[s.index()]
+    }
+
+    /// The statements that depend on `s`.
+    pub fn dependents(&self, s: StmtId) -> &[StmtId] {
+        &self.dependents[s.index()]
+    }
+
+    /// All edges as `(def, use)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (StmtId, StmtId)> + '_ {
+        self.deps.iter().enumerate().flat_map(|(u, ds)| {
+            ds.iter()
+                .map(move |&d| (d, StmtId::from_index(u)))
+        })
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_lang::parse;
+
+    fn deps_of(src: &str, line: usize) -> Vec<usize> {
+        let p = parse(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let dd = DataDeps::compute(&p, &cfg);
+        dd.deps(p.at_line(line)).iter().map(|&s| p.line_of(s)).collect()
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        assert_eq!(deps_of("x = 1; y = x; write(y);", 3), vec![2]);
+        assert_eq!(deps_of("x = 1; y = x; write(y);", 2), vec![1]);
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        // write(x) sees only the second definition.
+        assert_eq!(deps_of("x = 1; x = 2; write(x);", 3), vec![2]);
+    }
+
+    #[test]
+    fn both_branches_reach() {
+        let src = "read(c); if (c) { x = 1; } else { x = 2; } write(x);";
+        assert_eq!(deps_of(src, 5), vec![3, 4]);
+    }
+
+    #[test]
+    fn loop_carried_dependence() {
+        let src = "x = 0; while (x < 3) { x = x + 1; } write(x);";
+        // The loop body's use of x sees the initial def and itself.
+        assert_eq!(deps_of(src, 3), vec![1, 3]);
+        assert_eq!(deps_of(src, 4), vec![1, 3]);
+    }
+
+    #[test]
+    fn read_redefines() {
+        let src = "x = 1; read(x); write(x);";
+        assert_eq!(deps_of(src, 3), vec![2]);
+    }
+
+    #[test]
+    fn predicate_uses_count() {
+        let src = "read(x); if (x > 0) { y = 1; } write(y);";
+        assert_eq!(deps_of(src, 2), vec![1]);
+    }
+
+    #[test]
+    fn paper_figure_2b_data_dependence() {
+        // Figure 1-a / 2-b: write(positives) on line 12 is data dependent on
+        // lines 2 and 7.
+        let src = "sum = 0;
+                   positives = 0;
+                   while (!eof()) {
+                     read(x);
+                     if (x <= 0)
+                       sum = sum + f1(x);
+                     else {
+                       positives = positives + 1;
+                       if (x % 2 == 0)
+                         sum = sum + f2(x);
+                       else
+                         sum = sum + f3(x);
+                     }
+                   }
+                   write(sum);
+                   write(positives);";
+        assert_eq!(deps_of(src, 12), vec![2, 7]);
+        // And positives = positives + 1 (line 7) sees lines 2 and 7.
+        assert_eq!(deps_of(src, 7), vec![2, 7]);
+        // write(sum) sees every sum definition.
+        assert_eq!(deps_of(src, 11), vec![1, 6, 9, 10]);
+    }
+
+    #[test]
+    fn goto_paths_carry_defs() {
+        let src = "x = 1; goto L; x = 2; L: write(x);";
+        // x = 2 is unreachable: only the first def reaches the write.
+        assert_eq!(deps_of(src, 4), vec![1]);
+    }
+
+    #[test]
+    fn dependents_is_inverse() {
+        let p = parse("x = 1; y = x; z = x + y;").unwrap();
+        let cfg = Cfg::build(&p);
+        let dd = DataDeps::compute(&p, &cfg);
+        let x = p.at_line(1);
+        let dep_lines: Vec<usize> = dd.dependents(x).iter().map(|&s| p.line_of(s)).collect();
+        assert_eq!(dep_lines, vec![2, 3]);
+        for (d, u) in dd.edges() {
+            assert!(dd.deps(u).contains(&d));
+            assert!(dd.dependents(d).contains(&u));
+        }
+        assert_eq!(dd.num_edges(), 3);
+    }
+
+    #[test]
+    fn var_table_counts() {
+        let p = parse("x = 1; y = x + z;").unwrap();
+        let vt = VarTable::of(&p);
+        assert_eq!(vt.len(), 3); // x, y, z
+        assert!(!vt.is_empty());
+        let x = p.name("x").unwrap();
+        assert_eq!(vt.var(vt.index_of(x).unwrap()), x);
+    }
+
+    #[test]
+    fn switch_fallthrough_reaches() {
+        let src = "read(c); switch (c) { case 1: x = 1; case 2: y = x; break; } write(y);";
+        // y = x (line 4) must see x = 1 via fall-through.
+        assert_eq!(deps_of(src, 4), vec![3]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Dynamic slicing over execution trajectories.
+//!
+//! The paper's opening motivation cites debugging with *dynamic* slicing
+//! (Agrawal–DeMillo–Spafford [1]): instead of every statement that *may*
+//! affect the criterion on *some* input, keep only the statements that
+//! *did* affect it on *this* run. This crate implements trajectory-based
+//! dynamic slicing on top of the workspace interpreter:
+//!
+//! * **dynamic data dependence** — the event that actually wrote each
+//!   variable an event reads (exact, from the trace);
+//! * **dynamic control dependence** — the latest earlier occurrence of a
+//!   predicate the statement is statically control dependent on (the
+//!   standard last-occurrence approximation; exact for the structured and
+//!   flat-goto programs this workspace generates).
+//!
+//! The classic containment theorem connects the two worlds and is enforced
+//! by this crate's property tests: every dynamic slice is contained in the
+//! conventional static slice for the same criterion statement — and hence
+//! in every jump-repaired slice.
+//!
+//! # Examples
+//!
+//! ```
+//! use jumpslice_dynslice::{dynamic_slice, DynCriterion};
+//! use jumpslice_interp::Input;
+//! use jumpslice_lang::parse;
+//!
+//! let p = parse(
+//!     "read(c);
+//!      if (c > 0) { x = 1; } else { x = 2; }
+//!      write(x);",
+//! )?;
+//! let d = dynamic_slice(&p, &Input { seed: 1, ..Input::default() }, &DynCriterion::last(p.at_line(5)));
+//! // Exactly one of the two assignments executed; only it is in the slice.
+//! let branches = [p.at_line(3), p.at_line(4)];
+//! assert_eq!(branches.iter().filter(|s| d.stmts.contains(s)).count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jumpslice_core::Analysis;
+use jumpslice_interp::{run, Input, Trajectory};
+use jumpslice_lang::{Name, Program, StmtId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which execution of a statement the dynamic slice observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynCriterion {
+    /// The criterion statement.
+    pub stmt: StmtId,
+    /// The 0-based occurrence, or `None` for the last execution.
+    pub occurrence: Option<usize>,
+}
+
+impl DynCriterion {
+    /// The last execution of `stmt` in the run.
+    pub fn last(stmt: StmtId) -> DynCriterion {
+        DynCriterion {
+            stmt,
+            occurrence: None,
+        }
+    }
+
+    /// The `k`-th (0-based) execution of `stmt`.
+    pub fn nth(stmt: StmtId, k: usize) -> DynCriterion {
+        DynCriterion {
+            stmt,
+            occurrence: Some(k),
+        }
+    }
+}
+
+/// The result of [`dynamic_slice`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynamicSlice {
+    /// Statements whose executions influenced the criterion occurrence.
+    pub stmts: BTreeSet<StmtId>,
+    /// The trace event indices in the dynamic backward closure.
+    pub events: BTreeSet<usize>,
+    /// Whether the criterion occurrence was found in the (fuel-bounded)
+    /// trace at all.
+    pub criterion_found: bool,
+}
+
+/// Computes the dynamic backward slice of one criterion occurrence on one
+/// input, running the program with the workspace interpreter.
+///
+/// Convenience over [`dynamic_slice_of_trace`] — use that form to reuse a
+/// trajectory or an [`Analysis`].
+pub fn dynamic_slice(prog: &Program, input: &Input, crit: &DynCriterion) -> DynamicSlice {
+    let a = Analysis::new(prog);
+    let traj = run(prog, input);
+    dynamic_slice_of_trace(&a, &traj, crit)
+}
+
+/// Computes the dynamic backward slice over an existing trajectory.
+pub fn dynamic_slice_of_trace(
+    a: &Analysis<'_>,
+    traj: &Trajectory,
+    crit: &DynCriterion,
+) -> DynamicSlice {
+    let prog = a.prog();
+    let n = traj.events.len();
+
+    // Criterion event index.
+    let mut occurrences = traj
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.stmt == crit.stmt)
+        .map(|(i, _)| i);
+    let crit_event = match crit.occurrence {
+        Some(k) => occurrences.nth(k),
+        None => occurrences.last(),
+    };
+    let Some(crit_event) = crit_event else {
+        return DynamicSlice::default();
+    };
+
+    // Forward scan: exact dynamic data dependences and last occurrences.
+    let mut last_def: HashMap<Name, usize> = HashMap::new();
+    let mut last_occurrence: HashMap<StmtId, usize> = HashMap::new();
+    let mut data_deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut control_dep: Vec<Option<usize>> = vec![None; n];
+    for (i, e) in traj.events.iter().enumerate() {
+        for u in prog.uses(e.stmt) {
+            if let Some(&d) = last_def.get(&u) {
+                data_deps[i].push(d);
+            }
+        }
+        // Dynamic control dependence: the most recent occurrence of any
+        // statically controlling predicate.
+        control_dep[i] = a
+            .pdg()
+            .control()
+            .deps(e.stmt)
+            .iter()
+            .filter_map(|p| last_occurrence.get(p).copied())
+            .filter(|&j| j < i)
+            .max();
+        if let Some(d) = prog.defs(e.stmt) {
+            last_def.insert(d, i);
+        }
+        last_occurrence.insert(e.stmt, i);
+    }
+
+    // Backward closure over the event graph.
+    let mut events = BTreeSet::new();
+    let mut work = vec![crit_event];
+    while let Some(i) = work.pop() {
+        if !events.insert(i) {
+            continue;
+        }
+        work.extend(data_deps[i].iter().copied());
+        if let Some(c) = control_dep[i] {
+            work.push(c);
+        }
+    }
+
+    let stmts = events.iter().map(|&i| traj.events[i].stmt).collect();
+    DynamicSlice {
+        stmts,
+        events,
+        criterion_found: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_core::{conventional_slice, Criterion};
+    use jumpslice_lang::{parse, StmtKind};
+    use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
+    use proptest::prelude::*;
+
+    fn lines(p: &Program, s: &BTreeSet<StmtId>) -> Vec<usize> {
+        let mut v: Vec<usize> = s.iter().map(|&x| p.line_of(x)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn taken_branch_only() {
+        let p = parse("read(c); if (c > 0) { x = 1; } else { x = 2; } write(x);").unwrap();
+        // Find a seed for each polarity so both branches are covered.
+        let mut seen = BTreeSet::new();
+        for seed in 0..32 {
+            let d = dynamic_slice(
+                &p,
+                &Input {
+                    seed,
+                    ..Input::default()
+                },
+                &DynCriterion::last(p.at_line(5)),
+            );
+            assert!(d.criterion_found);
+            let then_in = d.stmts.contains(&p.at_line(3));
+            let else_in = d.stmts.contains(&p.at_line(4));
+            assert!(then_in ^ else_in, "exactly one branch executed: {d:?}");
+            seen.insert(then_in);
+        }
+        assert_eq!(seen.len(), 2, "both polarities exercised across seeds");
+    }
+
+    #[test]
+    fn loop_iterations_collapse_to_statements() {
+        let p = parse("s = 0; i = 0; while (i < 4) { s = s + i; i = i + 1; } write(s);").unwrap();
+        let d = dynamic_slice(&p, &Input::default(), &DynCriterion::last(p.at_line(6)));
+        assert_eq!(lines(&p, &d.stmts), vec![1, 2, 3, 4, 5, 6]);
+        // Many events, few statements.
+        assert!(d.events.len() > d.stmts.len());
+    }
+
+    #[test]
+    fn occurrence_selection() {
+        let p = parse("x = 0; while (x < 3) { x = x + 1; write(x); }").unwrap();
+        let w = p.at_line(4);
+        let first = dynamic_slice(&p, &Input::default(), &DynCriterion::nth(w, 0));
+        let last = dynamic_slice(&p, &Input::default(), &DynCriterion::last(w));
+        // Both need the increment and the loop; the later occurrence has
+        // (weakly) more events behind it.
+        assert!(first.events.len() <= last.events.len());
+        assert!(first.stmts.contains(&p.at_line(3)));
+    }
+
+    #[test]
+    fn missing_occurrence_reports_not_found() {
+        let p = parse("x = 1; write(x);").unwrap();
+        let d = dynamic_slice(&p, &Input::default(), &DynCriterion::nth(p.at_line(2), 5));
+        assert!(!d.criterion_found);
+        assert!(d.stmts.is_empty());
+    }
+
+    #[test]
+    fn dead_input_not_in_dynamic_slice() {
+        // The static slice must keep both reads (either def may reach);
+        // dynamically, only the winning one is in.
+        let p = parse("read(x); read(c); if (c > 0) { read(x); } write(x);").unwrap();
+        let a = Analysis::new(&p);
+        let stat = conventional_slice(&a, &Criterion::at_stmt(p.at_line(5)));
+        assert!(stat.lines(&p).contains(&1) && stat.lines(&p).contains(&4));
+        for seed in 0..16 {
+            let d = dynamic_slice(
+                &p,
+                &Input {
+                    seed,
+                    ..Input::default()
+                },
+                &DynCriterion::last(p.at_line(5)),
+            );
+            let reads = [p.at_line(1), p.at_line(4)];
+            let hit = reads.iter().filter(|s| d.stmts.contains(s)).count();
+            assert_eq!(hit, 1, "exactly one read feeds x dynamically");
+        }
+    }
+
+    fn containment_case(p: &Program) {
+        let a = Analysis::new(p);
+        let writes: Vec<StmtId> = p
+            .stmt_ids()
+            .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Write { .. }) && a.is_live(s))
+            .take(3)
+            .collect();
+        for input in Input::family(3) {
+            let traj = run(p, &input);
+            for &w in &writes {
+                let d = dynamic_slice_of_trace(&a, &traj, &DynCriterion::last(w));
+                if !d.criterion_found {
+                    continue;
+                }
+                let stat = conventional_slice(&a, &Criterion::at_stmt(w));
+                assert!(
+                    d.stmts.is_subset(&stat.stmts),
+                    "dynamic ⊄ static: dyn {:?} vs stat {:?}",
+                    lines(p, &d.stmts),
+                    stat.lines(p)
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The classic theorem: dynamic slices are contained in the static
+        /// slice of the same criterion statement.
+        #[test]
+        fn dynamic_within_static_structured(seed in 0u64..200, size in 15usize..50) {
+            containment_case(&gen_structured(&GenConfig::sized(seed, size)));
+        }
+
+        #[test]
+        fn dynamic_within_static_unstructured(seed in 0u64..200, size in 10usize..35) {
+            containment_case(&gen_unstructured(&GenConfig {
+                jump_density: 0.3,
+                ..GenConfig::sized(seed, size)
+            }));
+        }
+    }
+}

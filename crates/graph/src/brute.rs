@@ -1,0 +1,164 @@
+//! Brute-force dominators, straight from the definition.
+//!
+//! Quadratic-to-cubic; exists purely as a reference oracle for the property
+//! tests and the ablation bench. `d` dominates `n` iff `n` is unreachable
+//! from the root once `d` is removed from the graph.
+
+use crate::{reachable_from, DiGraph, NodeId};
+
+/// Computes immediate dominators by the textbook definition.
+///
+/// Returns `idom[n]`: `None` for the root and for nodes unreachable from
+/// `root`, otherwise the unique closest strict dominator.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_graph::{DiGraph, dominators_brute_force};
+/// let mut g = DiGraph::with_nodes(3);
+/// g.add_edge(0.into(), 1.into());
+/// g.add_edge(1.into(), 2.into());
+/// let idoms = dominators_brute_force(&g, 0.into());
+/// assert_eq!(idoms[2], Some(1.into()));
+/// ```
+pub fn dominators_brute_force(g: &DiGraph, root: NodeId) -> Vec<Option<NodeId>> {
+    let n = g.len();
+    let reach = reachable_from(g, root);
+
+    // dom_sets[v] = set of nodes dominating v (as bool masks).
+    let mut dom_sets: Vec<Vec<bool>> = Vec::with_capacity(n);
+    for v in 0..n {
+        if !reach[v] {
+            dom_sets.push(vec![false; n]);
+            continue;
+        }
+        // Nodes reachable from root with v deleted.
+        let reach_without_v = reachable_avoiding(g, root, NodeId::new(v));
+        let mut doms = vec![false; n];
+        for (d, item) in doms.iter_mut().enumerate() {
+            // d dominates v iff v can't be reached when d is removed.
+            // (v dominates itself trivially.)
+            *item = d == v || (reach[d] && !reachable_avoiding(g, root, NodeId::new(d))[v]);
+        }
+        let _ = reach_without_v;
+        dom_sets.push(doms);
+    }
+
+    let mut idom = vec![None; n];
+    for v in 0..n {
+        if !reach[v] || v == root.index() {
+            continue;
+        }
+        // The immediate dominator is the strict dominator dominated by every
+        // other strict dominator.
+        let strict: Vec<usize> = (0..n).filter(|&d| d != v && dom_sets[v][d]).collect();
+        let best = strict
+            .iter()
+            .copied()
+            .find(|&d| strict.iter().all(|&e| dom_sets[d][e] || e == d));
+        idom[v] = best.map(NodeId::new);
+    }
+    idom
+}
+
+/// Reachability from `root` in the graph with node `avoid` deleted.
+fn reachable_avoiding(g: &DiGraph, root: NodeId, avoid: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    if root == avoid {
+        return seen;
+    }
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(x) = stack.pop() {
+        for &m in g.succs(x) {
+            if m != avoid && !seen[m.index()] {
+                seen[m.index()] = true;
+                stack.push(m);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DomTree;
+    use proptest::prelude::*;
+
+    #[test]
+    fn diamond() {
+        let mut g = DiGraph::with_nodes(4);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            g.add_edge(a.into(), b.into());
+        }
+        let idoms = dominators_brute_force(&g, 0.into());
+        assert_eq!(idoms, vec![None, Some(0.into()), Some(0.into()), Some(0.into())]);
+    }
+
+    #[test]
+    fn unreachable_has_no_idom() {
+        let mut g = DiGraph::with_nodes(2);
+        let idoms = dominators_brute_force(&g, 0.into());
+        assert_eq!(idoms, vec![None, None]);
+    }
+
+    /// Strategy: random graphs with `n` nodes where node 0 is the root and
+    /// every node gets 0..=3 random successors.
+    fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph> {
+        (2..max_n).prop_flat_map(|n| {
+            proptest::collection::vec(proptest::collection::vec(0..n, 0..4), n).prop_map(
+                move |adj| {
+                    let mut g = DiGraph::with_nodes(n);
+                    // Ensure basic connectivity: a spine 0 -> 1 -> ... so most
+                    // nodes are reachable and the test is not vacuous.
+                    for i in 0..n - 1 {
+                        g.add_edge(i.into(), (i + 1).into());
+                    }
+                    for (i, ss) in adj.iter().enumerate() {
+                        for &s in ss {
+                            g.add_edge(i.into(), s.into());
+                        }
+                    }
+                    g
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn iterative_matches_brute_force(g in arb_graph(16)) {
+            let fast = DomTree::iterative(&g, 0.into());
+            let brute = dominators_brute_force(&g, 0.into());
+            for v in g.nodes() {
+                prop_assert_eq!(fast.idom(v), brute[v.index()]);
+            }
+        }
+
+        #[test]
+        fn lengauer_tarjan_matches_brute_force(g in arb_graph(16)) {
+            let fast = DomTree::lengauer_tarjan(&g, 0.into());
+            let brute = dominators_brute_force(&g, 0.into());
+            for v in g.nodes() {
+                prop_assert_eq!(fast.idom(v), brute[v.index()]);
+            }
+        }
+
+        #[test]
+        fn postdominators_match_brute_force_on_reversal(g in arb_graph(12)) {
+            // Postdominators = dominators of the reversal rooted at the last
+            // node (the spine guarantees it's reachable from everything...
+            // in the reversal: everything reaches it in the forward graph).
+            let r = g.reversed();
+            let root = NodeId::new(g.len() - 1);
+            let fast = DomTree::iterative(&r, root);
+            let brute = dominators_brute_force(&r, root);
+            for v in g.nodes() {
+                prop_assert_eq!(fast.idom(v), brute[v.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Dominator trees.
+//!
+//! A node `d` *dominates* `n` (w.r.t. a root `r`) if every path from `r` to
+//! `n` passes through `d`. Running the same computation on the reversed graph
+//! rooted at the exit node yields the *postdominator* tree used by the
+//! slicing algorithms: `d` postdominates `n` iff `d` is an ancestor of `n` in
+//! that tree (paper, §3).
+
+use crate::{reverse_postorder, DiGraph, NodeId};
+
+const UNREACHED: u32 = u32::MAX;
+
+/// An immediate-dominator tree over a [`DiGraph`].
+///
+/// Supports O(1) `dominates` queries via preorder/postorder interval
+/// numbering, parent/child navigation, and ancestor iteration — the exact
+/// operations Agrawal's Figure 7 needs ("nearest postdominator in Slice",
+/// preorder traversal of the postdominator tree).
+///
+/// Nodes unreachable from the root have no immediate dominator and are
+/// excluded from traversals.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_graph::{DiGraph, DomTree};
+/// let mut g = DiGraph::with_nodes(4);
+/// g.add_edge(0.into(), 1.into());
+/// g.add_edge(0.into(), 2.into());
+/// g.add_edge(1.into(), 3.into());
+/// g.add_edge(2.into(), 3.into());
+/// let dom = DomTree::iterative(&g, 0.into());
+/// assert_eq!(dom.idom(3.into()), Some(0.into()));
+/// let pre: Vec<_> = dom.preorder().collect();
+/// assert_eq!(pre[0], 0.into());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    root: NodeId,
+    idom: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    pre: Vec<u32>,
+    post: Vec<u32>,
+    depth: Vec<u32>,
+    preorder: Vec<NodeId>,
+}
+
+impl DomTree {
+    /// Builds the dominator tree with the iterative Cooper–Harvey–Kennedy
+    /// algorithm ("A Simple, Fast Dominance Algorithm").
+    ///
+    /// This is the default construction used by the rest of the workspace;
+    /// [`DomTree::lengauer_tarjan`] is the independent implementation used to
+    /// cross-check it (and benched in `ablation.rs`).
+    pub fn iterative(g: &DiGraph, root: NodeId) -> DomTree {
+        let rpo = reverse_postorder(g, root);
+        let mut rpo_num = vec![UNREACHED; g.len()];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_num[n.index()] = i as u32;
+        }
+
+        let mut idom: Vec<Option<NodeId>> = vec![None; g.len()];
+        idom[root.index()] = Some(root); // temporary self-loop, cleared below
+
+        let intersect = |idom: &[Option<NodeId>], rpo_num: &[u32], a: NodeId, b: NodeId| {
+            let (mut a, mut b) = (a, b);
+            while a != b {
+                while rpo_num[a.index()] > rpo_num[b.index()] {
+                    a = idom[a.index()].expect("processed node has idom");
+                }
+                while rpo_num[b.index()] > rpo_num[a.index()] {
+                    b = idom[b.index()].expect("processed node has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for &p in g.preds(n) {
+                    if rpo_num[p.index()] == UNREACHED || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[n.index()] != new_idom {
+                    idom[n.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        idom[root.index()] = None;
+        Self::from_idoms(g.len(), root, idom)
+    }
+
+    /// Builds the dominator tree with the Lengauer–Tarjan algorithm
+    /// (simple path-compression variant, O(m·α(m,n))).
+    pub fn lengauer_tarjan(g: &DiGraph, root: NodeId) -> DomTree {
+        let idom = crate::lt::lengauer_tarjan_idoms(g, root);
+        Self::from_idoms(g.len(), root, idom)
+    }
+
+    /// Assembles the derived structures (children lists, preorder, interval
+    /// numbering, depths) from an immediate-dominator array.
+    pub(crate) fn from_idoms(n: usize, root: NodeId, idom: Vec<Option<NodeId>>) -> DomTree {
+        let mut children = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(d) = idom[i] {
+                children[d.index()].push(NodeId::new(i));
+            }
+        }
+        // Deterministic child order: by node index.
+        for c in &mut children {
+            c.sort();
+        }
+
+        let mut pre = vec![UNREACHED; n];
+        let mut post = vec![UNREACHED; n];
+        let mut depth = vec![0u32; n];
+        let mut preorder = Vec::new();
+        let mut clock = 0u32;
+        // Iterative DFS over the tree for interval numbering.
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        pre[root.index()] = clock;
+        clock += 1;
+        preorder.push(root);
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if let Some(&c) = children[v.index()].get(*i) {
+                *i += 1;
+                pre[c.index()] = clock;
+                clock += 1;
+                depth[c.index()] = depth[v.index()] + 1;
+                preorder.push(c);
+                stack.push((c, 0));
+            } else {
+                post[v.index()] = clock;
+                clock += 1;
+                stack.pop();
+            }
+        }
+
+        DomTree {
+            root,
+            idom,
+            children,
+            pre,
+            post,
+            depth,
+            preorder,
+        }
+    }
+
+    /// The root of the tree (entry node for dominators, exit for
+    /// postdominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The immediate dominator of `n`, or `None` for the root and for nodes
+    /// unreachable from the root.
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom[n.index()]
+    }
+
+    /// Whether `n` is reachable from the root (and hence in the tree).
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        n == self.root || self.idom[n.index()].is_some()
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        self.pre[a.index()] <= self.pre[b.index()] && self.post[b.index()] <= self.post[a.index()]
+    }
+
+    /// Whether `a` dominates `b` and `a != b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Children of `n` in the dominator tree, sorted by node index.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.index()]
+    }
+
+    /// Depth of `n` below the root (root has depth 0).
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depth[n.index()]
+    }
+
+    /// Preorder traversal of the tree (parents before children) — the visit
+    /// order required by the paper's Figure 7 algorithm.
+    pub fn preorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.preorder.iter().copied()
+    }
+
+    /// Iterator over the proper ancestors of `n`, nearest first
+    /// (`idom(n)`, `idom(idom(n))`, …, root).
+    ///
+    /// Walking this chain until a node satisfies a predicate implements the
+    /// paper's "nearest postdominator of `n` in `Slice`".
+    pub fn ancestors(&self, n: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: self.idom(n),
+        }
+    }
+
+    /// The nearest proper ancestor of `n` satisfying `pred`, if any.
+    pub fn nearest_ancestor_where(
+        &self,
+        n: NodeId,
+        mut pred: impl FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        self.ancestors(n).find(|&a| pred(a))
+    }
+}
+
+/// Iterator over proper ancestors in a [`DomTree`], produced by
+/// [`DomTree::ancestors`].
+#[derive(Clone, Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a DomTree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.cur?;
+        self.cur = self.tree.idom(n);
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running CFG from the Cooper–Harvey–Kennedy paper.
+    fn chk_graph() -> DiGraph {
+        // Nodes: 0=entry(6 in paper),1..5
+        let mut g = DiGraph::with_nodes(6);
+        for (a, b) in [(0, 4), (0, 3), (4, 1), (3, 2), (1, 2), (2, 1), (2, 5), (1, 5)] {
+            g.add_edge(a.into(), b.into());
+        }
+        g
+    }
+
+    #[test]
+    fn chk_paper_example() {
+        let g = chk_graph();
+        let dom = DomTree::iterative(&g, 0.into());
+        for n in [1usize, 2, 3, 4, 5] {
+            assert_eq!(dom.idom(n.into()), Some(0.into()), "idom of {n}");
+        }
+        assert_eq!(dom.idom(0.into()), None);
+    }
+
+    #[test]
+    fn diamond_interval_queries() {
+        let mut g = DiGraph::with_nodes(4);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            g.add_edge(a.into(), b.into());
+        }
+        let dom = DomTree::iterative(&g, 0.into());
+        assert!(dom.dominates(0.into(), 3.into()));
+        assert!(dom.dominates(3.into(), 3.into()));
+        assert!(!dom.strictly_dominates(3.into(), 3.into()));
+        assert!(!dom.dominates(1.into(), 3.into()));
+        assert!(!dom.dominates(2.into(), 1.into()));
+    }
+
+    #[test]
+    fn chain_depths_and_ancestors() {
+        let mut g = DiGraph::with_nodes(4);
+        for i in 0..3 {
+            g.add_edge(i.into(), (i + 1).into());
+        }
+        let dom = DomTree::iterative(&g, 0.into());
+        assert_eq!(dom.depth(3.into()), 3);
+        let anc: Vec<usize> = dom.ancestors(3.into()).map(|n| n.index()).collect();
+        assert_eq!(anc, vec![2, 1, 0]);
+        assert_eq!(
+            dom.nearest_ancestor_where(3.into(), |a| a.index() < 2),
+            Some(1.into())
+        );
+    }
+
+    #[test]
+    fn unreachable_nodes_are_excluded() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        let dom = DomTree::iterative(&g, 0.into());
+        assert!(!dom.is_reachable(2.into()));
+        assert_eq!(dom.idom(2.into()), None);
+        assert!(!dom.dominates(0.into(), 2.into()));
+        assert_eq!(dom.preorder().count(), 2);
+    }
+
+    #[test]
+    fn loop_postdominators_via_reversal() {
+        // 0 -> 1 -> 2 -> 1, 1 -> 3 (exit): postdominators computed on the
+        // reverse graph rooted at 3.
+        let mut g = DiGraph::with_nodes(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 1), (1, 3)] {
+            g.add_edge(a.into(), b.into());
+        }
+        let pdom = DomTree::iterative(&g.reversed(), 3.into());
+        assert_eq!(pdom.idom(0.into()), Some(1.into()));
+        assert_eq!(pdom.idom(2.into()), Some(1.into()));
+        assert_eq!(pdom.idom(1.into()), Some(3.into()));
+        assert!(pdom.dominates(3.into(), 0.into()));
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let g = chk_graph();
+        let dom = DomTree::iterative(&g, 0.into());
+        let order: Vec<_> = dom.preorder().collect();
+        assert_eq!(order[0], NodeId::new(0));
+        for &n in &order {
+            if let Some(d) = dom.idom(n) {
+                let pi = order.iter().position(|&x| x == d).unwrap();
+                let ni = order.iter().position(|&x| x == n).unwrap();
+                assert!(pi < ni, "parent {d:?} must precede child {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterative_matches_lengauer_tarjan_on_fixtures() {
+        for g in [chk_graph(), {
+            let mut g = DiGraph::with_nodes(8);
+            for (a, b) in [(0, 1), (1, 2), (1, 3), (2, 7), (3, 4), (4, 5), (4, 6), (5, 7), (6, 4), (7, 1)] {
+                g.add_edge(a.into(), b.into());
+            }
+            g
+        }] {
+            let a = DomTree::iterative(&g, 0.into());
+            let b = DomTree::lengauer_tarjan(&g, 0.into());
+            for n in g.nodes() {
+                assert_eq!(a.idom(n), b.idom(n), "idom mismatch at {n:?}");
+            }
+        }
+    }
+}

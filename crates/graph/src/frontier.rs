@@ -1,0 +1,134 @@
+//! Dominance frontiers (Cytron et al.).
+//!
+//! `DF(d)` is the set of nodes `n` such that `d` dominates a predecessor of
+//! `n` but does not strictly dominate `n` itself. Computed over the reverse
+//! graph with the postdominator tree, frontiers give control dependence:
+//! `b` is control dependent on `a` exactly when `a ∈ PDF(b)` — the
+//! cross-check used by `jumpslice-pdg`'s tests.
+
+use crate::{DiGraph, DomTree, NodeId};
+
+/// Computes the dominance frontier of every node, given the graph and its
+/// dominator tree (the two must match).
+///
+/// Uses the standard two-predecessor walk: for each join node `n` (≥ 2
+/// predecessors), every dominator-tree ancestor of a predecessor up to (but
+/// excluding) `idom(n)` has `n` in its frontier.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_graph::{dominance_frontiers, DiGraph, DomTree};
+/// // Diamond: 0 -> {1,2} -> 3.
+/// let mut g = DiGraph::with_nodes(4);
+/// for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+///     g.add_edge(a.into(), b.into());
+/// }
+/// let dom = DomTree::iterative(&g, 0.into());
+/// let df = dominance_frontiers(&g, &dom);
+/// assert_eq!(df[1], vec![3.into()]); // 1 dominates a pred of 3, not 3
+/// assert_eq!(df[3], vec![]);
+/// ```
+pub fn dominance_frontiers(g: &DiGraph, dom: &DomTree) -> Vec<Vec<NodeId>> {
+    let mut df: Vec<Vec<NodeId>> = vec![Vec::new(); g.len()];
+    for n in g.nodes() {
+        if !dom.is_reachable(n) || g.preds(n).is_empty() {
+            continue;
+        }
+        // For a non-root single-pred node idom(n) is that pred and the walk
+        // stops immediately; the general loop also covers back edges into
+        // the root (idom = None), which the classic ≥2-preds shortcut
+        // misses.
+        let idom_n = dom.idom(n);
+        for &p in g.preds(n) {
+            if !dom.is_reachable(p) {
+                continue;
+            }
+            let mut runner = Some(p);
+            while let Some(r) = runner {
+                if Some(r) == idom_n {
+                    break;
+                }
+                if !df[r.index()].contains(&n) {
+                    df[r.index()].push(n);
+                }
+                runner = dom.idom(r);
+            }
+        }
+    }
+    for v in &mut df {
+        v.sort();
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Frontier membership straight from the definition, as an oracle.
+    fn df_brute(g: &DiGraph, dom: &DomTree, d: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for n in g.nodes() {
+            if !dom.is_reachable(n) {
+                continue;
+            }
+            let dominates_a_pred = g
+                .preds(n)
+                .iter()
+                .any(|&p| dom.is_reachable(p) && dom.dominates(d, p));
+            if dominates_a_pred && !dom.strictly_dominates(d, n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn loop_frontier_contains_header() {
+        // 0 -> 1 -> 2 -> 1, 1 -> 3: the body's frontier holds the header.
+        let mut g = DiGraph::with_nodes(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 1), (1, 3)] {
+            g.add_edge(a.into(), b.into());
+        }
+        let dom = DomTree::iterative(&g, 0.into());
+        let df = dominance_frontiers(&g, &dom);
+        assert_eq!(df[2], vec![NodeId::new(1)]);
+        assert_eq!(df[1], vec![NodeId::new(1)], "header is in its own frontier");
+    }
+
+    #[test]
+    fn unreachable_nodes_have_empty_frontiers() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(2.into(), 1.into());
+        let dom = DomTree::iterative(&g, 0.into());
+        let df = dominance_frontiers(&g, &dom);
+        assert!(df[2].is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_definition(adj in proptest::collection::vec(proptest::collection::vec(0usize..12, 0..4), 12)) {
+            let mut g = DiGraph::with_nodes(12);
+            for i in 0..11 {
+                g.add_edge(i.into(), (i + 1).into());
+            }
+            for (i, ss) in adj.iter().enumerate() {
+                for &s in ss {
+                    g.add_edge(i.into(), s.into());
+                }
+            }
+            let dom = DomTree::iterative(&g, 0.into());
+            let df = dominance_frontiers(&g, &dom);
+            for d in g.nodes() {
+                if dom.is_reachable(d) {
+                    prop_assert_eq!(&df[d.index()], &df_brute(&g, &dom, d), "node {:?}", d);
+                }
+            }
+        }
+    }
+}

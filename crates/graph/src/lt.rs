@@ -1,0 +1,195 @@
+//! The Lengauer–Tarjan dominator algorithm (simple variant).
+//!
+//! Kept as an independent construction so the property tests can cross-check
+//! it against both [`crate::DomTree::iterative`] and the brute-force
+//! definition, and so the ablation bench can compare their costs.
+
+use crate::{DiGraph, NodeId};
+
+const NONE: usize = usize::MAX;
+
+/// All per-vertex arrays are indexed by DFS number; `dfsnum` maps graph nodes
+/// to DFS numbers (or [`NONE`] if unreachable).
+struct LtState<'g> {
+    g: &'g DiGraph,
+    dfsnum: Vec<usize>,
+    /// vertex[i] is the node with DFS number i.
+    vertex: Vec<NodeId>,
+    /// DFS tree parent.
+    parent: Vec<usize>,
+    semi: Vec<usize>,
+    /// Union-find forest with path compression for EVAL/LINK.
+    ancestor: Vec<usize>,
+    label: Vec<usize>,
+    /// Buckets of vertices whose semidominator is the indexed vertex.
+    bucket: Vec<Vec<usize>>,
+    idom: Vec<usize>,
+}
+
+impl<'g> LtState<'g> {
+    fn dfs(&mut self, root: NodeId) {
+        let mut stack = vec![(root, NONE)];
+        while let Some((v, p)) = stack.pop() {
+            if self.dfsnum[v.index()] != NONE {
+                continue;
+            }
+            let num = self.vertex.len();
+            self.dfsnum[v.index()] = num;
+            self.vertex.push(v);
+            self.parent.push(p);
+            self.semi.push(num);
+            self.ancestor.push(NONE);
+            self.label.push(num);
+            self.bucket.push(Vec::new());
+            self.idom.push(NONE);
+            for &w in self.g.succs(v).iter().rev() {
+                if self.dfsnum[w.index()] == NONE {
+                    stack.push((w, num));
+                }
+            }
+        }
+    }
+
+    /// EVAL with iterative path compression: returns the vertex with minimal
+    /// semidominator on the forest path from `v`'s root (exclusive) to `v`.
+    fn eval(&mut self, v: usize) -> usize {
+        if self.ancestor[v] == NONE {
+            return self.label[v];
+        }
+        // Collect the path up to (but excluding) the forest root.
+        let mut path = Vec::new();
+        let mut u = v;
+        while self.ancestor[self.ancestor[u]] != NONE {
+            path.push(u);
+            u = self.ancestor[u];
+        }
+        let top = u; // ancestor[top] is the forest root
+        // Compress top-down so each node sees its (already compressed)
+        // parent's best label.
+        for &w in path.iter().rev() {
+            let a = self.ancestor[w];
+            if self.semi[self.label[a]] < self.semi[self.label[w]] {
+                self.label[w] = self.label[a];
+            }
+            self.ancestor[w] = self.ancestor[top];
+        }
+        self.label[v]
+    }
+
+    fn link(&mut self, parent: usize, child: usize) {
+        self.ancestor[child] = parent;
+    }
+}
+
+/// Computes immediate dominators with Lengauer–Tarjan; returns `None` for the
+/// root and unreachable nodes.
+pub(crate) fn lengauer_tarjan_idoms(g: &DiGraph, root: NodeId) -> Vec<Option<NodeId>> {
+    let mut st = LtState {
+        g,
+        dfsnum: vec![NONE; g.len()],
+        vertex: Vec::new(),
+        parent: Vec::new(),
+        semi: Vec::new(),
+        ancestor: Vec::new(),
+        label: Vec::new(),
+        bucket: Vec::new(),
+        idom: Vec::new(),
+    };
+    st.dfs(root);
+    let n = st.vertex.len();
+
+    // Process vertices in reverse DFS order (skipping the root).
+    for w in (1..n).rev() {
+        // Step 2: compute semidominators.
+        let wnode = st.vertex[w];
+        for &vnode in g.preds(wnode) {
+            let v = st.dfsnum[vnode.index()];
+            if v == NONE {
+                continue; // predecessor unreachable from root
+            }
+            let u = st.eval(v);
+            if st.semi[u] < st.semi[w] {
+                st.semi[w] = st.semi[u];
+            }
+        }
+        st.bucket[st.semi[w]].push(w);
+        let p = st.parent[w];
+        st.link(p, w);
+        // Step 3: implicitly define idoms for the parent's bucket.
+        let bucket = std::mem::take(&mut st.bucket[p]);
+        for v in bucket {
+            let u = st.eval(v);
+            st.idom[v] = if st.semi[u] < st.semi[v] { u } else { p };
+        }
+    }
+
+    // Step 4: explicit idoms in DFS order.
+    for w in 1..n {
+        if st.idom[w] != st.semi[w] {
+            st.idom[w] = st.idom[st.idom[w]];
+        }
+    }
+
+    let mut out = vec![None; g.len()];
+    for w in 1..n {
+        out[st.vertex[w].index()] = Some(st.vertex[st.idom[w]]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{dominators_brute_force, DiGraph, DomTree};
+
+    #[test]
+    fn matches_brute_force_on_tricky_graph() {
+        // The example from the Lengauer–Tarjan paper (13 nodes).
+        let names = "RABCDEFGHIJKL";
+        let idx = |c: char| names.find(c).unwrap();
+        let mut g = DiGraph::with_nodes(13);
+        for (a, b) in [
+            ('R', 'A'), ('R', 'B'), ('R', 'C'), ('A', 'D'), ('B', 'A'), ('B', 'D'),
+            ('B', 'E'), ('C', 'F'), ('C', 'G'), ('D', 'L'), ('E', 'H'), ('F', 'I'),
+            ('G', 'I'), ('G', 'J'), ('H', 'E'), ('H', 'K'), ('I', 'K'), ('J', 'I'),
+            ('K', 'I'), ('K', 'R'), ('L', 'H'),
+        ] {
+            g.add_edge(idx(a).into(), idx(b).into());
+        }
+        let lt = DomTree::lengauer_tarjan(&g, 0.into());
+        let brute = dominators_brute_force(&g, 0.into());
+        for n in g.nodes() {
+            assert_eq!(lt.idom(n), brute[n.index()], "idom mismatch at {n:?}");
+        }
+        // Spot-check published answers: idom(K) = R, idom(I) = R, idom(H) = R.
+        assert_eq!(lt.idom(idx('K').into()), Some(0.into()));
+        assert_eq!(lt.idom(idx('I').into()), Some(0.into()));
+        assert_eq!(lt.idom(idx('H').into()), Some(0.into()));
+    }
+
+    #[test]
+    fn regression_cross_edge_semidominators() {
+        // Minimal counterexample found by proptest against an earlier
+        // implementation that conflated DFS numbers with semidominators.
+        let mut g = DiGraph::with_nodes(5);
+        for (a, b) in [(0, 1), (0, 3), (1, 2), (2, 3), (2, 4), (3, 4), (4, 2)] {
+            g.add_edge(a.into(), b.into());
+        }
+        let lt = DomTree::lengauer_tarjan(&g, 0.into());
+        let brute = dominators_brute_force(&g, 0.into());
+        for n in g.nodes() {
+            assert_eq!(lt.idom(n), brute[n.index()], "idom mismatch at {n:?}");
+        }
+    }
+
+    #[test]
+    fn handles_unreachable_predecessors() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(3.into(), 1.into()); // 3 unreachable from 0
+        g.add_edge(1.into(), 2.into());
+        let lt = DomTree::lengauer_tarjan(&g, 0.into());
+        assert_eq!(lt.idom(1.into()), Some(0.into()));
+        assert_eq!(lt.idom(2.into()), Some(1.into()));
+        assert_eq!(lt.idom(3.into()), None);
+    }
+}

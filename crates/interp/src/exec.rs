@@ -1,0 +1,599 @@
+//! The executor: runs full programs and residual slices.
+
+use crate::eval::{eval, State};
+use jumpslice_lang::{CaseGuard, Label, Program, StmtId, StmtKind};
+use std::collections::HashMap;
+
+/// One deterministic program input: the seed of the per-site read streams,
+/// the per-site `eof()` horizon, and a fuel bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Input {
+    /// Seed of every per-site `read` stream.
+    pub seed: u64,
+    /// `eof()` at a given site returns true from its `eof_after`-th call on.
+    pub eof_after: u64,
+    /// Maximum number of statements to execute.
+    pub fuel: u64,
+}
+
+impl Default for Input {
+    fn default() -> Self {
+        Input {
+            seed: 0,
+            eof_after: 3,
+            fuel: 100_000,
+        }
+    }
+}
+
+impl Input {
+    /// A compact family of inputs for the oracle: distinct seeds and small
+    /// varying eof horizons.
+    pub fn family(n: usize) -> Vec<Input> {
+        (0..n as u64)
+            .map(|i| Input {
+                seed: i.wrapping_mul(0x9e37_79b9) ^ 0xabcd,
+                eof_after: i % 5,
+                fuel: 100_000,
+            })
+            .collect()
+    }
+}
+
+/// One executed statement: its id and the interesting value it produced
+/// (assigned/read/written value, branch decision, or scrutinee).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The executed statement.
+    pub stmt: StmtId,
+    /// The value it produced, if any.
+    pub value: Option<i64>,
+}
+
+/// The full record of one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Every executed statement, in order.
+    pub events: Vec<TraceEvent>,
+    /// Values passed to `write` (and non-empty `return`s), in order.
+    pub outputs: Vec<i64>,
+    /// Whether the run stopped because fuel ran out (vs. normal exit).
+    pub fuel_exhausted: bool,
+}
+
+/// Where control goes next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Target {
+    Stmt(StmtId),
+    Exit,
+}
+
+/// Precomputed control flow of one (possibly residual) program.
+#[derive(Clone, Debug)]
+enum Flow {
+    Seq(Target),
+    /// Predicate: true/false successor.
+    Branch(Target, Target),
+    /// Switch: guard values and the default successor.
+    Select(Vec<(i64, Target)>, Target),
+}
+
+/// Runs the complete program on `input`.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_lang::parse;
+/// use jumpslice_interp::{run, Input};
+/// let p = parse("x = 2; y = x * 3; write(y);")?;
+/// let t = run(&p, &Input::default());
+/// assert_eq!(t.outputs, vec![6]);
+/// assert_eq!(t.events.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(prog: &Program, input: &Input) -> Trajectory {
+    run_masked(prog, input, &|_| true, &[])
+}
+
+/// Runs the *residual program* induced by `include` on `input`.
+///
+/// Excluded statements are deleted from their blocks; `goto`s whose label
+/// was re-associated (`moved_labels`, as produced by the slicers) jump to
+/// the new carrier, `None` meaning the exit.
+///
+/// A compound statement with a surviving descendant is kept structurally
+/// (its predicate must run to decide whether the descendant executes), even
+/// if the mask excludes it — mirroring how `print_slice` renders such
+/// residual programs.
+///
+/// # Panics
+///
+/// Panics if an included `goto` targets an excluded label that was not
+/// re-associated. Slices produced by the algorithms in `jumpslice-core`
+/// never trip this.
+pub fn run_masked(
+    prog: &Program,
+    input: &Input,
+    include: &dyn Fn(StmtId) -> bool,
+    moved_labels: &[(Label, Option<StmtId>)],
+) -> Trajectory {
+    let plan = Planner {
+        prog,
+        include,
+        moved: moved_labels.iter().copied().collect(),
+        flow: HashMap::new(),
+    }
+    .plan();
+    execute(prog, input, &plan, &|s| s.index() as u64)
+}
+
+/// Runs the complete program with a custom *site key* for `read`/`eof`
+/// streams. Two programs whose corresponding statements map to equal keys
+/// draw identical input values — how a synthesized slice (fresh statement
+/// ids) replays the original program's inputs.
+pub fn run_with_sites(
+    prog: &Program,
+    input: &Input,
+    site_key: &dyn Fn(StmtId) -> u64,
+) -> Trajectory {
+    let plan = Planner {
+        prog,
+        include: &|_| true,
+        moved: HashMap::new(),
+        flow: HashMap::new(),
+    }
+    .plan();
+    execute(prog, input, &plan, site_key)
+}
+
+struct Plan {
+    entry: Target,
+    flow: HashMap<StmtId, Flow>,
+}
+
+struct Planner<'a> {
+    prog: &'a Program,
+    include: &'a dyn Fn(StmtId) -> bool,
+    moved: HashMap<Label, Option<StmtId>>,
+    flow: HashMap<StmtId, Flow>,
+}
+
+#[derive(Clone, Copy)]
+struct Ctx {
+    break_to: Option<Target>,
+    continue_to: Option<Target>,
+}
+
+impl Planner<'_> {
+    fn plan(mut self) -> Plan {
+        let body: Vec<StmtId> = self.prog.body().to_vec();
+        let ctx = Ctx {
+            break_to: None,
+            continue_to: None,
+        };
+        let entry = self.wire_block(&body, Target::Exit, ctx);
+        Plan {
+            entry,
+            flow: self.flow,
+        }
+    }
+
+    fn included(&self, s: StmtId) -> bool {
+        // A compound statement stays (its predicate must run) whenever any
+        // of its descendants survives — the same structural closure the
+        // pretty-printer applies. Events of such containers are not part of
+        // the slice set, so the projection oracle still ignores them.
+        (self.include)(s) || self.any_descendant_included(s)
+    }
+
+    fn any_descendant_included(&self, s: StmtId) -> bool {
+        let check = |b: &[StmtId]| {
+            b.iter()
+                .any(|&c| (self.include)(c) || self.any_descendant_included(c))
+        };
+        match &self.prog.stmt(s).kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => check(then_branch) || check(else_branch),
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => check(body),
+            StmtKind::Switch { arms, .. } => arms.iter().any(|a| check(&a.body)),
+            _ => false,
+        }
+    }
+
+    /// Where execution of `s` begins (do-while bodies run before their
+    /// predicate).
+    fn first_target(&self, s: StmtId) -> Target {
+        if let StmtKind::DoWhile { body, .. } = &self.prog.stmt(s).kind {
+            if let Some(&f) = body.iter().find(|&&c| self.included(c)) {
+                return self.first_target(f);
+            }
+        }
+        Target::Stmt(s)
+    }
+
+    fn label_target(&self, l: Label) -> Target {
+        let orig = self
+            .prog
+            .label_target(l)
+            .expect("validated labels resolve");
+        if self.included(orig) {
+            return self.first_target(orig);
+        }
+        match self.moved.get(&l) {
+            Some(Some(dest)) => self.first_target(*dest),
+            Some(None) => Target::Exit,
+            None => panic!(
+                "goto target `{}` excluded from the residual program but not re-associated",
+                self.prog.label_str(l)
+            ),
+        }
+    }
+
+    fn wire_block(&mut self, block: &[StmtId], follow: Target, ctx: Ctx) -> Target {
+        let kept: Vec<StmtId> = block.iter().copied().filter(|&s| self.included(s)).collect();
+        let mut next = follow;
+        for &s in kept.iter().rev() {
+            self.wire_stmt(s, next, ctx);
+            next = self.first_target(s);
+        }
+        next
+    }
+
+    fn wire_stmt(&mut self, s: StmtId, follow: Target, ctx: Ctx) {
+        let flow = match &self.prog.stmt(s).kind.clone() {
+            StmtKind::Assign { .. }
+            | StmtKind::Read { .. }
+            | StmtKind::Write { .. }
+            | StmtKind::Skip => Flow::Seq(follow),
+            StmtKind::Goto { target } => Flow::Seq(self.label_target(*target)),
+            StmtKind::CondGoto { target, .. } => Flow::Branch(self.label_target(*target), follow),
+            StmtKind::Break => Flow::Seq(ctx.break_to.expect("break inside breakable")),
+            StmtKind::Continue => Flow::Seq(ctx.continue_to.expect("continue inside loop")),
+            StmtKind::Return { .. } => Flow::Seq(Target::Exit),
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let t = self.wire_block(then_branch, follow, ctx);
+                let e = self.wire_block(else_branch, follow, ctx);
+                Flow::Branch(t, e)
+            }
+            StmtKind::While { body, .. } => {
+                let inner = Ctx {
+                    break_to: Some(follow),
+                    continue_to: Some(Target::Stmt(s)),
+                };
+                let b = self.wire_block(body, Target::Stmt(s), inner);
+                Flow::Branch(b, follow)
+            }
+            StmtKind::DoWhile { body, .. } => {
+                let inner = Ctx {
+                    break_to: Some(follow),
+                    continue_to: Some(Target::Stmt(s)),
+                };
+                let b = self.wire_block(body, Target::Stmt(s), inner);
+                Flow::Branch(b, follow)
+            }
+            StmtKind::Switch { arms, .. } => {
+                let inner = Ctx {
+                    break_to: Some(follow),
+                    continue_to: ctx.continue_to,
+                };
+                let mut entries = vec![follow; arms.len() + 1];
+                for (i, arm) in arms.iter().enumerate().rev() {
+                    entries[i] = self.wire_block(&arm.body, entries[i + 1], inner);
+                }
+                let mut cases = Vec::new();
+                let mut default = follow;
+                for (i, arm) in arms.iter().enumerate() {
+                    for g in &arm.guards {
+                        match g {
+                            CaseGuard::Case(v) => cases.push((*v, entries[i])),
+                            CaseGuard::Default => default = entries[i],
+                        }
+                    }
+                }
+                Flow::Select(cases, default)
+            }
+        };
+        self.flow.insert(s, flow);
+    }
+}
+
+fn execute(
+    prog: &Program,
+    input: &Input,
+    plan: &Plan,
+    site_key: &dyn Fn(StmtId) -> u64,
+) -> Trajectory {
+    let mut state = State::default();
+    let mut traj = Trajectory::default();
+    let mut fuel = input.fuel;
+    let mut cur = plan.entry;
+    loop {
+        let s = match cur {
+            Target::Exit => break,
+            Target::Stmt(s) => s,
+        };
+        if fuel == 0 {
+            traj.fuel_exhausted = true;
+            break;
+        }
+        fuel -= 1;
+        let ev = |prog: &Program, state: &mut State, e| {
+            eval(prog, state, input.seed, input.eof_after, site_key(s), e)
+        };
+        let flow = &plan.flow[&s];
+        let mut value = None;
+        cur = match (&prog.stmt(s).kind, flow) {
+            (StmtKind::Assign { lhs, rhs }, Flow::Seq(n)) => {
+                let v = ev(prog, &mut state, rhs);
+                state.vars.insert(*lhs, v);
+                value = Some(v);
+                *n
+            }
+            (StmtKind::Read { var }, Flow::Seq(n)) => {
+                let v = state.read_value(input.seed, site_key(s));
+                state.vars.insert(*var, v);
+                value = Some(v);
+                *n
+            }
+            (StmtKind::Write { arg }, Flow::Seq(n)) => {
+                let v = ev(prog, &mut state, arg);
+                traj.outputs.push(v);
+                value = Some(v);
+                *n
+            }
+            (StmtKind::Return { value: rv }, Flow::Seq(n)) => {
+                if let Some(e) = rv {
+                    let v = ev(prog, &mut state, e);
+                    traj.outputs.push(v);
+                    value = Some(v);
+                }
+                *n
+            }
+            (
+                StmtKind::If { cond, .. }
+                | StmtKind::While { cond, .. }
+                | StmtKind::DoWhile { cond, .. }
+                | StmtKind::CondGoto { cond, .. },
+                Flow::Branch(t, e),
+            ) => {
+                let c = ev(prog, &mut state, cond) != 0;
+                value = Some(i64::from(c));
+                if c {
+                    *t
+                } else {
+                    *e
+                }
+            }
+            (StmtKind::Switch { scrutinee, .. }, Flow::Select(cases, default)) => {
+                let v = ev(prog, &mut state, scrutinee);
+                value = Some(v);
+                cases
+                    .iter()
+                    .find(|&&(c, _)| c == v)
+                    .map(|&(_, t)| t)
+                    .unwrap_or(*default)
+            }
+            (StmtKind::Skip | StmtKind::Goto { .. } | StmtKind::Break | StmtKind::Continue, Flow::Seq(n)) => *n,
+            (k, f) => unreachable!("statement {k:?} with flow {f:?}"),
+        };
+        traj.events.push(TraceEvent { stmt: s, value });
+    }
+    traj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_lang::parse;
+
+    #[test]
+    fn straight_line_outputs() {
+        let p = parse("x = 2; y = x + 3; write(y); write(x);").unwrap();
+        let t = run(&p, &Input::default());
+        assert_eq!(t.outputs, vec![5, 2]);
+        assert!(!t.fuel_exhausted);
+    }
+
+    #[test]
+    fn if_else_branching() {
+        let p = parse("x = 1; if (x > 0) { write(10); } else { write(20); }").unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![10]);
+        let p = parse("x = -1; if (x > 0) { write(10); } else { write(20); }").unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![20]);
+    }
+
+    #[test]
+    fn while_loop_counts() {
+        let p = parse("i = 0; s = 0; while (i < 4) { s = s + i; i = i + 1; } write(s);").unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![6]);
+    }
+
+    #[test]
+    fn do_while_runs_body_first() {
+        let p = parse("x = 10; do { x = x + 1; } while (x < 5); write(x);").unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![11]);
+    }
+
+    #[test]
+    fn break_continue_semantics() {
+        let p = parse(
+            "i = 0; s = 0;
+             while (i < 10) {
+               i = i + 1;
+               if (i % 2 == 0) continue;
+               if (i > 5) break;
+               s = s + i;
+             }
+             write(s); write(i);",
+        )
+        .unwrap();
+        // Adds odd i in 1..=5: 1+3+5 = 9; breaks at i = 7.
+        assert_eq!(run(&p, &Input::default()).outputs, vec![9, 7]);
+    }
+
+    #[test]
+    fn switch_dispatch_and_fallthrough() {
+        let p = parse(
+            "c = 2;
+             switch (c) {
+               case 1: write(1); break;
+               case 2: write(2);
+               case 3: write(3); break;
+               default: write(99);
+             }
+             write(0);",
+        )
+        .unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![2, 3, 0]);
+        let p = parse("c = 7; switch (c) { case 1: write(1); default: write(99); } write(0);").unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![99, 0]);
+    }
+
+    #[test]
+    fn goto_flow() {
+        let p = parse("x = 1; goto SKIP; x = 2; SKIP: write(x);").unwrap();
+        assert_eq!(run(&p, &Input::default()).outputs, vec![1]);
+    }
+
+    #[test]
+    fn cond_goto_loop() {
+        // Figure 3 style counting loop: 3 iterations via eof horizon.
+        let p = parse(
+            "n = 0;
+             L: if (eof()) goto DONE;
+             n = n + 1;
+             goto L;
+             DONE: write(n);",
+        )
+        .unwrap();
+        let t = run(
+            &p,
+            &Input {
+                eof_after: 3,
+                ..Input::default()
+            },
+        );
+        assert_eq!(t.outputs, vec![3]);
+    }
+
+    #[test]
+    fn return_stops_execution() {
+        let p = parse("write(1); return 42; write(2);").unwrap();
+        let t = run(&p, &Input::default());
+        assert_eq!(t.outputs, vec![1, 42]);
+        assert_eq!(t.events.len(), 2);
+    }
+
+    #[test]
+    fn fuel_exhaustion_reported() {
+        let p = parse("x = 1; while (x) { x = 1; } write(x);").unwrap();
+        let t = run(
+            &p,
+            &Input {
+                fuel: 50,
+                ..Input::default()
+            },
+        );
+        assert!(t.fuel_exhausted);
+        assert!(t.outputs.is_empty());
+        assert_eq!(t.events.len(), 50);
+    }
+
+    #[test]
+    fn reads_are_deterministic_per_input() {
+        let p = parse("read(a); read(b); write(a + b);").unwrap();
+        let i = Input {
+            seed: 7,
+            ..Input::default()
+        };
+        assert_eq!(run(&p, &i), run(&p, &i));
+        let j = Input {
+            seed: 8,
+            ..Input::default()
+        };
+        // Different seeds normally give different traces (holds for 7 vs 8).
+        assert_ne!(run(&p, &i).outputs, run(&p, &j).outputs);
+    }
+
+    #[test]
+    fn masked_run_deletes_statements() {
+        let p = parse("x = 1; x = 2; write(x);").unwrap();
+        let skip = p.at_line(2);
+        let t = run_masked(&p, &Input::default(), &|s| s != skip, &[]);
+        assert_eq!(t.outputs, vec![1], "deleting x = 2 exposes x = 1");
+    }
+
+    #[test]
+    fn masked_goto_with_moved_label() {
+        let p = parse("x = 5; goto L; y = 1; L: z = 2; write(x);").unwrap();
+        // Residual: keep 1, 2, 5; label L moves to write(x).
+        let keep = [p.at_line(1), p.at_line(2), p.at_line(5)];
+        let l = p.label("L").unwrap();
+        let t = run_masked(
+            &p,
+            &Input::default(),
+            &|s| keep.contains(&s),
+            &[(l, Some(p.at_line(5)))],
+        );
+        assert_eq!(t.outputs, vec![5]);
+        assert_eq!(t.events.len(), 3);
+    }
+
+    #[test]
+    fn masked_label_to_exit() {
+        let p = parse("goto L; L: x = 1;").unwrap();
+        let keep = [p.at_line(1)];
+        let l = p.label("L").unwrap();
+        let t = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[(l, None)]);
+        assert_eq!(t.events.len(), 1);
+        assert!(!t.fuel_exhausted);
+    }
+
+    #[test]
+    fn masked_container_auto_included() {
+        // Keeping only a branch statement keeps its guarding if alive: the
+        // predicate still runs (here: x reads as 0 since x = 1 is deleted,
+        // so the branch is not taken and write(y) sees 0).
+        let p = parse("x = 1; if (x > 0) { y = 7; } write(y);").unwrap();
+        let keep = [p.at_line(3), p.at_line(4)];
+        let t = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[]);
+        assert_eq!(t.outputs, vec![0]);
+        // The if executed (auto-included) even though the mask excludes it.
+        assert!(t.events.iter().any(|e| e.stmt == p.at_line(2)));
+        // Its then-branch did not.
+        assert!(!t.events.iter().any(|e| e.stmt == p.at_line(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not re-associated")]
+    fn masked_dangling_label_panics() {
+        let p = parse("goto L; L: x = 1;").unwrap();
+        let keep = [p.at_line(1)];
+        let _ = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[]);
+    }
+
+    #[test]
+    fn masked_empty_loop_body() {
+        let p = parse("i = 0; while (i < 2) { i = i + 1; } write(i);").unwrap();
+        // Excluding the body makes the loop condition permanently true ->
+        // fuel runs out. That is correct deletion semantics.
+        let body = p.at_line(3);
+        let t = run_masked(
+            &p,
+            &Input {
+                fuel: 100,
+                ..Input::default()
+            },
+            &|s| s != body,
+            &[],
+        );
+        assert!(t.fuel_exhausted);
+    }
+}

@@ -1,0 +1,33 @@
+//! A deterministic interpreter for mini-C programs and residual slices,
+//! plus the trajectory-projection oracle used to check slice correctness.
+//!
+//! # Input model
+//!
+//! Weiser-style slice correctness quantifies over inputs. With a single
+//! shared input stream, deleting an *irrelevant* `read` would shift every
+//! later read — an inter-read dependence that the paper's (and every PDG
+//! slicer's) data-dependence model deliberately ignores. This interpreter
+//! therefore gives each `read`/`eof` **call site** its own deterministic
+//! stream: the k-th execution of `read(x)` at statement `s` yields
+//! `mix(seed, s, k)`, and `eof()` at site `s` turns true after its
+//! `eof_after`-th call. Under this model the paper's dependence relations
+//! are exact, so a correct slice must reproduce the original run's events
+//! precisely (see [`check_projection`]).
+//!
+//! # Residual execution
+//!
+//! [`run_masked`] executes the *residual program* induced by a statement
+//! set: excluded statements are deleted from their blocks (so control falls
+//! through them), and `goto`s whose label was re-associated jump to the new
+//! carrier — the exact semantics of the paper's slices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod exec;
+mod oracle;
+
+pub use eval::mix;
+pub use exec::{run, run_masked, run_with_sites, Input, TraceEvent, Trajectory};
+pub use oracle::{check_projection, project, ProjectionMismatch};

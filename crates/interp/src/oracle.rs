@@ -1,0 +1,158 @@
+//! The trajectory-projection oracle.
+//!
+//! A slice is correct (in the Ball–Horwitz sense the paper adopts) when, on
+//! every input, executing the residual program yields exactly the original
+//! execution's trajectory *projected onto the slice's statements* — same
+//! statements, same order, same values. The conventional slicer fails this
+//! on jump programs (Figure 3-b); the paper's algorithms must pass it.
+
+use crate::{run, run_masked, Input, TraceEvent, Trajectory};
+use jumpslice_lang::{Label, Program, StmtId};
+use std::collections::BTreeSet;
+
+/// Projects a trajectory onto a statement set.
+pub fn project(traj: &Trajectory, keep: &BTreeSet<StmtId>) -> Vec<TraceEvent> {
+    traj.events
+        .iter()
+        .copied()
+        .filter(|e| keep.contains(&e.stmt))
+        .collect()
+}
+
+/// A counterexample found by [`check_projection`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProjectionMismatch {
+    /// The offending input.
+    pub input: Input,
+    /// The original run projected onto the slice.
+    pub expected: Vec<TraceEvent>,
+    /// What the residual program actually did.
+    pub actual: Vec<TraceEvent>,
+}
+
+impl std::fmt::Display for ProjectionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "projection mismatch on input {:?}: expected {} events, slice executed {}",
+            self.input,
+            self.expected.len(),
+            self.actual.len()
+        )
+    }
+}
+
+impl std::error::Error for ProjectionMismatch {}
+
+/// Checks the projection property of a slice on a family of inputs.
+///
+/// For each input the full program and the residual program run with the
+/// same fuel; their (projected) event sequences must agree. If either run
+/// exhausts its fuel, the shorter sequence must be a prefix of the longer —
+/// with identical deterministic inputs the property is prefix-closed.
+///
+/// # Errors
+///
+/// Returns the first input whose projected trajectories disagree.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_core::{corpus, Analysis, Criterion, agrawal_slice};
+/// use jumpslice_interp::{check_projection, Input};
+/// let p = corpus::fig3();
+/// let a = Analysis::new(&p);
+/// let s = agrawal_slice(&a, &Criterion::at_stmt(p.at_line(15)));
+/// check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8))?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_projection(
+    prog: &Program,
+    slice: &BTreeSet<StmtId>,
+    moved_labels: &[(Label, Option<StmtId>)],
+    inputs: &[Input],
+) -> Result<(), ProjectionMismatch> {
+    for input in inputs {
+        let full = run(prog, input);
+        let residual = run_masked(prog, input, &|s| slice.contains(&s), moved_labels);
+        let expected = project(&full, slice);
+        // Project the residual run too: structurally auto-included
+        // containers execute but are not slice members.
+        let actual = project(&residual, slice);
+        let ok = if full.fuel_exhausted || residual.fuel_exhausted {
+            let n = expected.len().min(actual.len());
+            expected[..n] == actual[..n]
+        } else {
+            expected == actual
+        };
+        if !ok {
+            return Err(ProjectionMismatch {
+                input: *input,
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_lang::parse;
+
+    #[test]
+    fn identity_slice_always_projects() {
+        let p = parse("read(x); while (x > 0) { x = x - 1; } write(x);").unwrap();
+        let all: BTreeSet<StmtId> = p.stmt_ids().collect();
+        check_projection(&p, &all, &[], &Input::family(6)).unwrap();
+    }
+
+    #[test]
+    fn irrelevant_statement_can_be_dropped() {
+        let p = parse("x = 1; y = 2; write(x);").unwrap();
+        let keep: BTreeSet<StmtId> = [p.at_line(1), p.at_line(3)].into_iter().collect();
+        check_projection(&p, &keep, &[], &Input::family(4)).unwrap();
+    }
+
+    #[test]
+    fn dropping_a_needed_goto_is_detected() {
+        // The crux of the paper: removing the goto breaks the projection.
+        let p = parse(
+            "read(x);
+             if (x > 0) goto POS;
+             y = 0;
+             goto OUT;
+             POS: y = 1;
+             OUT: write(y);",
+        )
+        .unwrap();
+        // Keep everything except the goto on line 4.
+        let bad: BTreeSet<StmtId> = p.stmt_ids().filter(|&s| s != p.at_line(4)).collect();
+        let err = check_projection(&p, &bad, &[], &Input::family(8));
+        assert!(err.is_err(), "missing goto must be caught by the oracle");
+        // Keeping it passes.
+        let good: BTreeSet<StmtId> = p.stmt_ids().collect();
+        check_projection(&p, &good, &[], &Input::family(8)).unwrap();
+    }
+
+    #[test]
+    fn projection_helper_filters() {
+        let p = parse("a = 1; b = 2;").unwrap();
+        let t = run(&p, &Input::default());
+        let keep: BTreeSet<StmtId> = [p.at_line(2)].into_iter().collect();
+        let proj = project(&t, &keep);
+        assert_eq!(proj.len(), 1);
+        assert_eq!(proj[0].stmt, p.at_line(2));
+    }
+
+    #[test]
+    fn mismatch_is_reportable() {
+        let p = parse("x = 1; write(x);").unwrap();
+        let keep: BTreeSet<StmtId> = [p.at_line(2)].into_iter().collect();
+        // Dropping x = 1 changes the written value: mismatch.
+        let err = check_projection(&p, &keep, &[], &[Input::default()]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("projection mismatch"), "{msg}");
+    }
+}

@@ -1,0 +1,53 @@
+//! A tiny string interner shared by variable names, function names, and
+//! labels.
+
+use std::collections::HashMap;
+
+/// Append-only string interner handing out dense `u32` ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Interner {
+    strings: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Interner {
+    pub(crate) fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.to_owned());
+        self.ids.insert(s.to_owned(), id);
+        id
+    }
+
+    pub(crate) fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    pub(crate) fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.strings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::default();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.resolve(a), "x");
+        assert_eq!(i.lookup("y"), Some(b));
+        assert_eq!(i.lookup("z"), None);
+        assert_eq!(i.len(), 2);
+    }
+}

@@ -1,0 +1,669 @@
+//! Recursive-descent parser producing a validated [`Program`].
+
+use crate::ast::*;
+use crate::error::{Error, ErrorKind};
+use crate::lexer::{Lexer, Span, Token, TokenKind};
+use crate::validate::validate;
+
+/// Parses mini-C source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error (undefined or
+/// duplicate labels, `break`/`continue` outside their contexts, duplicate
+/// `case` values).
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_lang::parse;
+/// let p = parse("read(x); if (x > 0) write(x);")?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), jumpslice_lang::Error>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, Error> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prog: Program::default(),
+    };
+    let mut body = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        body.push(p.parse_stmt()?);
+    }
+    p.prog.body = body;
+    validate(&mut p.prog)?;
+    Ok(p.prog)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prog: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        self.tokens
+            .get(self.pos + 1)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Error> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err_expected(&format!("{kind}")))
+        }
+    }
+
+    fn err_expected(&self, expected: &str) -> Error {
+        let t = self.peek();
+        Error::new(
+            ErrorKind::UnexpectedToken {
+                expected: expected.to_owned(),
+                found: t.kind.to_string(),
+            },
+            t.span.line,
+            t.span.col,
+        )
+    }
+
+    fn intern_name(&mut self, s: &str) -> Name {
+        Name(self.prog.names.intern(s))
+    }
+
+    fn intern_label(&mut self, s: &str) -> Label {
+        let l = Label(self.prog.labels.intern(s));
+        if self.prog.label_targets.len() < self.prog.labels.len() {
+            self.prog.label_targets.resize(self.prog.labels.len(), None);
+        }
+        l
+    }
+
+    fn alloc(&mut self, kind: StmtKind, labels: Vec<Label>, span: Span) -> StmtId {
+        let id = StmtId(self.prog.stmts.len() as u32);
+        self.prog.stmts.push(Stmt {
+            kind,
+            labels,
+            line: span.line,
+        });
+        id
+    }
+
+    /// `IDENT ':'` label prefixes of a statement.
+    fn parse_labels(&mut self) -> Vec<Label> {
+        let mut labels = Vec::new();
+        while let TokenKind::Ident(name) = &self.peek().kind {
+            if self.peek2() == &TokenKind::Colon {
+                let name = name.clone();
+                self.bump();
+                self.bump();
+                labels.push(self.intern_label(&name));
+            } else {
+                break;
+            }
+        }
+        labels
+    }
+
+    /// A brace-enclosed block or a single statement.
+    fn parse_block_or_stmt(&mut self) -> Result<Vec<StmtId>, Error> {
+        if self.at(&TokenKind::LBrace) {
+            self.bump();
+            let mut stmts = Vec::new();
+            while !self.at(&TokenKind::RBrace) {
+                if self.at(&TokenKind::Eof) {
+                    return Err(self.err_expected("`}`"));
+                }
+                stmts.push(self.parse_stmt()?);
+            }
+            self.bump();
+            Ok(stmts)
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<StmtId, Error> {
+        let labels = self.parse_labels();
+        let span = self.peek().span;
+        let kind = self.parse_stmt_kind()?;
+        Ok(self.alloc(kind, labels, span))
+    }
+
+    fn parse_stmt_kind(&mut self) -> Result<StmtKind, Error> {
+        match self.peek().kind.clone() {
+            TokenKind::Semi => {
+                self.bump();
+                Ok(StmtKind::Skip)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                self.expect(TokenKind::Assign)?;
+                let rhs = self.parse_expr()?;
+                self.expect(TokenKind::Semi)?;
+                let lhs = self.intern_name(&name);
+                Ok(StmtKind::Assign { lhs, rhs })
+            }
+            TokenKind::KwRead => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let var = match self.peek().kind.clone() {
+                    TokenKind::Ident(v) => {
+                        self.bump();
+                        self.intern_name(&v)
+                    }
+                    _ => return Err(self.err_expected("variable name")),
+                };
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Read { var })
+            }
+            TokenKind::KwWrite => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let arg = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Write { arg })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                // Fuse the exact unbraced `if (c) goto L;` pattern into a
+                // single conditional-jump statement (paper, Figure 4).
+                if self.at(&TokenKind::KwGoto) {
+                    let save = self.pos;
+                    self.bump();
+                    if let TokenKind::Ident(l) = self.peek().kind.clone() {
+                        self.bump();
+                        if self.at(&TokenKind::Semi) {
+                            self.bump();
+                            if !self.at(&TokenKind::KwElse) {
+                                let target = self.intern_label(&l);
+                                return Ok(StmtKind::CondGoto { cond, target });
+                            }
+                        }
+                    }
+                    self.pos = save;
+                }
+                let then_branch = self.parse_block_or_stmt()?;
+                let else_branch = if self.at(&TokenKind::KwElse) {
+                    self.bump();
+                    self.parse_block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.parse_block_or_stmt()?;
+                Ok(StmtKind::While { cond, body })
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = self.parse_block_or_stmt()?;
+                self.expect(TokenKind::KwWhile)?;
+                self.expect(TokenKind::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::DoWhile { body, cond })
+            }
+            TokenKind::KwSwitch => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let scrutinee = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::LBrace)?;
+                let arms = self.parse_switch_arms()?;
+                self.expect(TokenKind::RBrace)?;
+                Ok(StmtKind::Switch { scrutinee, arms })
+            }
+            TokenKind::KwGoto => {
+                self.bump();
+                let target = match self.peek().kind.clone() {
+                    TokenKind::Ident(l) => {
+                        self.bump();
+                        self.intern_label(&l)
+                    }
+                    _ => return Err(self.err_expected("label name")),
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Goto { target })
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Break)
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Continue)
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Return { value })
+            }
+            _ => Err(self.err_expected("a statement")),
+        }
+    }
+
+    fn parse_switch_arms(&mut self) -> Result<Vec<SwitchArm>, Error> {
+        let mut arms = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.err_expected("`}`"));
+            }
+            let mut guards = Vec::new();
+            loop {
+                match &self.peek().kind {
+                    TokenKind::KwCase => {
+                        self.bump();
+                        let neg = if self.at(&TokenKind::Minus) {
+                            self.bump();
+                            true
+                        } else {
+                            false
+                        };
+                        let v = match self.peek().kind.clone() {
+                            TokenKind::Int(v) => {
+                                self.bump();
+                                if neg {
+                                    -v
+                                } else {
+                                    v
+                                }
+                            }
+                            _ => return Err(self.err_expected("case value")),
+                        };
+                        self.expect(TokenKind::Colon)?;
+                        guards.push(CaseGuard::Case(v));
+                    }
+                    TokenKind::KwDefault => {
+                        self.bump();
+                        self.expect(TokenKind::Colon)?;
+                        guards.push(CaseGuard::Default);
+                    }
+                    _ => break,
+                }
+            }
+            if guards.is_empty() {
+                return Err(self.err_expected("`case` or `default`"));
+            }
+            let mut body = Vec::new();
+            while !matches!(
+                self.peek().kind,
+                TokenKind::KwCase | TokenKind::KwDefault | TokenKind::RBrace | TokenKind::Eof
+            ) {
+                body.push(self.parse_stmt()?);
+            }
+            arms.push(SwitchArm { guards, body });
+        }
+        Ok(arms)
+    }
+
+    // ---- Expressions (precedence climbing) ----
+
+    fn parse_expr(&mut self) -> Result<Expr, Error> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.parse_and()?;
+        while self.at(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.parse_equality()?;
+        while self.at(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.parse_equality()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, Error> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, Error> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.at(&TokenKind::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    let f = self.intern_name(&name);
+                    Ok(Expr::Call(f, args))
+                } else {
+                    let v = self.intern_name(&name);
+                    Ok(Expr::Var(v))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            _ => Err(self.err_expected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program() {
+        let p = parse("x = 1; write(x);").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p.stmt(p.body()[0]).kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("x = 1 + 2 * 3 == 7 && 1 < 2;").unwrap();
+        let StmtKind::Assign { rhs, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!()
+        };
+        // (((1 + (2*3)) == 7) && (1 < 2))
+        let Expr::Binary(BinOp::And, l, r) = rhs else {
+            panic!("top is And: {rhs:?}")
+        };
+        assert!(matches!(**l, Expr::Binary(BinOp::Eq, ..)));
+        assert!(matches!(**r, Expr::Binary(BinOp::Lt, ..)));
+    }
+
+    #[test]
+    fn unary_chains() {
+        let p = parse("x = !-y;").unwrap();
+        let StmtKind::Assign { rhs, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!()
+        };
+        let Expr::Unary(UnOp::Not, inner) = rhs else {
+            panic!()
+        };
+        assert!(matches!(**inner, Expr::Unary(UnOp::Neg, _)));
+    }
+
+    #[test]
+    fn cond_goto_fusion() {
+        let p = parse("L: x = 0; if (x > 0) goto L;").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(
+            p.stmt(p.body()[1]).kind,
+            StmtKind::CondGoto { .. }
+        ));
+    }
+
+    #[test]
+    fn cond_goto_not_fused_with_else() {
+        let p = parse("L: x = 0; if (x > 0) goto L; else x = 1;").unwrap();
+        // if + goto + assigns: the else-form must stay a plain If.
+        assert!(matches!(p.stmt(p.body()[1]).kind, StmtKind::If { .. }));
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn braced_goto_not_fused() {
+        let p = parse("L: x = 0; if (x > 0) { goto L; }").unwrap();
+        assert!(matches!(p.stmt(p.body()[1]).kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn labels_attach_to_statements() {
+        let p = parse("L1: L2: x = 0; goto L1; goto L2;").unwrap();
+        let s = p.body()[0];
+        assert_eq!(p.stmt(s).labels.len(), 2);
+        assert_eq!(p.label_target(p.label("L1").unwrap()), Some(s));
+        assert_eq!(p.label_target(p.label("L2").unwrap()), Some(s));
+    }
+
+    #[test]
+    fn switch_with_fallthrough_and_default() {
+        let p = parse(
+            "switch (c) {
+               case 1: case 2: x = 1;
+               case 3: x = 2; break;
+               default: x = 3;
+             }",
+        )
+        .unwrap();
+        let StmtKind::Switch { arms, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].guards.len(), 2);
+        assert_eq!(arms[1].body.len(), 2);
+        assert_eq!(arms[2].guards, vec![CaseGuard::Default]);
+    }
+
+    #[test]
+    fn negative_case_values() {
+        let p = parse("switch (c) { case -5: x = 1; }").unwrap();
+        let StmtKind::Switch { arms, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!()
+        };
+        assert_eq!(arms[0].guards, vec![CaseGuard::Case(-5)]);
+    }
+
+    #[test]
+    fn do_while_parses() {
+        let p = parse("do { x = x + 1; } while (x < 10);").unwrap();
+        assert!(matches!(p.stmt(p.body()[0]).kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn dangling_else_binds_tight() {
+        let p = parse("if (a) if (b) x = 1; else x = 2;").unwrap();
+        let StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &p.stmt(p.body()[0]).kind
+        else {
+            panic!()
+        };
+        assert!(else_branch.is_empty());
+        let StmtKind::If { else_branch, .. } = &p.stmt(then_branch[0]).kind else {
+            panic!()
+        };
+        assert_eq!(else_branch.len(), 1);
+    }
+
+    #[test]
+    fn error_missing_semi() {
+        let err = parse("x = 1").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn error_unclosed_block() {
+        let err = parse("while (1) { x = 1;").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn error_undefined_label() {
+        let err = parse("goto nowhere;").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn error_break_outside() {
+        let err = parse("break;").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BreakOutsideLoop);
+    }
+
+    #[test]
+    fn error_continue_in_switch_only() {
+        let err = parse("switch (c) { case 1: continue; }").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::ContinueOutsideLoop);
+    }
+
+    #[test]
+    fn continue_ok_in_loop_inside_switch() {
+        let p = parse("while (1) { switch (c) { case 1: continue; } }");
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn break_ok_in_switch() {
+        assert!(parse("switch (c) { case 1: break; }").is_ok());
+    }
+
+    #[test]
+    fn call_with_multiple_args() {
+        let p = parse("x = g(a, b + 1, f());").unwrap();
+        let StmtKind::Assign { rhs, .. } = &p.stmt(p.body()[0]).kind else {
+            panic!()
+        };
+        let Expr::Call(_, args) = rhs else { panic!() };
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn empty_program_is_ok() {
+        let p = parse("").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn skip_statement() {
+        let p = parse("L: ; goto L;").unwrap();
+        assert!(matches!(p.stmt(p.body()[0]).kind, StmtKind::Skip));
+    }
+}

@@ -1,0 +1,525 @@
+//! Seeded random program generators for the property tests and benches.
+//!
+//! Two families:
+//!
+//! * [`gen_structured`] — nested `if`/`while`/`do-while`/`switch` with
+//!   `break`/`continue`/`return`: every jump is structured in the paper's
+//!   sense, so Figures 7, 12, and 13 must all behave per §4 on them.
+//! * [`gen_unstructured`] — flat Figure-3/8/10-style goto soup: labeled
+//!   statements, forward `goto`s (including into `if` branches), and
+//!   backward conditional gotos.
+//!
+//! Every generated program is guaranteed to parse-validate, to have every
+//! reachable statement reach the exit (so postdominators exist), and to end
+//! with `write` statements usable as slicing criteria.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jumpslice_lang::{CaseGuard, Expr, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for the generators.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// RNG seed; equal configs generate equal programs.
+    pub seed: u64,
+    /// Approximate number of statements to emit.
+    pub target_stmts: usize,
+    /// Maximum nesting depth (structured generator).
+    pub max_depth: usize,
+    /// Probability of emitting a jump where one is allowed.
+    pub jump_density: f64,
+    /// Number of integer variables in play.
+    pub num_vars: usize,
+    /// Whether the structured generator may emit `do-while` loops.
+    ///
+    /// `do-while` is this workspace's extension beyond the paper's
+    /// language; it preserves the soundness of every algorithm but breaks
+    /// the *precision equivalence* between Figure 7 and Ball–Horwitz (see
+    /// `tests/extension_gaps.rs`), so the equivalence corpus disables it.
+    pub do_while: bool,
+    /// Whether the structured generator may emit `switch` statements.
+    ///
+    /// `switch` fall-through lets an arm statement postdominate the whole
+    /// construct without being anyone's lexical successor, which makes the
+    /// paper's npd ≠ nls test fire conservatively — sound, but coarser
+    /// than Ball–Horwitz (see `tests/extension_gaps.rs`). The equivalence
+    /// corpus disables switches; everything else keeps them.
+    pub switches: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0,
+            target_stmts: 30,
+            max_depth: 3,
+            jump_density: 0.2,
+            num_vars: 4,
+            do_while: true,
+            switches: true,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Convenience: default knobs with a given seed and size.
+    pub fn sized(seed: u64, target_stmts: usize) -> GenConfig {
+        GenConfig {
+            seed,
+            target_stmts,
+            ..GenConfig::default()
+        }
+    }
+}
+
+fn var_name(i: usize) -> String {
+    format!("v{i}")
+}
+
+struct Gen {
+    rng: StdRng,
+    cfg: GenConfig,
+    emitted: usize,
+}
+
+impl Gen {
+    fn new(cfg: &GenConfig) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg: *cfg,
+            emitted: 0,
+        }
+    }
+
+    fn pick_var(&mut self) -> String {
+        var_name(self.rng.gen_range(0..self.cfg.num_vars))
+    }
+
+    fn expr(&mut self, b: &mut ProgramBuilder, depth: usize) -> Expr {
+        let choice = self.rng.gen_range(0..10);
+        match choice {
+            0..=3 => {
+                let v = self.pick_var();
+                b.var(&v)
+            }
+            4..=5 => Expr::num(self.rng.gen_range(-4..5)),
+            6..=8 if depth < 2 => {
+                let l = self.expr(b, depth + 1);
+                let r = self.expr(b, depth + 1);
+                let op = [
+                    jumpslice_lang::BinOp::Add,
+                    jumpslice_lang::BinOp::Sub,
+                    jumpslice_lang::BinOp::Mul,
+                    jumpslice_lang::BinOp::Mod,
+                ][self.rng.gen_range(0..4)];
+                Expr::bin(op, l, r)
+            }
+            9 if depth < 2 => {
+                let f = format!("f{}", self.rng.gen_range(1..4));
+                let arg = self.expr(b, depth + 1);
+                b.call(&f, vec![arg])
+            }
+            _ => {
+                let v = self.pick_var();
+                b.var(&v)
+            }
+        }
+    }
+
+    /// A loop-ish condition: compares a variable against a small constant,
+    /// or tests eof(); generated loops always terminate under the
+    /// interpreter's per-site eof horizon or by fuel.
+    fn cond(&mut self, b: &mut ProgramBuilder, depth: usize) -> Expr {
+        if self.rng.gen_bool(0.3) {
+            Expr::not(b.eof())
+        } else {
+            let l = self.expr(b, depth + 1);
+            let r = Expr::num(self.rng.gen_range(-2..3));
+            let op = [
+                jumpslice_lang::BinOp::Lt,
+                jumpslice_lang::BinOp::Le,
+                jumpslice_lang::BinOp::Eq,
+                jumpslice_lang::BinOp::Ne,
+                jumpslice_lang::BinOp::Gt,
+            ][self.rng.gen_range(0..5)];
+            Expr::bin(op, l, r)
+        }
+    }
+
+    fn simple_stmt(&mut self, b: &mut ProgramBuilder) {
+        self.emitted += 1;
+        match self.rng.gen_range(0..6) {
+            0 => {
+                let v = self.pick_var();
+                b.read(&v);
+            }
+            1 => {
+                let e = self.expr(b, 0);
+                b.write(e);
+            }
+            _ => {
+                let v = self.pick_var();
+                let e = self.expr(b, 0);
+                b.assign(&v, e);
+            }
+        }
+    }
+
+    /// Structured statement list; `in_loop`/`in_breakable` gate jumps.
+    fn structured_block(
+        &mut self,
+        b: &mut ProgramBuilder,
+        depth: usize,
+        budget: usize,
+        in_loop: bool,
+        in_breakable: bool,
+        top_level: bool,
+    ) {
+        let mut remaining = budget.max(1);
+        while remaining > 0 {
+            let r: f64 = self.rng.gen();
+            let jump_ok = (in_loop || in_breakable) && r < self.cfg.jump_density;
+            if jump_ok {
+                self.emitted += 1;
+                if in_loop && self.rng.gen_bool(0.5) {
+                    b.continue_();
+                } else if in_breakable {
+                    b.break_();
+                } else {
+                    b.continue_();
+                }
+                // A jump ends the block: anything after it is dead code,
+                // which we avoid so every statement stays reachable.
+                return;
+            }
+            if depth < self.cfg.max_depth && remaining >= 3 && self.rng.gen_bool(0.4) {
+                let inner = self.rng.gen_range(1..remaining.min(8));
+                remaining -= inner + 1;
+                self.emitted += 1;
+                let max_kind = if self.cfg.switches { 4 } else { 3 };
+                match self.rng.gen_range(0..max_kind) {
+                    0 => {
+                        let c = self.cond(b, 0);
+                        let half = inner / 2;
+                        b.if_else_with(
+                            c,
+                            self,
+                            |g, b2| {
+                                g.structured_block(
+                                    b2,
+                                    depth + 1,
+                                    inner - half,
+                                    in_loop,
+                                    in_breakable,
+                                    false,
+                                )
+                            },
+                            |g, b2| {
+                                if half > 0 {
+                                    g.structured_block(
+                                        b2, depth + 1, half, in_loop, in_breakable, false,
+                                    )
+                                }
+                            },
+                        );
+                    }
+                    1 => {
+                        let c = Expr::not(b.eof());
+                        b.while_(c, |b2| {
+                            self.structured_block(b2, depth + 1, inner, true, true, false)
+                        });
+                    }
+                    2 if self.cfg.do_while => {
+                        let c = Expr::not(b.eof());
+                        b.do_while(
+                            |b2| self.structured_block(b2, depth + 1, inner, true, true, false),
+                            c,
+                        );
+                    }
+                    2 => {
+                        let c = Expr::not(b.eof());
+                        b.while_(c, |b2| {
+                            self.structured_block(b2, depth + 1, inner, true, true, false)
+                        });
+                    }
+                    _ => {
+                        let scrut = self.expr(b, 0);
+                        let arms = self.rng.gen_range(1..4usize);
+                        let with_default = self.rng.gen_bool(0.5);
+                        let per_arm = (inner / (arms + 1)).max(1);
+                        b.switch(scrut, |s| {
+                            for ai in 0..arms {
+                                s.arm(&[CaseGuard::Case(ai as i64)], |b2| {
+                                    self.structured_block(
+                                        b2, depth + 1, per_arm, in_loop, true, false,
+                                    );
+                                    if self.rng.gen_bool(0.7) {
+                                        self.emitted += 1;
+                                        b2.break_();
+                                    }
+                                });
+                            }
+                            if with_default {
+                                s.default(|b2| {
+                                    self.structured_block(
+                                        b2, depth + 1, per_arm, in_loop, true, false,
+                                    )
+                                });
+                            }
+                        });
+                    }
+                }
+                continue;
+            }
+            self.simple_stmt(b);
+            remaining -= 1;
+        }
+        let _ = top_level;
+    }
+}
+
+/// Generates a structured program: nested control flow with
+/// `break`/`continue` but no `goto`s.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_progen::{gen_structured, GenConfig};
+/// let p = gen_structured(&GenConfig::sized(1, 40));
+/// assert!(p.len() >= 20);
+/// // Determinism: same config, same program.
+/// assert_eq!(p, gen_structured(&GenConfig::sized(1, 40)));
+/// ```
+pub fn gen_structured(cfg: &GenConfig) -> Program {
+    let mut g = Gen::new(cfg);
+    let mut b = ProgramBuilder::new();
+    // Initialize every variable so slices have definite data sources.
+    for i in 0..cfg.num_vars {
+        b.read(&var_name(i));
+    }
+    g.structured_block(
+        &mut b,
+        0,
+        cfg.target_stmts.saturating_sub(cfg.num_vars * 2),
+        false,
+        false,
+        true,
+    );
+    for i in 0..cfg.num_vars {
+        let v = b.var(&var_name(i));
+        b.write(v);
+    }
+    b.build().expect("structured generator emits valid programs")
+}
+
+/// Generates a flat unstructured program in the style of the paper's
+/// Figures 3, 8, and 10: labeled statements, conditional gotos (forward and
+/// backward), unconditional forward gotos, and `if` blocks that jumps may
+/// enter or leave.
+///
+/// Structural liveness (every reachable statement reaches the exit) is
+/// enforced by construction for backward jumps (they are conditional, so
+/// the fall-through path survives) and re-checked by the caller-visible
+/// contract below.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_progen::{gen_unstructured, GenConfig};
+/// use jumpslice_cfg::Cfg;
+/// let p = gen_unstructured(&GenConfig::sized(3, 30));
+/// assert!(Cfg::build(&p).all_reach_exit());
+/// ```
+pub fn gen_unstructured(cfg: &GenConfig) -> Program {
+    for attempt in 0..256 {
+        let p = try_gen_unstructured(&GenConfig {
+            seed: cfg.seed.wrapping_add(attempt * 0x9e37),
+            ..*cfg
+        });
+        let c = jumpslice_cfg::Cfg::build(&p);
+        // Require a *fully live* program: every statement reachable from
+        // the entry and able to reach the exit. Dead code makes slicing
+        // criteria degenerate (the paper assumes live criteria throughout);
+        // about a third of raw draws qualify, so the bounded retry
+        // practically always succeeds.
+        let live = c.reachable();
+        if c.all_reach_exit() && p.stmt_ids().all(|s| live[c.node(s).index()]) {
+            return p;
+        }
+    }
+    panic!("no fully-live draw in 256 attempts; loosen jump_density");
+}
+
+fn try_gen_unstructured(cfg: &GenConfig) -> Program {
+    let mut g = Gen::new(cfg);
+    let mut b = ProgramBuilder::new();
+    for i in 0..cfg.num_vars {
+        b.read(&var_name(i));
+    }
+
+    // Plan: a sequence of "slots". Every slot gets a label; gotos pick
+    // random label targets subject to the direction rules.
+    let n_slots = cfg.target_stmts.max(6);
+    let label_of = |i: usize| format!("L{i}");
+
+    let mut i = 0usize;
+    while i < n_slots {
+        b.label(&label_of(i));
+        let r: f64 = g.rng.gen();
+        if r < cfg.jump_density && i + 1 < n_slots {
+            if g.rng.gen_bool(0.5) {
+                // Unconditional forward goto (skips a random distance).
+                // Mostly wrapped in an `if` — a braced `if (c) { goto L; }`
+                // stays an If node plus a separate Goto node (only the
+                // parser's unbraced form fuses), so this exercises gotos
+                // that are directly control dependent on a predicate while
+                // keeping the next slot reachable through the false edge.
+                // Bare gotos (30%) can strand the following slot; the
+                // fully-live retry below rejects those draws.
+                let tgt = g.rng.gen_range(i + 1..n_slots + 1);
+                let name = if tgt == n_slots {
+                    "LEND".to_owned()
+                } else {
+                    label_of(tgt)
+                };
+                if g.rng.gen_bool(0.7) {
+                    let c = g.cond(&mut b, 0);
+                    g.emitted += 2;
+                    b.if_then(c, |b2| {
+                        b2.goto(&name);
+                    });
+                } else {
+                    // Bare goto, preceded by a conditional goto to the next
+                    // slot so the fall-through region stays reachable — the
+                    // exact idiom of the paper's Figure 3
+                    // (`if (x > 0) goto L8; ... goto L13;`).
+                    let next = if i + 1 == n_slots {
+                        "LEND".to_owned()
+                    } else {
+                        label_of(i + 1)
+                    };
+                    let c = g.cond(&mut b, 0);
+                    g.emitted += 2;
+                    b.cond_goto(c, &next);
+                    b.goto(&name);
+                }
+            } else {
+                // Conditional goto, forward or backward.
+                let c = g.cond(&mut b, 0);
+                let back = g.rng.gen_bool(0.4) && i > 0;
+                let tgt = if back {
+                    g.rng.gen_range(0..i)
+                } else {
+                    g.rng.gen_range(i + 1..n_slots + 1)
+                };
+                let name = if tgt == n_slots {
+                    "LEND".to_owned()
+                } else {
+                    label_of(tgt)
+                };
+                g.emitted += 1;
+                b.cond_goto(c, &name);
+            }
+        } else if r < cfg.jump_density + 0.15 && i + 3 < n_slots {
+            // An if block with interior labels — forward gotos from outside
+            // may jump into it (Figure 10 style).
+            let c = g.cond(&mut b, 0);
+            let body = g.rng.gen_range(1..3usize);
+            let start = i + 1;
+            b.if_then(c, |b2| {
+                for k in 0..body {
+                    b2.label(&label_of(start + k));
+                    g.simple_stmt(b2);
+                }
+            });
+            i += body;
+        } else {
+            g.simple_stmt(&mut b);
+        }
+        i += 1;
+    }
+
+    b.label("LEND");
+    for i in 0..cfg.num_vars {
+        let v = b.var(&var_name(i));
+        b.write(v);
+    }
+    b.build().expect("unstructured generator emits valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_cfg::Cfg;
+
+    #[test]
+    fn structured_generator_is_deterministic_and_valid() {
+        for seed in 0..20 {
+            let cfg = GenConfig::sized(seed, 40);
+            let p = gen_structured(&cfg);
+            assert_eq!(p, gen_structured(&cfg), "seed {seed} not deterministic");
+            let c = Cfg::build(&p);
+            assert!(c.all_reach_exit(), "seed {seed} has an infinite loop");
+            assert!(p.len() >= 10, "seed {seed} too small: {}", p.len());
+        }
+    }
+
+    #[test]
+    fn structured_programs_have_structured_jumps_only() {
+        use jumpslice_lang::StmtKind;
+        for seed in 0..20 {
+            let p = gen_structured(&GenConfig::sized(seed, 50));
+            for s in p.stmt_ids() {
+                assert!(
+                    !matches!(
+                        p.stmt(s).kind,
+                        StmtKind::Goto { .. } | StmtKind::CondGoto { .. }
+                    ),
+                    "structured generator must not emit gotos"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unstructured_generator_reaches_exit_and_has_gotos() {
+        use jumpslice_lang::StmtKind;
+        let mut any_goto = 0;
+        for seed in 0..20 {
+            let p = gen_unstructured(&GenConfig::sized(seed, 30));
+            assert!(Cfg::build(&p).all_reach_exit(), "seed {seed}");
+            any_goto += p
+                .stmt_ids()
+                .filter(|&s| {
+                    matches!(
+                        p.stmt(s).kind,
+                        StmtKind::Goto { .. } | StmtKind::CondGoto { .. }
+                    )
+                })
+                .count();
+        }
+        assert!(any_goto > 10, "generator should emit plenty of gotos");
+    }
+
+    #[test]
+    fn generated_programs_end_with_writes() {
+        use jumpslice_lang::StmtKind;
+        for p in [
+            gen_structured(&GenConfig::sized(7, 30)),
+            gen_unstructured(&GenConfig::sized(7, 30)),
+        ] {
+            let last = *p.body().last().unwrap();
+            assert!(matches!(p.stmt(last).kind, StmtKind::Write { .. }));
+        }
+    }
+
+    #[test]
+    fn sizes_scale_with_target() {
+        let small = gen_structured(&GenConfig::sized(5, 20)).len();
+        let large = gen_structured(&GenConfig::sized(5, 200)).len();
+        assert!(large > small * 3, "{small} vs {large}");
+    }
+}

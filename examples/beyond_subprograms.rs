@@ -1,0 +1,62 @@
+//! Beyond subprogram slices: the two §5 alternatives this workspace also
+//! implements.
+//!
+//! 1. **Choi–Ferrante synthesized slices** — executable slices built from
+//!    *fresh* jump statements instead of the program's own, which can be
+//!    smaller than any subprogram slice (paper §5).
+//! 2. **Dynamic slicing** — the paper's §1 debugging motivation ([1]): keep
+//!    only what affected the criterion on *this* run.
+//!
+//! Run with `cargo run --example beyond_subprograms`.
+
+use jumpslice::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = corpus::fig3();
+    let analysis = Analysis::new(&program);
+    let criterion = Criterion::at_stmt(program.at_line(15));
+
+    println!("Original (Figure 3-a):\n{}", print_program(&program));
+
+    // The paper's subprogram slice.
+    let fig7 = agrawal_slice(&analysis, &criterion);
+    println!(
+        "Figure 7 subprogram slice — {} statements, lines {:?}:\n{}",
+        fig7.len(),
+        fig7.lines(&program),
+        fig7.render(&program)
+    );
+
+    // Choi–Ferrante: same behavior, fresh jumps, fewer original statements.
+    let synth = synthesize_slice(&analysis, &criterion)?;
+    println!(
+        "Choi–Ferrante synthesized slice — {} original statements (vs {}), flat form:\n{}",
+        synth.stmts.len(),
+        fig7.len(),
+        print_program(&synth.program)
+    );
+    assert!(synth.stmts.len() < fig7.len());
+
+    // Dynamic slicing: one concrete run, often smaller still.
+    let input = Input {
+        seed: 3,
+        eof_after: 4,
+        ..Input::default()
+    };
+    let dynamic = dynamic_slice(&program, &input, &DynCriterion::last(program.at_line(15)));
+    let mut dyn_lines: Vec<usize> = dynamic.stmts.iter().map(|&s| program.line_of(s)).collect();
+    dyn_lines.sort_unstable();
+    println!(
+        "Dynamic slice of the same write on one run (seed 3): lines {dyn_lines:?} \
+         ({} events collapsed onto {} statements)",
+        dynamic.events.len(),
+        dynamic.stmts.len()
+    );
+
+    // The containment chain the theory promises.
+    let conventional = conventional_slice(&analysis, &criterion);
+    assert!(dynamic.stmts.is_subset(&conventional.stmts));
+    assert!(conventional.subset_of(&fig7));
+    println!("\ncontainment verified: dynamic ⊆ conventional ⊆ Figure 7 ✓");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! A debugging scenario — the paper's §1 motivation ("program slices have
+//! applications in ... debugging").
+//!
+//! A report comes in: the `failures` counter printed at the end of a batch
+//! job is wrong. The program is a few dozen lines of early-exit-heavy code;
+//! slicing on the bad output throws away everything that cannot have
+//! contributed, and doing it with jump-aware slicing keeps the early exits
+//! that a conventional slicer would silently drop.
+//!
+//! Run with `cargo run --example debugging_session`.
+
+use jumpslice::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse(
+        "total = 0;
+         failures = 0;
+         retries = 0;
+         while (!eof()) {
+           read(status);
+           total = total + 1;
+           if (status == 0)
+             continue;
+           if (status < 0) {
+             retries = retries + 1;
+             continue;
+           }
+           failures = failures + 1;
+         }
+         write(total);
+         write(retries);
+         write(failures);",
+    )?;
+    let analysis = Analysis::new(&program);
+
+    // The bad observable: write(failures), the last statement.
+    let bad_output = program.at_line(15);
+    assert_eq!(
+        program.line_of(bad_output),
+        15,
+        "write(failures) is line 15 in lexical numbering"
+    );
+    let criterion = Criterion::at_stmt(bad_output);
+
+    println!("Full program ({} statements):", program.len());
+    println!("{}", print_program(&program));
+
+    let slice = agrawal_slice(&analysis, &criterion);
+    println!(
+        "Slice on the bad `failures` output — {} of {} statements left to inspect:",
+        slice.len(),
+        program.len()
+    );
+    println!("{}", slice.render(&program));
+
+    // The slice keeps the `continue` on line 8 — on a zero status, control
+    // must skip the failure count. A conventional slicer drops it, which
+    // would send the debugger hunting through a residual program that
+    // counts every record as a failure.
+    let continue_stmt = program.at_line(8);
+    assert!(slice.contains(continue_stmt));
+    let conv = conventional_slice(&analysis, &criterion);
+    assert!(!conv.contains(continue_stmt));
+    println!("jump-aware slice keeps the early `continue` — the conventional one loses it\n");
+
+    // `retries` bookkeeping is provably irrelevant to the bad output and
+    // disappears (the guarding if stays: its continue reroutes control).
+    assert!(!slice.contains(program.at_line(10)));
+    println!("irrelevant bookkeeping (retries) eliminated: inspect {} statements instead of {}",
+        slice.len(), program.len());
+
+    // And the residual program really does reproduce the failure behavior:
+    for input in Input::family(5) {
+        let full = run(&program, &input);
+        let masked = run_masked(
+            &program,
+            &input,
+            &|s| slice.contains(s),
+            &slice.moved_labels,
+        );
+        // write(failures) is the only write in the slice.
+        assert_eq!(full.outputs.last(), masked.outputs.last());
+    }
+    println!("residual program reproduces the buggy output on every test input ✓");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Weiser-style ⟨location, variable-set⟩ criteria: the general
+//! [`Criterion::vars_at`] form, combined with each slicing algorithm.
+
+use jumpslice::prelude::*;
+use jumpslice_core::corpus;
+
+#[test]
+fn vars_at_matches_statement_criterion_on_writes() {
+    // For `write(v)` the statement criterion and the ⟨write, {v}⟩ criterion
+    // agree except for the write itself (and the predicates guarding only
+    // it): the paper slices by statement, Weiser by variables.
+    let p = corpus::fig1();
+    let a = Analysis::new(&p);
+    let v = p.name("positives").unwrap();
+    let by_stmt = conventional_slice(&a, &Criterion::at_stmt(p.at_line(12)));
+    let by_vars = conventional_slice(&a, &Criterion::vars_at(p.at_line(12), vec![v]));
+    let mut expect = by_stmt.stmts.clone();
+    expect.remove(&p.at_line(12));
+    assert_eq!(by_vars.stmts, expect);
+}
+
+#[test]
+fn multi_variable_criterion_unions_sources() {
+    let p = parse(
+        "read(a);
+         read(b);
+         x = a + 1;
+         y = b + 1;
+         z = 0;
+         write(0);",
+    )
+    .unwrap();
+    let an = Analysis::new(&p);
+    let (x, y) = (p.name("x").unwrap(), p.name("y").unwrap());
+    let crit = Criterion::vars_at(p.at_line(6), vec![x, y]);
+    let s = conventional_slice(&an, &crit);
+    assert_eq!(s.lines(&p), vec![1, 2, 3, 4], "z = 0 is not a source");
+}
+
+#[test]
+fn vars_at_with_jump_repair_passes_oracle() {
+    // Slicing fig3 on the *variable* positives at the final write: the
+    // repaired slice must still replay (the criterion statement itself need
+    // not be in the slice, so project on the slice set only).
+    let p = corpus::fig3();
+    let a = Analysis::new(&p);
+    let v = p.name("positives").unwrap();
+    let crit = Criterion::vars_at(p.at_line(15), vec![v]);
+    let s = agrawal_slice(&a, &crit);
+    // Same repair as the statement criterion, minus the write.
+    assert_eq!(s.lines(&p), vec![2, 3, 4, 5, 7, 8, 13]);
+    check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).unwrap();
+}
+
+#[test]
+fn variable_not_flowing_to_location_gives_empty_slice() {
+    let p = parse("x = 1; L: write(9); y = x;").unwrap();
+    let a = Analysis::new(&p);
+    let y = p.name("y").unwrap();
+    // No definition of y reaches line 2.
+    let s = conventional_slice(&a, &Criterion::vars_at(p.at_line(2), vec![y]));
+    assert!(s.is_empty());
+}
+
+#[test]
+fn criterion_at_predicate_statement() {
+    // Slicing on a predicate keeps what decides it, not what it guards.
+    let p = corpus::fig1();
+    let a = Analysis::new(&p);
+    let s = agrawal_slice(&a, &Criterion::at_stmt(p.at_line(8)));
+    // Line 8 is `if (x % 2 == 0)`: needs x (line 4), its guards (5, 3).
+    assert_eq!(s.lines(&p), vec![3, 4, 5, 8]);
+}

@@ -1,0 +1,255 @@
+//! End-to-end reproduction of every figure in the paper's evaluation,
+//! asserted through the public facade (see DESIGN.md §3 for the index).
+
+use jumpslice::prelude::*;
+use jumpslice_core::corpus;
+
+fn lines(p: &Program, s: &Slice) -> Vec<usize> {
+    s.lines(p)
+}
+
+/// Figures 1/2: the jump-free example and its conventional slice.
+#[test]
+fn fig1_conventional_slice() {
+    let p = corpus::fig1();
+    let a = Analysis::new(&p);
+    let s = conventional_slice(&a, &Criterion::at_stmt(p.at_line(12)));
+    assert_eq!(lines(&p, &s), vec![2, 3, 4, 5, 7, 12]);
+    // Without jumps, every algorithm agrees (the paper's premise that the
+    // conventional algorithm is fine for jump-free programs).
+    for s2 in [
+        agrawal_slice(&a, &Criterion::at_stmt(p.at_line(12))),
+        structured_slice(&a, &Criterion::at_stmt(p.at_line(12))),
+        conservative_slice(&a, &Criterion::at_stmt(p.at_line(12))),
+        ball_horwitz_slice(&a, &Criterion::at_stmt(p.at_line(12))),
+    ] {
+        assert_eq!(s.stmts, s2.stmts);
+    }
+}
+
+/// Figure 2: the four graphs of Figure 1-a have the shapes the paper draws.
+#[test]
+fn fig2_graph_shapes() {
+    let p = corpus::fig1();
+    let cfg = jumpslice::cfg::Cfg::build(&p);
+    let pdg = jumpslice::pdg::Pdg::build(&p, &cfg);
+    // 2-b data dependence: 12 <- {2, 7}; 11 <- {1, 6, 9, 10}.
+    let deps = |l: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = pdg
+            .data()
+            .deps(p.at_line(l))
+            .iter()
+            .map(|&s| p.line_of(s))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(deps(12), vec![2, 7]);
+    assert_eq!(deps(11), vec![1, 6, 9, 10]);
+    // 2-c control dependence: 4,5 on 3; 6,7,8 on 5; 9,10 on 8.
+    let cd = |l: usize| -> Vec<usize> {
+        pdg.control()
+            .deps(p.at_line(l))
+            .iter()
+            .map(|&s| p.line_of(s))
+            .collect()
+    };
+    assert_eq!(cd(4), vec![3]);
+    assert_eq!(cd(6), vec![5]);
+    assert_eq!(cd(9), vec![8]);
+    // Node 0 (entry) controls the top level: 1, 2, 3, 11, 12.
+    let top: Vec<usize> = pdg
+        .control()
+        .entry_controlled()
+        .iter()
+        .map(|&s| p.line_of(s))
+        .collect();
+    assert_eq!(top, vec![1, 2, 3, 11, 12]);
+}
+
+/// Figure 3: conventional (incorrect) vs. the paper's slice.
+#[test]
+fn fig3_slices() {
+    let p = corpus::fig3();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(15));
+    assert_eq!(
+        lines(&p, &conventional_slice(&a, &crit)),
+        vec![2, 3, 4, 5, 8, 15],
+        "Figure 3-b"
+    );
+    let s = agrawal_slice(&a, &crit);
+    assert_eq!(lines(&p, &s), vec![2, 3, 4, 5, 7, 8, 13, 15], "Figure 3-c");
+    assert_eq!(s.traversals, 1);
+    // Rendered slice carries the re-associated L14 on write(positives).
+    let text = s.render(&p);
+    assert!(text.contains("L14: write(positives);"), "{text}");
+}
+
+/// Figure 4: postdominator tree and LST facts the walkthrough quotes.
+#[test]
+fn fig4_graph_facts() {
+    let p = corpus::fig3();
+    let a = Analysis::new(&p);
+    let cfg = a.cfg();
+    let pdom = a.pdom();
+    let node = |l: usize| cfg.node(p.at_line(l));
+    // "nodes 3 and 15 are the nearest postdominator and the nearest lexical
+    // successor ... of node 13 in the slice" — structurally: ipdom(13)=3.
+    assert_eq!(pdom.idom(node(13)), Some(node(3)));
+    assert_eq!(pdom.idom(node(7)), Some(node(13)));
+    assert_eq!(pdom.idom(node(11)), Some(node(13)));
+    assert_eq!(pdom.idom(node(3)), Some(node(14)));
+    // LST of the flat program is the lexical chain.
+    assert_eq!(a.lst().immediate(p.at_line(13)), Some(p.at_line(14)));
+}
+
+/// Figure 5: the continue version.
+#[test]
+fn fig5_slices() {
+    let p = corpus::fig5();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(14));
+    assert_eq!(
+        lines(&p, &conventional_slice(&a, &crit)),
+        vec![2, 3, 4, 5, 8, 14],
+        "Figure 5-b"
+    );
+    let s = agrawal_slice(&a, &crit);
+    assert_eq!(lines(&p, &s), vec![2, 3, 4, 5, 7, 8, 14], "Figure 5-c");
+    // The residual program renders with the kept continue inside the if.
+    let text = s.render(&p);
+    assert!(text.contains("continue;"), "{text}");
+}
+
+/// Figure 8: direct-goto version; jumps 7, 11, 13 and predicate 9 join.
+#[test]
+fn fig8_slices() {
+    let p = corpus::fig8();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(15));
+    assert_eq!(
+        lines(&p, &conventional_slice(&a, &crit)),
+        vec![2, 3, 4, 5, 8, 15],
+        "Figure 8-b"
+    );
+    let s = agrawal_slice(&a, &crit);
+    assert_eq!(
+        lines(&p, &s),
+        vec![2, 3, 4, 5, 7, 8, 9, 11, 13, 15],
+        "Figure 8-c"
+    );
+    assert_eq!(s.traversals, 1, "single traversal suffices (§3)");
+}
+
+/// Figure 10: the program that needs two traversals.
+#[test]
+fn fig10_two_traversals() {
+    let p = corpus::fig10();
+    let a = Analysis::new(&p);
+    let s = agrawal_slice(&a, &Criterion::at_stmt(p.at_line(9)));
+    assert_eq!(lines(&p, &s), vec![1, 2, 3, 4, 7, 9], "Figure 10-b");
+    assert_eq!(s.traversals, 2, "§3: node 4 joins in the second traversal");
+}
+
+/// Figure 11: the pdom/lexsucc pair (4, 7) driving the two traversals.
+#[test]
+fn fig11_pair_facts() {
+    let p = corpus::fig10();
+    let a = Analysis::new(&p);
+    let pdom = a.pdom();
+    let n4 = a.cfg().node(p.at_line(4));
+    let n7 = a.cfg().node(p.at_line(7));
+    assert!(pdom.dominates(n4, n7), "node 4 postdominates node 7");
+    assert!(
+        a.lst().is_successor(p.at_line(7), p.at_line(4)),
+        "node 7 lexically succeeds node 4"
+    );
+}
+
+/// Figures 12/13/14: the structured-program algorithms and their gap.
+#[test]
+fn fig14_structured_vs_conservative() {
+    let p = corpus::fig14();
+    let a = Analysis::new(&p);
+    assert!(is_structured(&a));
+    let crit = Criterion::at_stmt(p.at_line(9));
+    let fig12 = structured_slice(&a, &crit);
+    let fig13 = conservative_slice(&a, &crit);
+    assert_eq!(lines(&p, &fig12), vec![1, 3, 4, 9], "Figure 14-b");
+    assert_eq!(lines(&p, &fig13), vec![1, 3, 4, 5, 7, 9], "Figure 14-c");
+    assert!(fig12.subset_of(&fig13));
+    // And both agree with the general algorithm where the paper proves they
+    // must (Figure 12 == Figure 7 on structured programs).
+    assert_eq!(fig12.stmts, agrawal_slice(&a, &crit).stmts);
+}
+
+/// Figure 16: correct slice with label L6 re-associated.
+#[test]
+fn fig16_label_reassociation() {
+    let p = corpus::fig16();
+    let a = Analysis::new(&p);
+    let s = agrawal_slice(&a, &Criterion::at_stmt(p.at_line(10)));
+    assert_eq!(lines(&p, &s), vec![1, 2, 3, 4, 5, 10], "Figure 16-c");
+    let l6 = p.label("L6").unwrap();
+    assert_eq!(s.moved_labels, vec![(l6, Some(p.at_line(10)))]);
+    let text = s.render(&p);
+    assert!(text.contains("L6: L10: write(y);"), "{text}");
+    assert!(!text.contains("g2"), "z = g2(y) must not survive");
+}
+
+/// The figure programs round-trip through the printer.
+#[test]
+fn corpus_print_parse_roundtrip() {
+    for (name, p, _) in corpus::all() {
+        let text = print_program(&p);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+        assert_eq!(
+            p.lexical_order().len(),
+            p2.lexical_order().len(),
+            "{name} changed shape:\n{text}"
+        );
+    }
+}
+
+/// Every slice of every figure program, by every correct algorithm, passes
+/// the projection oracle.
+#[test]
+fn corpus_slices_pass_projection_oracle() {
+    let inputs = Input::family(10);
+    for (name, p, line) in corpus::all() {
+        let a = Analysis::new(&p);
+        let crit = Criterion::at_stmt(p.at_line(line));
+        let mut slices = vec![
+            ("fig7", agrawal_slice(&a, &crit)),
+            ("ball-horwitz", ball_horwitz_slice(&a, &crit)),
+        ];
+        if is_structured(&a) {
+            slices.push(("fig12", structured_slice(&a, &crit)));
+            slices.push(("fig13", conservative_slice(&a, &crit)));
+        }
+        for (alg, s) in slices {
+            check_projection(&p, &s.stmts, &s.moved_labels, &inputs)
+                .unwrap_or_else(|e| panic!("{name}/{alg}: {e}"));
+        }
+    }
+}
+
+/// The conventional slice is genuinely *wrong* on the jump programs — the
+/// paper's motivating claim, witnessed by the oracle.
+#[test]
+fn conventional_fails_projection_on_jump_programs() {
+    let inputs = Input::family(10);
+    for (name, p, line) in corpus::all() {
+        if name == "fig1" || name == "fig14" {
+            continue; // no unconditional jumps on the relevant paths
+        }
+        let a = Analysis::new(&p);
+        let s = conventional_slice(&a, &Criterion::at_stmt(p.at_line(line)));
+        let res = check_projection(&p, &s.stmts, &s.moved_labels, &inputs);
+        assert!(
+            res.is_err(),
+            "{name}: conventional slice unexpectedly passed the oracle"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Semantic soundness of the slicing algorithms, checked by executing
+//! residual programs against the trajectory-projection oracle (DESIGN.md
+//! §4.3, §6).
+
+use jumpslice::prelude::*;
+use proptest::prelude::*;
+
+/// Reachable write statements — slicing criteria must be live code: a slice
+/// "with respect to" a statement that can never execute is degenerate (the
+/// paper implicitly assumes reachable criteria throughout).
+fn writes(p: &Program) -> Vec<StmtId> {
+    let a = Analysis::new(p);
+    p.stmt_ids()
+        .filter(|&s| {
+            matches!(p.stmt(s).kind, jumpslice::lang::StmtKind::Write { .. }) && a.is_live(s)
+        })
+        .collect()
+}
+
+fn check(p: &Program, s: &Slice, inputs: &[Input], what: &str) -> Result<(), TestCaseError> {
+    check_projection(p, &s.stmts, &s.moved_labels, inputs)
+        .map_err(|e| TestCaseError::fail(format!("{what}: {e}")))
+}
+
+fn arb_structured() -> impl Strategy<Value = Program> {
+    (0u64..300, 15usize..50).prop_map(|(seed, size)| gen_structured(&GenConfig::sized(seed, size)))
+}
+
+fn arb_unstructured() -> impl Strategy<Value = Program> {
+    (0u64..300, 10usize..35).prop_map(|(seed, size)| {
+        gen_unstructured(&GenConfig {
+            jump_density: 0.3,
+            ..GenConfig::sized(seed, size)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fig7_slices_are_sound_on_structured(p in arb_structured()) {
+        let a = Analysis::new(&p);
+        let inputs = Input::family(5);
+        for c in writes(&p).into_iter().take(4) {
+            let s = agrawal_slice(&a, &Criterion::at_stmt(c));
+            check(&p, &s, &inputs, "fig7")?;
+        }
+    }
+
+    #[test]
+    fn fig7_slices_are_sound_on_unstructured(p in arb_unstructured()) {
+        let a = Analysis::new(&p);
+        let inputs = Input::family(5);
+        for c in writes(&p).into_iter().take(4) {
+            let s = agrawal_slice(&a, &Criterion::at_stmt(c));
+            check(&p, &s, &inputs, "fig7")?;
+        }
+    }
+
+    #[test]
+    fn fig12_and_fig13_are_sound_on_structured(p in arb_structured()) {
+        let a = Analysis::new(&p);
+        prop_assert!(is_structured(&a));
+        let inputs = Input::family(5);
+        for c in writes(&p).into_iter().take(3) {
+            let crit = Criterion::at_stmt(c);
+            check(&p, &structured_slice(&a, &crit), &inputs, "fig12")?;
+            check(&p, &conservative_slice(&a, &crit), &inputs, "fig13")?;
+        }
+    }
+
+    #[test]
+    fn ball_horwitz_is_sound_everywhere(p in arb_unstructured()) {
+        let a = Analysis::new(&p);
+        let inputs = Input::family(4);
+        for c in writes(&p).into_iter().take(3) {
+            let s = ball_horwitz_slice(&a, &Criterion::at_stmt(c));
+            check(&p, &s, &inputs, "ball-horwitz")?;
+        }
+    }
+
+    #[test]
+    fn full_program_is_its_own_slice(p in arb_unstructured()) {
+        let all: std::collections::BTreeSet<StmtId> = p.stmt_ids().collect();
+        let inputs = Input::family(4);
+        check_projection(&p, &all, &[], &inputs)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn criterion_outputs_are_preserved(p in arb_structured()) {
+        // Weiser's original statement: the value sequence written at the
+        // criterion is identical in program and slice.
+        let a = Analysis::new(&p);
+        let inputs = Input::family(4);
+        for c in writes(&p).into_iter().take(3) {
+            let s = agrawal_slice(&a, &Criterion::at_stmt(c));
+            for input in &inputs {
+                let full = run(&p, input);
+                let masked = run_masked(&p, input, &|x| s.contains(x), &s.moved_labels);
+                if full.fuel_exhausted || masked.fuel_exhausted {
+                    continue;
+                }
+                let vals = |t: &jumpslice::interp::Trajectory| -> Vec<i64> {
+                    t.events
+                        .iter()
+                        .filter(|e| e.stmt == c)
+                        .map(|e| e.value.unwrap())
+                        .collect()
+                };
+                prop_assert_eq!(vals(&full), vals(&masked));
+            }
+        }
+    }
+}
+
+/// Reproduction finding: Gallagher's rule is unsound even on *structured*
+/// programs, not just on the paper's goto-based Figure 16. A `break` whose
+/// target block (the statement after the loop) misses the slice is dropped
+/// although its omission changes how often the loop body's slice statements
+/// execute. Found by property testing; pinned here.
+#[test]
+fn gallagher_unsound_on_structured_break() {
+    let p = parse(
+        "read(c);
+         read(d);
+         read(x);
+         while (c) {
+           if (d)
+             break;
+           x = 1;
+         }
+         while (e) { }
+         write(x);",
+    )
+    .unwrap();
+    // Lines: 1-3 reads, 4 while(c), 5 if(d), 6 break, 7 x=1, 8 while(e),
+    // 9 write(x).
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(9));
+    let g = gallagher_slice(&a, &crit);
+    // The break's target block is {while(e)}, which is not in the slice, so
+    // Gallagher drops the break...
+    assert!(!g.lines(&p).contains(&6), "{:?}", g.lines(&p));
+    // ...which the oracle catches:
+    let inputs = Input::family(8);
+    assert!(check_projection(&p, &g.stmts, &g.moved_labels, &inputs).is_err());
+    // The paper's algorithm keeps it and stays sound.
+    let s = agrawal_slice(&a, &crit);
+    assert!(s.lines(&p).contains(&6));
+    check_projection(&p, &s.stmts, &s.moved_labels, &inputs).unwrap();
+}
+
+/// After the dead-code refinements, the Figure-13 conservative slice stays
+/// sound on programs containing unreachable jumps.
+#[test]
+fn dead_jumps_never_join_slices() {
+    let p = parse(
+        "read(v0);
+         switch (v0) {
+           case 0:
+             break;
+             break;
+         }
+         v1 = v0;
+         write(v1);",
+    )
+    .unwrap();
+    // Line 4 is the dead second break.
+    let a = Analysis::new(&p);
+    for line in [5usize, 6] {
+        let crit = Criterion::at_stmt(p.at_line(line));
+        for s in [
+            agrawal_slice(&a, &crit),
+            conservative_slice(&a, &crit),
+            gallagher_slice(&a, &crit),
+            lyle_slice(&a, &crit),
+            jzr_slice(&a, &crit),
+        ] {
+            assert!(!s.contains(p.at_line(4)), "dead break included");
+            check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(6)).unwrap();
+        }
+    }
+}
