@@ -4,13 +4,14 @@
 //!   construction (the workspace default) on real flowgraphs;
 //! * `traversal_tree`: Figure 7 driven by the postdominator tree's preorder
 //!   vs the lexical successor tree's (§3: either is admissible);
-//! * `closure`: the conventional slicer's worklist closure vs a recursive
-//!   formulation;
+//! * `closure`: the conventional slicer's bitset worklist closure vs the
+//!   `BTreeSet` recursion it replaced — the representation half of this
+//!   workspace's batch-engine speedup;
 //! * `control_dependence`: the Ferrante–Ottenstein–Warren edge walk vs the
 //!   postdominance-frontier construction (results are identical; the
 //!   pdg crate's tests cross-check them).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bench};
+use jumpslice_bench::harness::Runner;
 use jumpslice_bench::{live_writes, sized_structured, sized_unstructured};
 use jumpslice_core::{agrawal_slice, agrawal_slice_with_order, Analysis, Criterion};
 use jumpslice_graph::DomTree;
@@ -18,41 +19,42 @@ use jumpslice_lang::StmtId;
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
-fn dominators(c: &mut Bench) {
-    let mut group = c.benchmark_group("ablation/dominators");
+fn dominators(r: &mut Runner) {
     for size in [200usize, 800, 3200] {
         let p = sized_unstructured(size);
         let cfg = jumpslice_cfg::Cfg::build(&p);
         let rev = cfg.graph().reversed();
         let exit = cfg.exit();
-        group.bench_with_input(BenchmarkId::new("iterative", p.len()), &rev, |b, g| {
-            b.iter(|| black_box(DomTree::iterative(g, exit)))
-        });
-        group.bench_with_input(BenchmarkId::new("lengauer-tarjan", p.len()), &rev, |b, g| {
-            b.iter(|| black_box(DomTree::lengauer_tarjan(g, exit)))
-        });
+        r.bench(
+            &format!("ablation/dominators/iterative/{}", p.len()),
+            || black_box(DomTree::iterative(&rev, exit)),
+        );
+        r.bench(
+            &format!("ablation/dominators/lengauer-tarjan/{}", p.len()),
+            || black_box(DomTree::lengauer_tarjan(&rev, exit)),
+        );
     }
-    group.finish();
 }
 
-fn traversal_tree(c: &mut Bench) {
-    let mut group = c.benchmark_group("ablation/traversal_tree");
+fn traversal_tree(r: &mut Runner) {
     for size in [200usize, 800] {
         let p = sized_unstructured(size);
         let a = Analysis::new(&p);
         let crit = Criterion::at_stmt(*live_writes(&p, &a).last().unwrap());
         let lst_order = a.jumps_in_lst_preorder();
-        group.bench_with_input(BenchmarkId::new("pdom-preorder", p.len()), &a, |b, a| {
-            b.iter(|| black_box(agrawal_slice(a, &crit)))
-        });
-        group.bench_with_input(BenchmarkId::new("lst-preorder", p.len()), &a, |b, a| {
-            b.iter(|| black_box(agrawal_slice_with_order(a, &crit, &lst_order)))
-        });
+        r.bench(
+            &format!("ablation/traversal_tree/pdom-preorder/{}", p.len()),
+            || black_box(agrawal_slice(&a, &crit)),
+        );
+        r.bench(
+            &format!("ablation/traversal_tree/lst-preorder/{}", p.len()),
+            || black_box(agrawal_slice_with_order(&a, &crit, &lst_order)),
+        );
     }
-    group.finish();
 }
 
-/// Recursive closure used only by this ablation.
+/// The pre-bitset closure: recursion over a `BTreeSet`, kept only as this
+/// ablation's baseline.
 fn recursive_closure(a: &Analysis<'_>, seed: StmtId, out: &mut BTreeSet<StmtId>) {
     if !out.insert(seed) {
         return;
@@ -65,59 +67,51 @@ fn recursive_closure(a: &Analysis<'_>, seed: StmtId, out: &mut BTreeSet<StmtId>)
     }
 }
 
-fn closure(c: &mut Bench) {
-    let mut group = c.benchmark_group("ablation/closure");
+fn closure(r: &mut Runner) {
     for size in [200usize, 800, 3200] {
         let p = sized_structured(size);
         let a = Analysis::new(&p);
         let crit = *live_writes(&p, &a).last().unwrap();
-        group.bench_with_input(BenchmarkId::new("worklist", p.len()), &a, |b, a| {
-            b.iter(|| black_box(a.pdg().backward_closure([crit])))
-        });
-        group.bench_with_input(BenchmarkId::new("recursive", p.len()), &a, |b, a| {
-            b.iter(|| {
+        r.bench(
+            &format!("ablation/closure/bitset-worklist/{}", p.len()),
+            || black_box(a.pdg().backward_closure([crit])),
+        );
+        r.bench(
+            &format!("ablation/closure/btreeset-recursive/{}", p.len()),
+            || {
                 let mut out = BTreeSet::new();
-                recursive_closure(a, crit, &mut out);
+                recursive_closure(&a, crit, &mut out);
                 black_box(out)
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn control_dependence(c: &mut Bench) {
-    let mut group = c.benchmark_group("ablation/control_dependence");
+fn control_dependence(r: &mut Runner) {
     for size in [200usize, 800, 3200] {
         let p = sized_unstructured(size);
         let cfg = jumpslice_cfg::Cfg::build(&p);
-        group.bench_with_input(BenchmarkId::new("fow-walk", p.len()), &p, |b, p| {
-            b.iter(|| black_box(jumpslice_pdg::ControlDeps::compute(black_box(p), &cfg)))
-        });
-        group.bench_with_input(BenchmarkId::new("pdom-frontiers", p.len()), &p, |b, p| {
-            b.iter(|| {
+        r.bench(
+            &format!("ablation/control_dependence/fow-walk/{}", p.len()),
+            || black_box(jumpslice_pdg::ControlDeps::compute(black_box(&p), &cfg)),
+        );
+        r.bench(
+            &format!("ablation/control_dependence/pdom-frontiers/{}", p.len()),
+            || {
                 black_box(jumpslice_pdg::ControlDeps::compute_via_frontiers(
-                    black_box(p),
+                    black_box(&p),
                     &cfg,
                 ))
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = dominators, traversal_tree, closure, control_dependence
+fn main() {
+    let mut r = Runner::from_args();
+    dominators(&mut r);
+    traversal_tree(&mut r);
+    closure(&mut r);
+    control_dependence(&mut r);
+    r.finish();
 }
-
-/// Short measurement windows: ~145 benchmarks must fit a CI budget; the
-/// effects measured here are orders-of-magnitude, not single percents.
-fn short() -> Bench {
-    Bench::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! The batch-slicing bench: one program, a pool of 100+ criteria, three
+//! ways to sweep them.
+//!
+//! * `per-criterion-analysis` — what a naive sweep used to pay: a fresh
+//!   `Analysis::new` (and therefore reaching defs, PDG, pdom tree, LST)
+//!   for every criterion;
+//! * `shared-analysis-sequential` — `BatchSlicer` pinned to one thread:
+//!   one warm analysis, a plain loop of closures;
+//! * `shared-analysis-threads` — `BatchSlicer` at the machine's available
+//!   parallelism.
+//!
+//! On a single-core container the headline speedup is the cached-analysis
+//! amortization (cold vs warm); the thread fan-out is a bonus that only
+//! shows up on multicore hardware.
+
+use jumpslice_bench::harness::Runner;
+use jumpslice_bench::{criterion_pool, sized_structured, sized_unstructured};
+use jumpslice_core::{agrawal_slice, Analysis, BatchSlicer};
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[100, 1000, 5000];
+const BATCH: usize = 120;
+
+fn main() {
+    let mut r = Runner::from_args();
+    let mut rows: Vec<(String, usize, f64, f64, f64)> = Vec::new();
+
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        for &size in SIZES {
+            let p = make(size);
+            let a = Analysis::new(&p);
+            a.warm();
+            let criteria = criterion_pool(&p, &a, BATCH);
+            let n = p.len();
+
+            let cold = r.bench(
+                &format!("batch/{family}/{n}/per-criterion-analysis"),
+                || {
+                    let mut total = 0usize;
+                    for c in &criteria {
+                        let fresh = Analysis::new(black_box(&p));
+                        total += agrawal_slice(&fresh, c).len();
+                    }
+                    black_box(total)
+                },
+            );
+            let warm1 = r.bench(
+                &format!("batch/{family}/{n}/shared-analysis-sequential"),
+                || {
+                    black_box(
+                        BatchSlicer::new(&a)
+                            .with_threads(1)
+                            .slice_all(agrawal_slice, &criteria),
+                    )
+                },
+            );
+            let warm_t = r.bench(
+                &format!("batch/{family}/{n}/shared-analysis-threads"),
+                || black_box(BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria)),
+            );
+            if cold > 0.0 && warm_t > 0.0 {
+                rows.push((family.to_string(), n, cold, warm1, warm_t));
+            }
+        }
+    }
+
+    if !rows.is_empty() {
+        println!("\nbatch speedups ({BATCH} criteria, fig7-agrawal):");
+        println!(
+            "  {:<14} {:>6} {:>26} {:>26}",
+            "family", "stmts", "warm-seq vs cold", "warm-threads vs cold"
+        );
+        for (family, n, cold, warm1, warm_t) in &rows {
+            println!(
+                "  {family:<14} {n:>6} {:>25.2}x {:>25.2}x",
+                cold / warm1,
+                cold / warm_t
+            );
+        }
+    }
+    r.finish();
+}

@@ -4,60 +4,41 @@
 //! paper argues qualitatively — conventional < Figure 13 < Figure 12 <
 //! Figure 7 ≈ Ball–Horwitz (which must rebuild the dependence graph).
 
-use criterion::{criterion_group, criterion_main, Criterion as Bench};
+use jumpslice_bench::harness::Runner;
 use jumpslice_bench::ALL_ALGOS;
 use jumpslice_core::{corpus, Analysis, Criterion};
 use std::hint::black_box;
 
-fn paper_figures(c: &mut Bench) {
+fn main() {
+    let mut r = Runner::from_args();
     for (name, prog, line) in corpus::all() {
         let analysis = Analysis::new(&prog);
         let crit = Criterion::at_stmt(prog.at_line(line));
-        let mut group = c.benchmark_group(format!("paper_figures/{name}"));
         for &(alg, f) in ALL_ALGOS {
             if alg == "fig12-structured" && !jumpslice_core::is_structured(&analysis) {
                 continue;
             }
-            group.bench_function(alg, |b| {
-                b.iter(|| black_box(f(black_box(&analysis), black_box(&crit))))
+            r.bench(&format!("paper_figures/{name}/{alg}"), || {
+                black_box(f(black_box(&analysis), black_box(&crit)))
             });
         }
         // End-to-end: parse + analyze + slice, the full user path.
-        group.bench_function("end-to-end-fig7", |b| {
-            b.iter(|| {
-                let p = jumpslice_lang::parse(black_box(match name {
-                    "fig1" => corpus::FIG1_SRC,
-                    "fig3" => corpus::FIG3_SRC,
-                    "fig5" => corpus::FIG5_SRC,
-                    "fig8" => corpus::FIG8_SRC,
-                    "fig10" => corpus::FIG10_SRC,
-                    "fig14" => corpus::FIG14_SRC,
-                    "fig16" => corpus::FIG16_SRC,
-                    _ => unreachable!(),
-                }))
-                .unwrap();
-                let a = Analysis::new(&p);
-                let crit = Criterion::at_stmt(p.at_line(line));
-                black_box(jumpslice_core::agrawal_slice(&a, &crit))
-            })
+        r.bench(&format!("paper_figures/{name}/end-to-end-fig7"), || {
+            let p = jumpslice_lang::parse(black_box(match name {
+                "fig1" => corpus::FIG1_SRC,
+                "fig3" => corpus::FIG3_SRC,
+                "fig5" => corpus::FIG5_SRC,
+                "fig8" => corpus::FIG8_SRC,
+                "fig10" => corpus::FIG10_SRC,
+                "fig14" => corpus::FIG14_SRC,
+                "fig16" => corpus::FIG16_SRC,
+                _ => unreachable!(),
+            }))
+            .unwrap();
+            let a = Analysis::new(&p);
+            let crit = Criterion::at_stmt(p.at_line(line));
+            black_box(jumpslice_core::agrawal_slice(&a, &crit))
         });
-        group.finish();
     }
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = paper_figures
-}
-
-/// Short measurement windows: ~145 benchmarks must fit a CI budget; the
-/// effects measured here are orders-of-magnitude, not single percents.
-fn short() -> Bench {
-    Bench::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_main!(benches);

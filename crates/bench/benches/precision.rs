@@ -1,14 +1,14 @@
 //! Precision-vs-speed across all eight algorithms on a fixed mixed corpus:
-//! criterion times the slicing throughput; the average slice sizes (the
+//! the harness times the slicing throughput; the average slice sizes (the
 //! precision half of the trade-off, Figure 14's point at corpus scale) are
 //! printed once up front so a single run yields the whole table.
 
-use criterion::{criterion_group, criterion_main, Criterion as Bench};
+use jumpslice_bench::harness::Runner;
 use jumpslice_bench::{live_writes, structured_corpus, unstructured_corpus, ALL_ALGOS};
 use jumpslice_core::{is_structured, Analysis, Criterion};
 use std::hint::black_box;
 
-fn precision(c: &mut Bench) {
+fn main() {
     let corpus: Vec<_> = structured_corpus(10, 60)
         .into_iter()
         .chain(unstructured_corpus(10, 40))
@@ -22,8 +22,7 @@ fn precision(c: &mut Bench) {
         })
         .collect();
 
-    // Print the precision table once (criterion reruns the closure; keep
-    // the printing out of timing).
+    // The precision table, printed once (outside any timing).
     println!("\navg slice size over {} programs:", prepared.len());
     for &(alg, f) in ALL_ALGOS {
         let mut total = 0usize;
@@ -38,36 +37,18 @@ fn precision(c: &mut Bench) {
         }
         println!("  {alg:<20} {:>8.2}", total as f64 / cases as f64);
     }
+    println!();
 
-    let mut group = c.benchmark_group("precision/corpus-throughput");
+    let mut r = Runner::from_args();
     for &(alg, f) in ALL_ALGOS {
-        group.bench_function(alg, |b| {
-            b.iter(|| {
-                for (_, a, crit) in &prepared {
-                    if alg == "fig12-structured" && !is_structured(a) {
-                        continue;
-                    }
-                    black_box(f(a, crit));
+        r.bench(&format!("precision/corpus-throughput/{alg}"), || {
+            for (_, a, crit) in &prepared {
+                if alg == "fig12-structured" && !is_structured(a) {
+                    continue;
                 }
-            })
+                black_box(f(a, crit));
+            }
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = precision
-}
-
-/// Short measurement windows: ~145 benchmarks must fit a CI budget; the
-/// effects measured here are orders-of-magnitude, not single percents.
-fn short() -> Bench {
-    Bench::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_main!(benches);

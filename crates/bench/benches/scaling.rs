@@ -6,65 +6,51 @@
 //! Expected shape: all algorithms are near-linear in program size at these
 //! scales; conventional is cheapest, Figure 13 adds a cheap scan,
 //! Figure 7 adds the traversal, and Ball–Horwitz pays an extra dependence-
-//! graph construction per slice. `Analysis::new` dominates everything —
-//! the paper's "leave the graphs intact" design pays off when many
-//! criteria are sliced against one analysis.
+//! graph construction per slice. `Analysis::new` is now lazy, so the
+//! `analysis-warm` rows time forcing every cached artifact — the one-time
+//! cost a whole batch of criteria amortizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bench, Throughput};
+use jumpslice_bench::harness::Runner;
 use jumpslice_bench::{live_writes, sized_structured, sized_unstructured, CORE_ALGOS};
 use jumpslice_core::{Analysis, Criterion};
 use std::hint::black_box;
 
 const SIZES: &[usize] = &[100, 400, 1600];
 
-fn slicing_scaling(c: &mut Bench) {
+fn main() {
+    let mut r = Runner::from_args();
     for (family, make) in [
-        ("structured", sized_structured as fn(usize) -> jumpslice_lang::Program),
-        ("unstructured", sized_unstructured as fn(usize) -> jumpslice_lang::Program),
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
     ] {
-        let mut group = c.benchmark_group(format!("scaling/{family}"));
         for &size in SIZES {
             let p = make(size);
             let a = Analysis::new(&p);
-            let crit = Criterion::at_stmt(
-                *live_writes(&p, &a).last().expect("corpus ends with writes"),
-            );
-            group.throughput(Throughput::Elements(p.len() as u64));
+            let crit =
+                Criterion::at_stmt(*live_writes(&p, &a).last().expect("corpus ends with writes"));
             for &(alg, f) in CORE_ALGOS {
-                group.bench_with_input(BenchmarkId::new(alg, p.len()), &p, |b, _| {
-                    b.iter(|| black_box(f(black_box(&a), black_box(&crit))))
+                r.bench(&format!("scaling/{family}/{alg}/{}", p.len()), || {
+                    black_box(f(black_box(&a), black_box(&crit)))
                 });
             }
         }
-        group.finish();
     }
-}
-
-fn analysis_scaling(c: &mut Bench) {
-    let mut group = c.benchmark_group("scaling/analysis");
     for &size in SIZES {
         let p = sized_structured(size);
-        group.throughput(Throughput::Elements(p.len() as u64));
-        group.bench_with_input(BenchmarkId::new("analysis-new", p.len()), &p, |b, p| {
-            b.iter(|| black_box(Analysis::new(black_box(p))))
-        });
+        r.bench(
+            &format!("scaling/analysis/analysis-warm/{}", p.len()),
+            || {
+                let a = Analysis::new(black_box(&p));
+                a.warm();
+                black_box(a.stats())
+            },
+        );
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = slicing_scaling, analysis_scaling
-}
-
-/// Short measurement windows: ~145 benchmarks must fit a CI budget; the
-/// effects measured here are orders-of-magnitude, not single percents.
-fn short() -> Bench {
-    Bench::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! successor tree, and the interpreter. These bound where end-to-end time
 //! goes and catch regressions in any one layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Bench, Throughput};
+use jumpslice_bench::harness::Runner;
 use jumpslice_bench::sized_structured;
 use jumpslice_cfg::Cfg;
 use jumpslice_dataflow::{DataDeps, LiveVars, ReachingDefs};
@@ -14,64 +14,46 @@ use std::hint::black_box;
 
 const SIZES: &[usize] = &[100, 400, 1600];
 
-fn substrates(c: &mut Bench) {
-    let mut group = c.benchmark_group("substrates");
+fn main() {
+    let mut r = Runner::from_args();
     for &size in SIZES {
         let p = sized_structured(size);
         let src = print_program(&p);
         let cfg = Cfg::build(&p);
         let structure = Structure::of(&p);
-        group.throughput(Throughput::Elements(p.len() as u64));
+        let n = p.len();
 
-        group.bench_with_input(BenchmarkId::new("parse", p.len()), &src, |b, s| {
-            b.iter(|| black_box(parse(black_box(s)).unwrap()))
+        r.bench(&format!("substrates/parse/{n}"), || {
+            black_box(parse(black_box(&src)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("cfg-build", p.len()), &p, |b, p| {
-            b.iter(|| black_box(Cfg::build(black_box(p))))
+        r.bench(&format!("substrates/cfg-build/{n}"), || {
+            black_box(Cfg::build(black_box(&p)))
         });
-        group.bench_with_input(BenchmarkId::new("reaching-defs", p.len()), &p, |b, p| {
-            b.iter(|| black_box(ReachingDefs::compute(black_box(p), &cfg)))
+        r.bench(&format!("substrates/reaching-defs/{n}"), || {
+            black_box(ReachingDefs::compute(black_box(&p), &cfg))
         });
-        group.bench_with_input(BenchmarkId::new("data-deps", p.len()), &p, |b, p| {
-            b.iter(|| black_box(DataDeps::compute(black_box(p), &cfg)))
+        r.bench(&format!("substrates/data-deps/{n}"), || {
+            black_box(DataDeps::compute(black_box(&p), &cfg))
         });
-        group.bench_with_input(BenchmarkId::new("live-vars", p.len()), &p, |b, p| {
-            b.iter(|| black_box(LiveVars::compute(black_box(p), &cfg)))
+        r.bench(&format!("substrates/live-vars/{n}"), || {
+            black_box(LiveVars::compute(black_box(&p), &cfg))
         });
-        group.bench_with_input(BenchmarkId::new("control-deps", p.len()), &p, |b, p| {
-            b.iter(|| black_box(ControlDeps::compute(black_box(p), &cfg)))
+        r.bench(&format!("substrates/control-deps/{n}"), || {
+            black_box(ControlDeps::compute(black_box(&p), &cfg))
         });
-        group.bench_with_input(
-            BenchmarkId::new("lexsucc-tree", p.len()),
-            &p,
-            |b, p| {
-                b.iter(|| black_box(jumpslice_core::LexSuccTree::build(black_box(p), &structure)))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("interp-run", p.len()), &p, |b, p| {
-            let input = Input {
-                fuel: 20_000,
-                ..Input::default()
-            };
-            b.iter(|| black_box(run(black_box(p), &input)))
+        r.bench(&format!("substrates/lexsucc-tree/{n}"), || {
+            black_box(jumpslice_core::LexSuccTree::build(
+                black_box(&p),
+                &structure,
+            ))
+        });
+        let input = Input {
+            fuel: 20_000,
+            ..Input::default()
+        };
+        r.bench(&format!("substrates/interp-run/{n}"), || {
+            black_box(run(black_box(&p), &input))
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = substrates
-}
-
-/// Short measurement windows: ~145 benchmarks must fit a CI budget; the
-/// effects measured here are orders-of-magnitude, not single percents.
-fn short() -> Bench {
-    Bench::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Emits `BENCH_slicing.json`: the machine-readable benchmark summary the
+//! experiment log (EXPERIMENTS.md) points at. Measures two things with the
+//! in-tree harness and writes them as hand-rolled JSON (no serde in the
+//! container):
+//!
+//! * single-slice latency for the paper's algorithms on a warm analysis —
+//!   the figure-scale and ~1k-statement numbers;
+//! * the batch sweep (120 criteria per program): a naive per-criterion
+//!   `Analysis::new` loop vs `BatchSlicer` over one warm shared analysis,
+//!   sequentially and at available parallelism.
+//!
+//! The headline `speedup_batch_vs_per_criterion_analysis` is the
+//! cached-analysis amortization; on single-core containers the threaded
+//! and sequential warm numbers coincide, and threads only add on
+//! multicore hardware.
+
+use jumpslice_bench::harness::Runner;
+use jumpslice_bench::{criterion_pool, sized_structured, sized_unstructured};
+use jumpslice_core::{
+    agrawal_slice, conservative_slice, conventional_slice, Analysis, BatchSlicer, Criterion,
+};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+const BATCH: usize = 120;
+
+struct BatchRow {
+    family: &'static str,
+    stmts: usize,
+    criteria: usize,
+    cold_ns: f64,
+    warm_seq_ns: f64,
+    warm_threads_ns: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut r = Runner::from_args().samples(5);
+
+    // Single-slice latency on a warm analysis, per algorithm.
+    let mut single: Vec<(String, f64)> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        for size in [100usize, 1000] {
+            let p = make(size);
+            let a = Analysis::new(&p);
+            a.warm();
+            let crit = Criterion::at_stmt(
+                *jumpslice_bench::live_writes(&p, &a)
+                    .last()
+                    .expect("corpus has a live write"),
+            );
+            for (alg, f) in [
+                (
+                    "conventional",
+                    conventional_slice as jumpslice_core::SliceFn,
+                ),
+                ("fig7-agrawal", agrawal_slice),
+                ("fig13-conservative", conservative_slice),
+            ] {
+                let name = format!("single/{family}-{}/{alg}", p.len());
+                let ns = r.bench(&name, || black_box(f(black_box(&a), black_box(&crit))));
+                single.push((name, ns));
+            }
+        }
+    }
+
+    // The batch sweep: naive per-criterion analysis vs one shared warm one.
+    let mut rows: Vec<BatchRow> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        for size in [100usize, 1000, 5000] {
+            let p = make(size);
+            let a = Analysis::new(&p);
+            a.warm();
+            let criteria = criterion_pool(&p, &a, BATCH);
+            let n = p.len();
+            let cold_ns = r.bench(
+                &format!("json/batch/{family}/{n}/per-criterion-analysis"),
+                || {
+                    let mut total = 0usize;
+                    for c in &criteria {
+                        let fresh = Analysis::new(black_box(&p));
+                        total += agrawal_slice(&fresh, c).len();
+                    }
+                    black_box(total)
+                },
+            );
+            let warm_seq_ns = r.bench(
+                &format!("json/batch/{family}/{n}/shared-analysis-sequential"),
+                || {
+                    black_box(
+                        BatchSlicer::new(&a)
+                            .with_threads(1)
+                            .slice_all(agrawal_slice, &criteria),
+                    )
+                },
+            );
+            let warm_threads_ns = r.bench(
+                &format!("json/batch/{family}/{n}/shared-analysis-threads"),
+                || black_box(BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria)),
+            );
+            rows.push(BatchRow {
+                family,
+                stmts: n,
+                criteria: criteria.len(),
+                cold_ns,
+                warm_seq_ns,
+                warm_threads_ns,
+            });
+        }
+    }
+    r.finish();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"slicing\",");
+    let _ = writeln!(
+        out,
+        "  \"harness\": \"in-tree calibrated harness (median of 5 samples)\","
+    );
+    let _ = writeln!(out, "  \"algorithm\": \"fig7-agrawal\",");
+    let _ = writeln!(out, "  \"available_parallelism\": {threads},");
+    out.push_str("  \"single_slice_warm_analysis_ns\": {\n");
+    for (i, (name, ns)) in single.iter().enumerate() {
+        let comma = if i + 1 == single.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {:.1}{comma}", json_escape(name), ns);
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"batch_sweeps\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let speedup = row.cold_ns / row.warm_threads_ns;
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
+        let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
+        let _ = writeln!(
+            out,
+            "      \"sequential_per_criterion_analysis_ns\": {:.1},",
+            row.cold_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"batch_shared_analysis_sequential_ns\": {:.1},",
+            row.warm_seq_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"batch_shared_analysis_threads_ns\": {:.1},",
+            row.warm_threads_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"speedup_batch_vs_per_criterion_analysis\": {speedup:.2}"
+        );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_slicing.json", &out).expect("write BENCH_slicing.json");
+    println!("\nwrote BENCH_slicing.json");
+    for row in &rows {
+        println!(
+            "  {:<12} {:>5} stmts x {} criteria: {:.2}x batch speedup vs per-criterion analysis",
+            row.family,
+            row.stmts,
+            row.criteria,
+            row.cold_ns / row.warm_threads_ns
+        );
+    }
+}

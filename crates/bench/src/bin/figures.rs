@@ -6,8 +6,8 @@
 use jumpslice_cfg::{cfg_dot, Cfg};
 use jumpslice_core::baselines::{ball_horwitz_slice, gallagher_slice, jzr_slice, lyle_slice};
 use jumpslice_core::{
-    agrawal_slice, conservative_slice, conventional_slice, corpus, is_structured,
-    structured_slice, Analysis, Criterion, Slice,
+    agrawal_slice, conservative_slice, conventional_slice, corpus, is_structured, structured_slice,
+    Analysis, Criterion, Slice,
 };
 use jumpslice_interp::{check_projection, Input};
 use jumpslice_lang::Program;
@@ -81,12 +81,16 @@ fn main() {
             &p,
         );
         let s = agrawal_slice(&a, &crit);
-        r.check("Figure 7 slice (Fig. 3-c)", &[2, 3, 4, 5, 7, 8, 13, 15], &s, &p);
+        r.check(
+            "Figure 7 slice (Fig. 3-c)",
+            &[2, 3, 4, 5, 7, 8, 13, 15],
+            &s,
+            &p,
+        );
         r.check_flag("single traversal (§3)", s.traversals == 1);
         r.check_flag(
             "L14 re-associated to write(positives)",
-            s.moved_labels
-                == vec![(p.label("L14").unwrap(), Some(p.at_line(15)))],
+            s.moved_labels == vec![(p.label("L14").unwrap(), Some(p.at_line(15)))],
         );
         r.check_flag(
             "oracle: Fig. 3-c replays the program",
@@ -221,7 +225,9 @@ fn main() {
         let ly = lyle_slice(&a, &crit);
         r.check_flag(
             "Lyle on Fig. 3 keeps all gotos and predicates",
-            [3, 5, 7, 9, 11, 13].iter().all(|l| ly.lines(&p).contains(l)),
+            [3, 5, 7, 9, 11, 13]
+                .iter()
+                .all(|l| ly.lines(&p).contains(l)),
         );
         let p = corpus::fig8();
         let a = Analysis::new(&p);

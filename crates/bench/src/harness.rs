@@ -1,0 +1,172 @@
+//! A small self-contained benchmark harness (criterion-style calibration,
+//! no external dependencies): each benchmark is auto-calibrated to a target
+//! sample duration, timed over several samples, and reported by its median
+//! per-iteration time. Results are kept so binaries like `bench_json` can
+//! post-process them (speedup ratios, JSON emission).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Group-qualified benchmark name, e.g. `scaling/structured/fig7/400`.
+    pub name: String,
+    /// Median per-iteration time over the samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest per-iteration time observed (lower bound on cost).
+    pub min_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// Collects benchmarks, printing each as it completes.
+pub struct Runner {
+    filter: Option<String>,
+    samples_per_bench: u32,
+    target_sample: Duration,
+    results: Vec<Sample>,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::from_args()
+    }
+}
+
+impl Runner {
+    /// A runner configured from the command line: the first non-flag
+    /// argument is a substring filter (cargo's `--bench`-style flags are
+    /// ignored, so `cargo bench -p jumpslice-bench scaling` works).
+    pub fn from_args() -> Runner {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Runner {
+            filter,
+            samples_per_bench: 7,
+            target_sample: Duration::from_millis(25),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn samples(mut self, n: u32) -> Runner {
+        self.samples_per_bench = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count so a sample takes
+    /// roughly the target duration, then times `samples_per_bench` samples
+    /// and records the median. Returns the median ns/iter (0.0 when the
+    /// benchmark is filtered out).
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return 0.0;
+            }
+        }
+        // Calibration: one untimed warmup, then grow the iteration count
+        // until a sample is long enough to time reliably.
+        black_box(f());
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        iters = ((self.target_sample.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64)
+            .clamp(1, 1 << 24);
+
+        let mut timings: Vec<f64> = (0..self.samples_per_bench)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        timings.sort_by(|a, b| a.total_cmp(b));
+        let median = timings[timings.len() / 2];
+        let min = timings[0];
+        println!("{name:<60} {:>14} /iter (x{iters})", fmt_ns(median));
+        self.results.push(Sample {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            iters,
+        });
+        median
+    }
+
+    /// All samples measured so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Prints a footer and hands back the samples.
+    pub fn finish(self) -> Vec<Sample> {
+        println!("\n{} benchmarks measured", self.results.len());
+        self.results
+    }
+}
+
+/// Human formatting for a nanosecond count.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut r = Runner {
+            filter: None,
+            samples_per_bench: 3,
+            target_sample: Duration::from_micros(200),
+            results: Vec::new(),
+        };
+        let ns = r.bench("noop-ish", || std::hint::black_box(1 + 1));
+        assert!(ns > 0.0);
+        let results = r.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "noop-ish");
+        assert!(results[0].min_ns <= results[0].median_ns);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut r = Runner {
+            filter: Some("wanted".into()),
+            samples_per_bench: 1,
+            target_sample: Duration::from_micros(100),
+            results: Vec::new(),
+        };
+        assert_eq!(r.bench("other", || 0), 0.0);
+        assert!(r.bench("wanted/yes", || 0) > 0.0);
+        assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.0e9).ends_with(" s"));
+    }
+}

@@ -3,6 +3,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use jumpslice_core::{Analysis, Criterion, Slice};
 use jumpslice_lang::{Program, StmtId, StmtKind};
 use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
@@ -16,7 +18,10 @@ pub const ALL_ALGOS: &[Algo] = &[
     ("fig7-agrawal", jumpslice_core::agrawal_slice),
     ("fig12-structured", jumpslice_core::structured_slice),
     ("fig13-conservative", jumpslice_core::conservative_slice),
-    ("ball-horwitz", jumpslice_core::baselines::ball_horwitz_slice),
+    (
+        "ball-horwitz",
+        jumpslice_core::baselines::ball_horwitz_slice,
+    ),
     ("lyle", jumpslice_core::baselines::lyle_slice),
     ("gallagher", jumpslice_core::baselines::gallagher_slice),
     ("jzr", jumpslice_core::baselines::jzr_slice),
@@ -28,7 +33,10 @@ pub const CORE_ALGOS: &[Algo] = &[
     ("conventional", jumpslice_core::conventional_slice),
     ("fig7-agrawal", jumpslice_core::agrawal_slice),
     ("fig13-conservative", jumpslice_core::conservative_slice),
-    ("ball-horwitz", jumpslice_core::baselines::ball_horwitz_slice),
+    (
+        "ball-horwitz",
+        jumpslice_core::baselines::ball_horwitz_slice,
+    ),
 ];
 
 /// Reachable `write` statements — the default criterion pool.
@@ -38,9 +46,27 @@ pub fn live_writes(p: &Program, a: &Analysis<'_>) -> Vec<StmtId> {
         .collect()
 }
 
+/// A pool of `n` slicing criteria for batch benches: every live write
+/// first, topped up with other live statements when the writes run short.
+pub fn criterion_pool(p: &Program, a: &Analysis<'_>, n: usize) -> Vec<Criterion> {
+    let mut stmts = live_writes(p, a);
+    if stmts.len() < n {
+        let extra: Vec<StmtId> = p
+            .stmt_ids()
+            .filter(|&s| a.is_live(s) && !stmts.contains(&s))
+            .take(n - stmts.len())
+            .collect();
+        stmts.extend(extra);
+    }
+    stmts.truncate(n);
+    stmts.into_iter().map(Criterion::at_stmt).collect()
+}
+
 /// A structured corpus of `n` programs around `size` statements.
 pub fn structured_corpus(n: u64, size: usize) -> Vec<Program> {
-    (0..n).map(|seed| gen_structured(&GenConfig::sized(seed, size))).collect()
+    (0..n)
+        .map(|seed| gen_structured(&GenConfig::sized(seed, size)))
+        .collect()
 }
 
 /// An unstructured goto corpus of `n` programs around `size` statements.
@@ -74,7 +100,10 @@ mod tests {
 
     #[test]
     fn corpora_are_nonempty_and_sliceable() {
-        for p in structured_corpus(3, 30).iter().chain(&unstructured_corpus(3, 25)) {
+        for p in structured_corpus(3, 30)
+            .iter()
+            .chain(&unstructured_corpus(3, 25))
+        {
             let a = Analysis::new(p);
             assert!(!live_writes(p, &a).is_empty());
         }

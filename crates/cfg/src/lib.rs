@@ -402,7 +402,10 @@ mod tests {
         let body = n(&cfg, &p, 2);
         assert!(cfg.graph().has_edge(w, body));
         assert!(cfg.graph().has_edge(w, n(&cfg, &p, 3)));
-        assert!(cfg.graph().has_edge(body, w), "body loops back to predicate");
+        assert!(
+            cfg.graph().has_edge(body, w),
+            "body loops back to predicate"
+        );
     }
 
     #[test]
@@ -411,7 +414,10 @@ mod tests {
         let cfg = Cfg::build(&p);
         let dw = n(&cfg, &p, 1);
         let body = n(&cfg, &p, 2);
-        assert!(cfg.graph().has_edge(cfg.entry(), body), "entry goes to body");
+        assert!(
+            cfg.graph().has_edge(cfg.entry(), body),
+            "entry goes to body"
+        );
         assert!(cfg.graph().has_edge(body, dw));
         assert!(cfg.graph().has_edge(dw, body));
         assert!(cfg.graph().has_edge(dw, n(&cfg, &p, 3)));
@@ -459,10 +465,9 @@ mod tests {
 
     #[test]
     fn switch_fallthrough_and_default() {
-        let p = parse(
-            "switch (c) { case 1: a = 1; case 2: b = 2; break; default: d = 3; } write(a);",
-        )
-        .unwrap();
+        let p =
+            parse("switch (c) { case 1: a = 1; case 2: b = 2; break; default: d = 3; } write(a);")
+                .unwrap();
         let cfg = Cfg::build(&p);
         let sw = n(&cfg, &p, 1);
         let a1 = n(&cfg, &p, 2);
@@ -475,7 +480,10 @@ mod tests {
         assert!(cfg.graph().has_edge(sw, d3));
         // default exists: no direct switch -> follow edge
         assert!(!cfg.graph().has_edge(sw, wr));
-        assert!(cfg.graph().has_edge(a1, b2), "case 1 falls through to case 2");
+        assert!(
+            cfg.graph().has_edge(a1, b2),
+            "case 1 falls through to case 2"
+        );
         assert!(cfg.graph().has_edge(brk, wr));
         assert!(cfg.graph().has_edge(d3, wr));
     }

@@ -53,7 +53,7 @@ pub fn agrawal_slice_with_order(
     loop {
         let mut added = false;
         for &j in jump_order {
-            if stmts.contains(&j) {
+            if stmts.contains(j) {
                 continue;
             }
             let npd = a.nearest_pdom_in(j, &stmts);
@@ -62,8 +62,11 @@ pub fn agrawal_slice_with_order(
             // construct this workspace adds; it never fires on the paper's
             // own language (see Analysis::dowhile_hazard).
             if npd != nls || a.dowhile_hazard(j, &stmts) {
-                // Add J and the transitive closure of its dependences.
-                stmts.extend(a.pdg().backward_closure([j]));
+                // Add J and the transitive closure of its dependences. The
+                // in-place closure treats statements already in the slice
+                // as visited: sound, because the slice is closed under
+                // dependence at every point of the traversal.
+                a.pdg().backward_closure_into([j], &mut stmts);
                 added = true;
             }
         }
@@ -106,7 +109,10 @@ mod tests {
         // Figure 5-c: includes continue on 7, omits continue on 11.
         assert_eq!(s.lines(&p), vec![2, 3, 4, 5, 7, 8, 14]);
         assert_eq!(s.traversals, 1);
-        assert!(s.moved_labels.is_empty(), "structured jumps carry no labels");
+        assert!(
+            s.moved_labels.is_empty(),
+            "structured jumps carry no labels"
+        );
     }
 
     #[test]
@@ -153,7 +159,13 @@ mod tests {
 
     #[test]
     fn lst_driven_traversal_gives_same_slice() {
-        for p in [corpus::fig3(), corpus::fig5(), corpus::fig8(), corpus::fig10(), corpus::fig16()] {
+        for p in [
+            corpus::fig3(),
+            corpus::fig5(),
+            corpus::fig8(),
+            corpus::fig10(),
+            corpus::fig16(),
+        ] {
             let a = Analysis::new(&p);
             let last = p.lexical_order().len();
             let crit = Criterion::at_stmt(p.at_line(last));

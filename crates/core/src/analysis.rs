@@ -2,14 +2,47 @@
 
 use crate::{LexSuccTree, SlicePoint};
 use jumpslice_cfg::Cfg;
+use jumpslice_dataflow::{DataDeps, ReachingDefs, StmtSet};
 use jumpslice_graph::DomTree;
 use jumpslice_lang::{Program, StmtId, StmtKind, Structure};
-use jumpslice_pdg::Pdg;
-use std::collections::BTreeSet;
+use jumpslice_pdg::{ControlDeps, Pdg};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Everything the algorithms in this crate need, computed once per program:
-/// the flowgraph, its postdominator tree, the (unmodified) program
-/// dependence graph, the lexical successor tree, and structural queries.
+/// Build counters exposed through [`Analysis::stats`].
+///
+/// Each counter records how many times the corresponding artifact was
+/// *computed* (not how often it was used). The caching contract — one
+/// program, one computation — is asserted by the test suite through this
+/// probe: repeated `vars_at` slices must leave `reaching_defs` at 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Times the reaching-definitions fixpoint ran.
+    pub reaching_defs: usize,
+    /// Times the program dependence graph was assembled.
+    pub pdg_builds: usize,
+    /// Times the postdominator tree was computed.
+    pub pdom_builds: usize,
+    /// Times the lexical successor tree was built.
+    pub lst_builds: usize,
+}
+
+/// Everything the algorithms in this crate need, computed per program:
+/// the flowgraph eagerly, and the postdominator tree, the (unmodified)
+/// program dependence graph, the lexical successor tree, and reaching
+/// definitions *lazily, once, on first use*.
+///
+/// Laziness matters for the cheap algorithms: `conservative_slice`
+/// (Figure 13) is advertised by the paper as needing neither the
+/// postdominator tree nor the lexical successor tree, and with this struct
+/// it no longer pays for the LST (the pdom tree is only forced if a label
+/// actually needs re-associating). `Criterion::vars_at` slices share one
+/// reaching-definitions fixpoint instead of re-running it per criterion,
+/// and the PDG's data half is derived from that same cached fixpoint.
+///
+/// All lazy state lives in [`OnceLock`]s, so a fully materialized
+/// `Analysis` is `Sync` and can be shared by reference across the batch
+/// slicer's worker threads.
 ///
 /// Note what is *not* here: no augmented flowgraph and no augmented PDG —
 /// the paper's algorithm leaves both graphs intact and only adds the lexical
@@ -20,15 +53,28 @@ pub struct Analysis<'p> {
     prog: &'p Program,
     structure: Structure,
     cfg: Cfg,
-    pdom: DomTree,
-    pdg: Pdg,
-    lst: LexSuccTree,
     /// Per-node entry reachability.
     live: Vec<bool>,
+    /// Whether the program contains any `do-while` — the only construct
+    /// that can make [`Analysis::dowhile_hazard`] fire. Checked eagerly so
+    /// the hazard guard on paper-language programs never forces the LST.
+    has_dowhile: bool,
+    pdom: OnceLock<DomTree>,
+    pdg: OnceLock<Pdg>,
+    lst: OnceLock<LexSuccTree>,
+    reaching: OnceLock<ReachingDefs>,
+    n_reaching: AtomicUsize,
+    n_pdg: AtomicUsize,
+    n_pdom: AtomicUsize,
+    n_lst: AtomicUsize,
 }
 
 impl<'p> Analysis<'p> {
     /// Analyzes `prog`.
+    ///
+    /// Only the flowgraph and lexical structure are computed here; the
+    /// heavier artifacts (PDG, postdominators, LST, reaching definitions)
+    /// are built on first use and cached.
     ///
     /// # Panics
     ///
@@ -43,18 +89,24 @@ impl<'p> Analysis<'p> {
             cfg.all_reach_exit(),
             "program has statements that cannot reach the exit; postdominators are undefined"
         );
-        let pdom = cfg.postdominators();
-        let pdg = Pdg::build(prog, &cfg);
-        let lst = LexSuccTree::build(prog, &structure);
         let live = cfg.reachable();
+        let has_dowhile = prog
+            .stmt_ids()
+            .any(|s| matches!(prog.stmt(s).kind, StmtKind::DoWhile { .. }));
         Analysis {
             prog,
             structure,
             cfg,
-            pdom,
-            pdg,
-            lst,
             live,
+            has_dowhile,
+            pdom: OnceLock::new(),
+            pdg: OnceLock::new(),
+            lst: OnceLock::new(),
+            reaching: OnceLock::new(),
+            n_reaching: AtomicUsize::new(0),
+            n_pdg: AtomicUsize::new(0),
+            n_pdom: AtomicUsize::new(0),
+            n_lst: AtomicUsize::new(0),
         }
     }
 
@@ -73,19 +125,60 @@ impl<'p> Analysis<'p> {
         &self.cfg
     }
 
-    /// The postdominator tree of the flowgraph.
+    /// The postdominator tree of the flowgraph (computed on first use).
     pub fn pdom(&self) -> &DomTree {
-        &self.pdom
+        self.pdom.get_or_init(|| {
+            self.n_pdom.fetch_add(1, Ordering::Relaxed);
+            self.cfg.postdominators()
+        })
     }
 
-    /// The (unaugmented) program dependence graph.
+    /// The (unaugmented) program dependence graph (computed on first use;
+    /// its data half reuses the cached reaching-definitions fixpoint).
     pub fn pdg(&self) -> &Pdg {
-        &self.pdg
+        self.pdg.get_or_init(|| {
+            self.n_pdg.fetch_add(1, Ordering::Relaxed);
+            let data = DataDeps::from_reaching(self.prog, &self.cfg, self.reaching());
+            let control = ControlDeps::compute(self.prog, &self.cfg);
+            Pdg::from_parts(data, control)
+        })
     }
 
-    /// The lexical successor tree.
+    /// The lexical successor tree (computed on first use).
     pub fn lst(&self) -> &LexSuccTree {
-        &self.lst
+        self.lst.get_or_init(|| {
+            self.n_lst.fetch_add(1, Ordering::Relaxed);
+            LexSuccTree::build(self.prog, &self.structure)
+        })
+    }
+
+    /// The reaching-definitions fixpoint (computed on first use). Shared by
+    /// every `vars_at` criterion and by the PDG's data-dependence half.
+    pub fn reaching(&self) -> &ReachingDefs {
+        self.reaching.get_or_init(|| {
+            self.n_reaching.fetch_add(1, Ordering::Relaxed);
+            ReachingDefs::compute(self.prog, &self.cfg)
+        })
+    }
+
+    /// How many times each lazy artifact has been computed so far. The
+    /// caching contract is "at most once per program"; tests hold this
+    /// probe against workloads that used to recompute per criterion.
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            reaching_defs: self.n_reaching.load(Ordering::Relaxed),
+            pdg_builds: self.n_pdg.load(Ordering::Relaxed),
+            pdom_builds: self.n_pdom.load(Ordering::Relaxed),
+            lst_builds: self.n_lst.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Forces every lazy artifact now. The batch slicer calls this before
+    /// fanning out so worker threads share fully materialized state instead
+    /// of racing to initialize it (the `OnceLock`s make such races safe,
+    /// merely wasteful).
+    pub fn warm(&self) {
+        let _ = (self.reaching(), self.pdg(), self.pdom(), self.lst());
     }
 
     /// Whether `s` is a jump statement (including the fused conditional
@@ -110,7 +203,7 @@ impl<'p> Analysis<'p> {
                     .structure
                     .enclosing_breakable(s)
                     .expect("validated: break inside breakable");
-                self.lst.immediate(b)
+                self.lst().immediate(b)
             }
             StmtKind::Continue => self.structure.enclosing_loop(s),
             StmtKind::Return { .. } => None,
@@ -120,14 +213,14 @@ impl<'p> Analysis<'p> {
 
     /// The nearest postdominator of `s` that is in `slice` (`None` = exit,
     /// which is implicitly in every slice).
-    pub fn nearest_pdom_in(&self, s: StmtId, slice: &BTreeSet<StmtId>) -> SlicePoint {
+    pub fn nearest_pdom_in(&self, s: StmtId, slice: &StmtSet) -> SlicePoint {
         let node = self.cfg.node(s);
-        for a in self.pdom.ancestors(node) {
+        for a in self.pdom().ancestors(node) {
             if a == self.cfg.exit() {
                 return None;
             }
             if let Some(t) = self.cfg.stmt(a) {
-                if slice.contains(&t) {
+                if slice.contains(t) {
                     return Some(t);
                 }
             }
@@ -137,8 +230,8 @@ impl<'p> Analysis<'p> {
 
     /// The nearest lexical successor of `s` that is in `slice` (`None` =
     /// exit).
-    pub fn nearest_lexsucc_in(&self, s: StmtId, slice: &BTreeSet<StmtId>) -> SlicePoint {
-        self.lst.nearest_where(s, |t| slice.contains(&t))
+    pub fn nearest_lexsucc_in(&self, s: StmtId, slice: &StmtSet) -> SlicePoint {
+        self.lst().nearest_where(s, |t| slice.contains(t))
     }
 
     /// Extension guard for `do-while`, a construct outside the paper's
@@ -153,11 +246,15 @@ impl<'p> Analysis<'p> {
     /// body ending in `break`). The paper's npd-vs-nls test cannot see
     /// this because a do-while's entry (its body) differs from its
     /// flowgraph node (its condition); for the paper's own constructs the
-    /// guard never fires. See `tests/extension_gaps.rs`.
-    pub fn dowhile_hazard(&self, j: StmtId, slice: &BTreeSet<StmtId>) -> bool {
+    /// guard never fires — and for programs without any `do-while` it
+    /// returns immediately, without forcing the lexical successor tree.
+    pub fn dowhile_hazard(&self, j: StmtId, slice: &StmtSet) -> bool {
+        if !self.has_dowhile {
+            return false;
+        }
         let mut prev = j;
-        for t in self.lst.successors(j) {
-            if slice.contains(&t) {
+        for t in self.lst().successors(j) {
+            if slice.contains(t) {
                 return false;
             }
             // Only an arrival *from inside the body* lands on the loop
@@ -165,7 +262,7 @@ impl<'p> Analysis<'p> {
             // from outside enters its body, which is harmless.
             if matches!(self.prog.stmt(t).kind, StmtKind::DoWhile { .. })
                 && self.structure.contains(t, prev)
-                && slice.iter().any(|&s| self.structure.contains(t, s))
+                && slice.iter().any(|s| self.structure.contains(t, s))
             {
                 return true;
             }
@@ -193,7 +290,7 @@ impl<'p> Analysis<'p> {
     /// strictly coarser than Ball–Horwitz (an early npd ≠ nls judgement can
     /// be invalidated by later closure additions). Dead jumps are skipped.
     pub fn jumps_in_pdom_preorder(&self) -> Vec<StmtId> {
-        self.pdom
+        self.pdom()
             .preorder()
             .filter_map(|n| self.cfg.stmt(n))
             .filter(|&s| self.prog.stmt(s).kind.is_unconditional_jump() && self.is_live(s))
@@ -204,7 +301,7 @@ impl<'p> Analysis<'p> {
     /// tree — the alternative driver the paper mentions; used by the
     /// ablation bench. Dead jumps are skipped.
     pub fn jumps_in_lst_preorder(&self) -> Vec<StmtId> {
-        self.lst
+        self.lst()
             .preorder()
             .into_iter()
             .filter(|&s| self.prog.stmt(s).kind.is_unconditional_jump() && self.is_live(s))
@@ -250,11 +347,22 @@ mod tests {
     fn nearest_queries() {
         let p = parse("a = 1; b = 2; c = 3; d = 4;").unwrap();
         let a = Analysis::new(&p);
-        let slice: BTreeSet<StmtId> = [p.at_line(3)].into_iter().collect();
+        let slice: StmtSet = [p.at_line(3)].into_iter().collect();
         assert_eq!(a.nearest_pdom_in(p.at_line(1), &slice), Some(p.at_line(3)));
-        assert_eq!(a.nearest_lexsucc_in(p.at_line(1), &slice), Some(p.at_line(3)));
-        assert_eq!(a.nearest_pdom_in(p.at_line(3), &slice), None, "proper ancestors only");
-        assert_eq!(a.nearest_pdom_in(p.at_line(4), &slice), None, "falls to exit");
+        assert_eq!(
+            a.nearest_lexsucc_in(p.at_line(1), &slice),
+            Some(p.at_line(3))
+        );
+        assert_eq!(
+            a.nearest_pdom_in(p.at_line(3), &slice),
+            None,
+            "proper ancestors only"
+        );
+        assert_eq!(
+            a.nearest_pdom_in(p.at_line(4), &slice),
+            None,
+            "falls to exit"
+        );
     }
 
     #[test]
@@ -281,5 +389,38 @@ mod tests {
         let a = Analysis::new(&p);
         assert!(!a.is_live(p.at_line(2)), "second goto is dead");
         assert_eq!(a.jumps_in_pdom_preorder(), vec![p.at_line(1)]);
+    }
+
+    #[test]
+    fn lazy_artifacts_compute_once() {
+        let p = parse("read(c); while (c) { read(c); } write(c);").unwrap();
+        let a = Analysis::new(&p);
+        assert_eq!(a.stats(), AnalysisStats::default(), "nothing forced yet");
+        for _ in 0..5 {
+            let _ = a.pdg();
+            let _ = a.pdom();
+            let _ = a.lst();
+            let _ = a.reaching();
+        }
+        let s = a.stats();
+        assert_eq!(
+            s,
+            AnalysisStats {
+                reaching_defs: 1,
+                pdg_builds: 1,
+                pdom_builds: 1,
+                lst_builds: 1,
+            },
+            "each artifact computed exactly once"
+        );
+    }
+
+    #[test]
+    fn dowhile_hazard_short_circuits_without_dowhile() {
+        let p = parse("x = 1; goto L; y = 2; L: write(x);").unwrap();
+        let a = Analysis::new(&p);
+        let slice: StmtSet = [p.at_line(4)].into_iter().collect();
+        assert!(!a.dowhile_hazard(p.at_line(2), &slice));
+        assert_eq!(a.stats().lst_builds, 0, "no LST forced by the fast path");
     }
 }

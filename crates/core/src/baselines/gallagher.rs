@@ -37,21 +37,16 @@ pub fn gallagher_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
     loop {
         let mut added = false;
         for &j in &jumps {
-            if stmts.contains(&j) {
+            if stmts.contains(j) {
                 continue;
             }
             let block = target_block(a, j);
-            let block_hit = block.iter().any(|t| stmts.contains(t));
-            let preds_in = a
-                .pdg()
-                .control()
-                .deps(j)
-                .iter()
-                .all(|p| stmts.contains(p));
+            let block_hit = block.iter().any(|&t| stmts.contains(t));
+            let preds_in = a.pdg().control().deps(j).iter().all(|&p| stmts.contains(p));
             // Top-level jumps have no controlling predicate; condition (b)
             // is vacuous there.
             if block_hit && preds_in {
-                stmts.extend(a.pdg().backward_closure([j]));
+                a.pdg().backward_closure_into([j], &mut stmts);
                 added = true;
             }
         }
@@ -80,11 +75,9 @@ fn target_block(a: &Analysis<'_>, j: StmtId) -> Vec<StmtId> {
     let g = a.cfg().graph();
     let mut out = Vec::new();
     let mut node = a.cfg().node(target);
-    loop {
-        match a.cfg().stmt(node) {
-            Some(s) => out.push(s),
-            None => break, // reached exit
-        }
+    // Stops at the exit node, which carries no statement.
+    while let Some(s) = a.cfg().stmt(node) {
+        out.push(s);
         let succs = g.succs(node);
         if succs.len() != 1 {
             break;

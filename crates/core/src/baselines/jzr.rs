@@ -37,10 +37,10 @@ pub fn jzr_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
         .stmt_ids()
         .filter(|&s| a.prog().stmt(s).kind.is_unconditional_jump() && a.is_live(s))
     {
-        if stmts.contains(&j) {
+        if stmts.contains(j) {
             continue;
         }
-        if a.pdg().control().deps(j).iter().any(|p| base.contains(p)) {
+        if a.pdg().control().deps(j).iter().any(|&p| base.contains(p)) {
             stmts.insert(j);
         }
     }
@@ -75,7 +75,12 @@ mod tests {
 
     #[test]
     fn coincides_with_conservative_on_structured_programs() {
-        for p in [corpus::fig1(), corpus::fig5(), corpus::fig14(), corpus::fig16()] {
+        for p in [
+            corpus::fig1(),
+            corpus::fig5(),
+            corpus::fig14(),
+            corpus::fig16(),
+        ] {
             let a = Analysis::new(&p);
             for line in 1..=p.lexical_order().len() {
                 let crit = Criterion::at_stmt(p.at_line(line));

@@ -39,7 +39,7 @@ pub fn lyle_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
     loop {
         // Nodes reachable from some current slice statement.
         let mut from_slice = vec![false; g.len()];
-        for &s in &stmts {
+        for s in stmts.iter() {
             for n in reachable_from(g, a.cfg().node(s))
                 .iter()
                 .enumerate()
@@ -50,12 +50,12 @@ pub fn lyle_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
         }
         let mut added = false;
         for &j in &jumps {
-            if stmts.contains(&j) {
+            if stmts.contains(j) {
                 continue;
             }
             let n = a.cfg().node(j);
             if from_slice[n.index()] && reaches_crit[n.index()] {
-                stmts.extend(a.pdg().backward_closure([j]));
+                a.pdg().backward_closure_into([j], &mut stmts);
                 added = true;
             }
         }

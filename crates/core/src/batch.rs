@@ -1,0 +1,202 @@
+//! Batch slicing: many criteria over one program, fanned across threads.
+//!
+//! Computing a whole family of slices — every `write` statement, every
+//! procedure exit, a regression sweep's worth of criteria — used to mean
+//! paying the program-level analyses (reaching definitions, the PDG, the
+//! postdominator tree, the lexical successor tree) once *per criterion*.
+//! [`Analysis`] now caches each of those lazily and is `Sync`, so a batch
+//! costs one analysis plus per-criterion closure work, and the closures are
+//! independent: [`BatchSlicer`] runs them on a scoped thread pool with a
+//! shared immutable [`Analysis`] and an atomic work index. Each worker
+//! allocates its own slice bitsets, so there is no cross-thread contention
+//! beyond the work counter.
+//!
+//! Results come back in criterion order and are bit-for-bit identical to a
+//! sequential loop (each slicer is a pure function of the analysis and its
+//! criterion) — the property tests in `tests/equivalence.rs` pin this.
+//!
+//! # Examples
+//!
+//! ```
+//! use jumpslice_core::{agrawal_slice, corpus, Analysis, BatchSlicer, Criterion};
+//! let p = corpus::fig3();
+//! let a = Analysis::new(&p);
+//! let batch = BatchSlicer::new(&a);
+//! let criteria: Vec<Criterion> =
+//!     p.stmt_ids().map(Criterion::at_stmt).collect();
+//! let slices = batch.slice_all(agrawal_slice, &criteria);
+//! assert_eq!(slices.len(), p.len());
+//! ```
+
+use crate::{Analysis, Criterion, Slice};
+use jumpslice_lang::{StmtId, StmtKind};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A slicing algorithm usable in a batch: any of the workspace's slicers
+/// (`conventional_slice`, `agrawal_slice`, `structured_slice`,
+/// `conservative_slice`, the `baselines`) has this shape.
+pub type SliceFn = fn(&Analysis<'_>, &Criterion) -> Slice;
+
+/// Fans one slicing algorithm across many criteria on worker threads.
+///
+/// The underlying [`Analysis`] is shared immutably: it is warmed (all lazy
+/// artifacts forced) before the fan-out, so workers only ever read it.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchSlicer<'a, 'p> {
+    analysis: &'a Analysis<'p>,
+    threads: usize,
+}
+
+impl<'a, 'p> BatchSlicer<'a, 'p> {
+    /// A batch slicer over `analysis` using the machine's available
+    /// parallelism (at least one thread).
+    pub fn new(analysis: &'a Analysis<'p>) -> BatchSlicer<'a, 'p> {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchSlicer { analysis, threads }
+    }
+
+    /// Overrides the worker-thread count (`0` is clamped to `1`). One
+    /// thread means a plain sequential loop on the caller's thread — the
+    /// baseline the benches compare against.
+    pub fn with_threads(self, threads: usize) -> BatchSlicer<'a, 'p> {
+        BatchSlicer {
+            threads: threads.max(1),
+            ..self
+        }
+    }
+
+    /// The shared analysis.
+    pub fn analysis(&self) -> &'a Analysis<'p> {
+        self.analysis
+    }
+
+    /// Slices every criterion with `algo`; `slices[i]` corresponds to
+    /// `criteria[i]`. Identical to mapping `algo` sequentially, modulo
+    /// wall-clock time.
+    pub fn slice_all(&self, algo: SliceFn, criteria: &[Criterion]) -> Vec<Slice> {
+        let a = self.analysis;
+        let n = criteria.len();
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            return criteria.iter().map(|c| algo(a, c)).collect();
+        }
+        // Force every lazy artifact up front so workers never race to
+        // initialize one (OnceLock would serialize them on first touch).
+        a.warm();
+
+        let next = AtomicUsize::new(0);
+        let worker = || {
+            let mut local: Vec<(usize, Slice)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                local.push((i, algo(a, &criteria[i])));
+            }
+            local
+        };
+        let finished: Vec<Vec<(usize, Slice)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads).map(|_| s.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+
+        let mut out: Vec<Option<Slice>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, slice) in finished.into_iter().flatten() {
+            out[i] = Some(slice);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every criterion sliced exactly once"))
+            .collect()
+    }
+
+    /// Slices at every reachable `write` statement — the criterion family
+    /// the paper's experiments (and this workspace's benches) sweep.
+    /// Returns `(write_stmt, slice)` pairs in lexical order.
+    pub fn slice_all_writes(&self, algo: SliceFn) -> Vec<(StmtId, Slice)> {
+        let p = self.analysis.prog();
+        let writes: Vec<StmtId> = p
+            .stmt_ids()
+            .filter(|&s| {
+                matches!(p.stmt(s).kind, StmtKind::Write { .. }) && self.analysis.is_live(s)
+            })
+            .collect();
+        let criteria: Vec<Criterion> = writes.iter().copied().map(Criterion::at_stmt).collect();
+        let slices = self.slice_all(algo, &criteria);
+        writes.into_iter().zip(slices).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{agrawal_slice, conventional_slice, corpus};
+
+    #[test]
+    fn batch_matches_sequential() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let sequential: Vec<Slice> = criteria.iter().map(|c| agrawal_slice(&a, c)).collect();
+        let batch = BatchSlicer::new(&a)
+            .with_threads(4)
+            .slice_all(agrawal_slice, &criteria);
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn one_thread_is_the_sequential_loop() {
+        let p = corpus::fig10();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let one = BatchSlicer::new(&a)
+            .with_threads(1)
+            .slice_all(conventional_slice, &criteria);
+        let many = BatchSlicer::new(&a)
+            .with_threads(8)
+            .slice_all(conventional_slice, &criteria);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        assert!(BatchSlicer::new(&a)
+            .slice_all(agrawal_slice, &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn write_sweep_hits_every_live_write() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let pairs = BatchSlicer::new(&a).slice_all_writes(agrawal_slice);
+        assert!(!pairs.is_empty());
+        for (w, s) in &pairs {
+            assert!(s.contains(*w), "slice at a write contains the write");
+        }
+    }
+
+    #[test]
+    fn batch_shares_one_analysis() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let _ = BatchSlicer::new(&a)
+            .with_threads(4)
+            .slice_all(agrawal_slice, &criteria);
+        let stats = a.stats();
+        assert_eq!(
+            stats.reaching_defs, 1,
+            "one ReachingDefs for the whole batch"
+        );
+        assert_eq!(stats.pdg_builds, 1, "one PDG for the whole batch");
+    }
+}

@@ -12,8 +12,8 @@
 //! requested through [`chop_executable`].
 
 use crate::{agrawal_slice, Analysis, Criterion, Slice};
+use jumpslice_dataflow::StmtSet;
 use jumpslice_lang::StmtId;
-use std::collections::BTreeSet;
 
 /// The forward closure of data and control dependence from `s`: every
 /// statement whose execution or values `s` may influence.
@@ -52,8 +52,7 @@ pub fn forward_slice(a: &Analysis<'_>, s: StmtId) -> Slice {
 pub fn chop(a: &Analysis<'_>, source: StmtId, sink: StmtId) -> Slice {
     let fwd = a.pdg().forward_closure([source]);
     let bwd = a.pdg().backward_closure([sink]);
-    let stmts: BTreeSet<StmtId> = fwd.intersection(&bwd).copied().collect();
-    Slice::from_stmts(stmts)
+    Slice::from_stmts(fwd.intersection(&bwd))
 }
 
 /// An *executable* chop: the jump-repaired backward slice of `sink`
@@ -66,15 +65,10 @@ pub fn chop(a: &Analysis<'_>, source: StmtId, sink: StmtId) -> Slice {
 pub fn chop_executable(a: &Analysis<'_>, source: StmtId, sink: StmtId) -> Slice {
     let backward = agrawal_slice(a, &Criterion::at_stmt(sink));
     let fwd = a.pdg().forward_closure([source]);
-    let stmts: BTreeSet<StmtId> = backward
+    let stmts: StmtSet = backward
         .stmts
         .iter()
-        .copied()
-        .filter(|s| {
-            fwd.contains(s)
-                || a.is_jump(*s)
-                || a.prog().stmt(*s).kind.is_predicate()
-        })
+        .filter(|&s| fwd.contains(s) || a.is_jump(s) || a.prog().stmt(s).kind.is_predicate())
         .collect();
     Slice {
         stmts,

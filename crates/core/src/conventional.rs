@@ -2,7 +2,6 @@
 
 use crate::{Analysis, Slice};
 use jumpslice_lang::{Name, StmtId};
-use std::collections::BTreeSet;
 
 /// A slicing criterion: a program location plus, optionally, a specific set
 /// of variables observed there.
@@ -42,7 +41,9 @@ impl Criterion {
         match &self.vars {
             None => vec![self.stmt],
             Some(vars) => {
-                let rd = jumpslice_dataflow::ReachingDefs::compute(a.prog(), a.cfg());
+                // One fixpoint per program, not per criterion: the analysis
+                // caches ReachingDefs and every vars_at slice shares it.
+                let rd = a.reaching();
                 let node = a.cfg().node(self.stmt);
                 let mut seeds = Vec::new();
                 for d in rd.reaching_in(node) {
@@ -79,7 +80,7 @@ impl Criterion {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn conventional_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
-    let stmts: BTreeSet<StmtId> = a.pdg().backward_closure(crit.seeds(a));
+    let stmts = a.pdg().backward_closure(crit.seeds(a));
     // The paper's Figure 3-b renders the conventional slice with L14
     // re-associated; doing the same here keeps every slice executable.
     let moved_labels = crate::reassociate_labels(a, &stmts);
@@ -110,7 +111,7 @@ mod tests {
         let a = Analysis::new(&p);
         let s = conventional_slice(&a, &Criterion::at_stmt(p.at_line(15)));
         assert_eq!(s.lines(&p), vec![2, 3, 4, 5, 8, 15], "Figure 3-b");
-        for &st in &s.stmts {
+        for st in s.stmts.iter() {
             assert!(
                 !p.stmt(st).kind.is_unconditional_jump(),
                 "line {} is an unconditional jump",

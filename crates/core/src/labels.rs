@@ -1,8 +1,8 @@
 //! Label re-association (the final step of Figures 7, 12, and 13).
 
 use crate::{Analysis, SlicePoint};
-use jumpslice_lang::{Label, StmtId, StmtKind};
-use std::collections::BTreeSet;
+use jumpslice_dataflow::StmtSet;
+use jumpslice_lang::{Label, StmtKind};
 
 /// For each `goto L` (plain or fused conditional) in the slice whose target
 /// statement is *not* in the slice, associates `L` with the target's nearest
@@ -11,12 +11,9 @@ use std::collections::BTreeSet;
 /// Quoting Figure 7: *"For each goto statement, Goto L, in Slice, if the
 /// statement labeled L is not in Slice then associate the label L with its
 /// nearest postdominator in Slice."*
-pub fn reassociate_labels(
-    a: &Analysis<'_>,
-    slice: &BTreeSet<StmtId>,
-) -> Vec<(Label, SlicePoint)> {
+pub fn reassociate_labels(a: &Analysis<'_>, slice: &StmtSet) -> Vec<(Label, SlicePoint)> {
     let mut moved: Vec<(Label, SlicePoint)> = Vec::new();
-    for &s in slice {
+    for s in slice.iter() {
         let label = match a.prog().stmt(s).kind {
             StmtKind::Goto { target } | StmtKind::CondGoto { target, .. } => target,
             _ => continue,
@@ -28,7 +25,7 @@ pub fn reassociate_labels(
             .prog()
             .label_target(label)
             .expect("validated programs have resolved labels");
-        if slice.contains(&target_stmt) {
+        if slice.contains(target_stmt) {
             continue;
         }
         let dest = a.nearest_pdom_in(target_stmt, slice);
@@ -41,6 +38,7 @@ pub fn reassociate_labels(
 mod tests {
     use super::*;
     use crate::Analysis;
+    use jumpslice_dataflow::StmtSet;
     use jumpslice_lang::parse;
 
     #[test]
@@ -48,8 +46,9 @@ mod tests {
         let p = parse("x = 1; goto L; y = 2; L: z = 3; write(x);").unwrap();
         let a = Analysis::new(&p);
         // Slice keeps the goto but not the labeled statement.
-        let slice: BTreeSet<StmtId> =
-            [p.at_line(1), p.at_line(2), p.at_line(5)].into_iter().collect();
+        let slice: StmtSet = [p.at_line(1), p.at_line(2), p.at_line(5)]
+            .into_iter()
+            .collect();
         let moved = reassociate_labels(&a, &slice);
         let l = p.label("L").unwrap();
         assert_eq!(moved, vec![(l, Some(p.at_line(5)))]);
@@ -59,7 +58,7 @@ mod tests {
     fn label_in_slice_does_not_move() {
         let p = parse("goto L; L: write(x);").unwrap();
         let a = Analysis::new(&p);
-        let slice: BTreeSet<StmtId> = [p.at_line(1), p.at_line(2)].into_iter().collect();
+        let slice: StmtSet = [p.at_line(1), p.at_line(2)].into_iter().collect();
         assert!(reassociate_labels(&a, &slice).is_empty());
     }
 
@@ -67,7 +66,7 @@ mod tests {
     fn label_moves_to_exit_when_nothing_follows() {
         let p = parse("goto L; L: x = 1;").unwrap();
         let a = Analysis::new(&p);
-        let slice: BTreeSet<StmtId> = [p.at_line(1)].into_iter().collect();
+        let slice: StmtSet = [p.at_line(1)].into_iter().collect();
         let moved = reassociate_labels(&a, &slice);
         assert_eq!(moved, vec![(p.label("L").unwrap(), None)]);
     }
@@ -76,8 +75,9 @@ mod tests {
     fn two_gotos_one_label_deduplicated() {
         let p = parse("goto L; goto L; L: x = 1; write(y);").unwrap();
         let a = Analysis::new(&p);
-        let slice: BTreeSet<StmtId> =
-            [p.at_line(1), p.at_line(2), p.at_line(4)].into_iter().collect();
+        let slice: StmtSet = [p.at_line(1), p.at_line(2), p.at_line(4)]
+            .into_iter()
+            .collect();
         let moved = reassociate_labels(&a, &slice);
         assert_eq!(moved.len(), 1);
     }

@@ -272,7 +272,10 @@ mod tests {
         let chain: Vec<usize> = t.successors(x).map(|s| p.line_of(s)).collect();
         assert_eq!(chain, vec![4, 1, 5]);
         assert!(t.is_successor(p.at_line(1), x));
-        assert!(!t.is_successor(p.at_line(2), x), "the if is not a successor");
+        assert!(
+            !t.is_successor(p.at_line(2), x),
+            "the if is not a successor"
+        );
         assert_eq!(
             t.nearest_where(x, |s| p.line_of(s) == 1),
             Some(p.at_line(1))
@@ -285,8 +288,7 @@ mod tests {
         let (p, t) = lst_of("a = 1; while (c) { b = 2; } d = 3;");
         let order = t.preorder();
         assert_eq!(order.len(), p.len());
-        let pos =
-            |s: StmtId| order.iter().position(|&x| x == s).unwrap();
+        let pos = |s: StmtId| order.iter().position(|&x| x == s).unwrap();
         for s in p.stmt_ids() {
             if let Some(par) = t.immediate(s) {
                 assert!(pos(par) < pos(s), "parent before child");

@@ -59,6 +59,7 @@
 mod agrawal;
 mod analysis;
 pub mod baselines;
+mod batch;
 mod chop;
 mod conservative;
 mod conventional;
@@ -70,8 +71,9 @@ mod structured;
 pub mod synthesize;
 
 pub use agrawal::{agrawal_slice, agrawal_slice_with_order};
+pub use analysis::{Analysis, AnalysisStats};
+pub use batch::{BatchSlicer, SliceFn};
 pub use chop::{chop, chop_executable, forward_slice};
-pub use analysis::Analysis;
 pub use conservative::conservative_slice;
 pub use conventional::{conventional_slice, Criterion};
 pub use labels::reassociate_labels;

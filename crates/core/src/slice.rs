@@ -1,7 +1,7 @@
 //! The result type shared by every slicing algorithm.
 
+use jumpslice_dataflow::StmtSet;
 use jumpslice_lang::{Label, Program, StmtId};
-use std::collections::BTreeSet;
 
 /// A point a tree walk can land on: a statement, or the program exit.
 ///
@@ -13,8 +13,11 @@ pub type SlicePoint = Option<StmtId>;
 /// The outcome of a slicing algorithm.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Slice {
-    /// The statements included in the slice.
-    pub stmts: BTreeSet<StmtId>,
+    /// The statements included in the slice, as a dense bitset. Iteration
+    /// is in ascending statement-id order (= lexical order), so everything
+    /// downstream of the old sorted-`BTreeSet` representation — `lines`,
+    /// `render`, the figure tests — sees identical output.
+    pub stmts: StmtSet,
     /// Labels whose original carrier fell out of the slice, re-associated
     /// with their target's nearest postdominator in the slice (`None` = the
     /// program exit) — the final step of the paper's Figure 7.
@@ -27,7 +30,7 @@ pub struct Slice {
 
 impl Slice {
     /// Wraps a bare statement set.
-    pub fn from_stmts(stmts: BTreeSet<StmtId>) -> Slice {
+    pub fn from_stmts(stmts: StmtSet) -> Slice {
         Slice {
             stmts,
             moved_labels: Vec::new(),
@@ -37,7 +40,7 @@ impl Slice {
 
     /// Whether `s` is in the slice.
     pub fn contains(&self, s: StmtId) -> bool {
-        self.stmts.contains(&s)
+        self.stmts.contains(s)
     }
 
     /// Number of statements in the slice.
@@ -53,7 +56,7 @@ impl Slice {
     /// Paper-style line numbers of the slice statements, sorted — the format
     /// used throughout the tests and the figure harness.
     pub fn lines(&self, prog: &Program) -> Vec<usize> {
-        let mut lines: Vec<usize> = self.stmts.iter().map(|&s| prog.line_of(s)).collect();
+        let mut lines: Vec<usize> = self.stmts.iter().map(|s| prog.line_of(s)).collect();
         lines.sort_unstable();
         lines
     }
@@ -78,7 +81,7 @@ mod tests {
     #[test]
     fn lines_are_sorted_lexically() {
         let p = parse("a = 1; b = 2; c = 3;").unwrap();
-        let mut set = BTreeSet::new();
+        let mut set = StmtSet::with_capacity(p.len());
         set.insert(p.at_line(3));
         set.insert(p.at_line(1));
         let s = Slice::from_stmts(set);

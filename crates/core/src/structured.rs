@@ -91,7 +91,7 @@ pub fn structured_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
     let mut stmts = conventional_slice(a, crit).stmts;
     let mut added_any = false;
     for j in a.jumps_in_pdom_preorder() {
-        if stmts.contains(&j) {
+        if stmts.contains(j) {
             continue;
         }
         // The do-while hazard guard bypasses both of the paper's
@@ -104,12 +104,7 @@ pub fn structured_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
             added_any = true;
             continue;
         }
-        let on_included_predicate = a
-            .pdg()
-            .control()
-            .deps(j)
-            .iter()
-            .any(|p| stmts.contains(p));
+        let on_included_predicate = a.pdg().control().deps(j).iter().any(|&p| stmts.contains(p));
         if !on_included_predicate {
             continue;
         }

@@ -159,7 +159,10 @@ mod tests {
         for v in [0, 63, 64, 65, 127, 128, 199] {
             s.insert(v);
         }
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 127, 128, 199]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 127, 128, 199]
+        );
     }
 
     #[test]

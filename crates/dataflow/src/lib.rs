@@ -28,7 +28,9 @@
 mod bitset;
 mod live;
 mod reaching;
+mod stmtset;
 
 pub use bitset::BitSet;
 pub use live::LiveVars;
 pub use reaching::{DataDeps, ReachingDefs, VarTable};
+pub use stmtset::StmtSet;

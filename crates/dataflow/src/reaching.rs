@@ -203,10 +203,10 @@ impl DataDeps {
 
     /// All edges as `(def, use)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (StmtId, StmtId)> + '_ {
-        self.deps.iter().enumerate().flat_map(|(u, ds)| {
-            ds.iter()
-                .map(move |&d| (d, StmtId::from_index(u)))
-        })
+        self.deps
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ds)| ds.iter().map(move |&d| (d, StmtId::from_index(u))))
     }
 
     /// Total number of edges.
@@ -224,7 +224,10 @@ mod tests {
         let p = parse(src).unwrap();
         let cfg = Cfg::build(&p);
         let dd = DataDeps::compute(&p, &cfg);
-        dd.deps(p.at_line(line)).iter().map(|&s| p.line_of(s)).collect()
+        dd.deps(p.at_line(line))
+            .iter()
+            .map(|&s| p.line_of(s))
+            .collect()
     }
 
     #[test]

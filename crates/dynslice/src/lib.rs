@@ -33,7 +33,7 @@
 //! let d = dynamic_slice(&p, &Input { seed: 1, ..Input::default() }, &DynCriterion::last(p.at_line(5)));
 //! // Exactly one of the two assignments executed; only it is in the slice.
 //! let branches = [p.at_line(3), p.at_line(4)];
-//! assert_eq!(branches.iter().filter(|s| d.stmts.contains(s)).count(), 1);
+//! assert_eq!(branches.iter().filter(|&&s| d.stmts.contains(s)).count(), 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 use jumpslice_core::Analysis;
+use jumpslice_dataflow::StmtSet;
 use jumpslice_interp::{run, Input, Trajectory};
 use jumpslice_lang::{Name, Program, StmtId};
 use std::collections::{BTreeSet, HashMap};
@@ -76,7 +77,7 @@ impl DynCriterion {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DynamicSlice {
     /// Statements whose executions influenced the criterion occurrence.
-    pub stmts: BTreeSet<StmtId>,
+    pub stmts: StmtSet,
     /// The trace event indices in the dynamic backward closure.
     pub events: BTreeSet<usize>,
     /// Whether the criterion occurrence was found in the (fuel-bounded)
@@ -113,7 +114,7 @@ pub fn dynamic_slice_of_trace(
         .map(|(i, _)| i);
     let crit_event = match crit.occurrence {
         Some(k) => occurrences.nth(k),
-        None => occurrences.last(),
+        None => occurrences.next_back(),
     };
     let Some(crit_event) = crit_event else {
         return DynamicSlice::default();
@@ -173,10 +174,9 @@ mod tests {
     use jumpslice_core::{conventional_slice, Criterion};
     use jumpslice_lang::{parse, StmtKind};
     use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
-    use proptest::prelude::*;
 
-    fn lines(p: &Program, s: &BTreeSet<StmtId>) -> Vec<usize> {
-        let mut v: Vec<usize> = s.iter().map(|&x| p.line_of(x)).collect();
+    fn lines(p: &Program, s: &StmtSet) -> Vec<usize> {
+        let mut v: Vec<usize> = s.iter().map(|x| p.line_of(x)).collect();
         v.sort_unstable();
         v
     }
@@ -196,8 +196,8 @@ mod tests {
                 &DynCriterion::last(p.at_line(5)),
             );
             assert!(d.criterion_found);
-            let then_in = d.stmts.contains(&p.at_line(3));
-            let else_in = d.stmts.contains(&p.at_line(4));
+            let then_in = d.stmts.contains(p.at_line(3));
+            let else_in = d.stmts.contains(p.at_line(4));
             assert!(then_in ^ else_in, "exactly one branch executed: {d:?}");
             seen.insert(then_in);
         }
@@ -222,7 +222,7 @@ mod tests {
         // Both need the increment and the loop; the later occurrence has
         // (weakly) more events behind it.
         assert!(first.events.len() <= last.events.len());
-        assert!(first.stmts.contains(&p.at_line(3)));
+        assert!(first.stmts.contains(p.at_line(3)));
     }
 
     #[test]
@@ -251,7 +251,7 @@ mod tests {
                 &DynCriterion::last(p.at_line(5)),
             );
             let reads = [p.at_line(1), p.at_line(4)];
-            let hit = reads.iter().filter(|s| d.stmts.contains(s)).count();
+            let hit = reads.iter().filter(|&&s| d.stmts.contains(s)).count();
             assert_eq!(hit, 1, "exactly one read feeds x dynamically");
         }
     }
@@ -281,22 +281,26 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// The classic theorem: dynamic slices are contained in the static
-        /// slice of the same criterion statement.
-        #[test]
-        fn dynamic_within_static_structured(seed in 0u64..200, size in 15usize..50) {
+    /// The classic theorem: dynamic slices are contained in the static
+    /// slice of the same criterion statement.
+    #[test]
+    fn dynamic_within_static_structured() {
+        jumpslice_testkit::check(24, |rng| {
+            let seed = rng.gen_range(0u64..200);
+            let size = rng.gen_range(15usize..50);
             containment_case(&gen_structured(&GenConfig::sized(seed, size)));
-        }
+        });
+    }
 
-        #[test]
-        fn dynamic_within_static_unstructured(seed in 0u64..200, size in 10usize..35) {
+    #[test]
+    fn dynamic_within_static_unstructured() {
+        jumpslice_testkit::check(24, |rng| {
+            let seed = rng.gen_range(0u64..200);
+            let size = rng.gen_range(10usize..35);
             containment_case(&gen_unstructured(&GenConfig {
                 jump_density: 0.3,
                 ..GenConfig::sized(seed, size)
             }));
-        }
+        });
     }
 }

@@ -84,7 +84,7 @@ fn reachable_avoiding(g: &DiGraph, root: NodeId, avoid: NodeId) -> Vec<bool> {
 mod tests {
     use super::*;
     use crate::DomTree;
-    use proptest::prelude::*;
+    use jumpslice_testkit::Rng;
 
     #[test]
     fn diamond() {
@@ -93,62 +93,64 @@ mod tests {
             g.add_edge(a.into(), b.into());
         }
         let idoms = dominators_brute_force(&g, 0.into());
-        assert_eq!(idoms, vec![None, Some(0.into()), Some(0.into()), Some(0.into())]);
+        assert_eq!(
+            idoms,
+            vec![None, Some(0.into()), Some(0.into()), Some(0.into())]
+        );
     }
 
     #[test]
     fn unreachable_has_no_idom() {
-        let mut g = DiGraph::with_nodes(2);
+        let g = DiGraph::with_nodes(2);
         let idoms = dominators_brute_force(&g, 0.into());
         assert_eq!(idoms, vec![None, None]);
     }
 
-    /// Strategy: random graphs with `n` nodes where node 0 is the root and
-    /// every node gets 0..=3 random successors.
-    fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph> {
-        (2..max_n).prop_flat_map(|n| {
-            proptest::collection::vec(proptest::collection::vec(0..n, 0..4), n).prop_map(
-                move |adj| {
-                    let mut g = DiGraph::with_nodes(n);
-                    // Ensure basic connectivity: a spine 0 -> 1 -> ... so most
-                    // nodes are reachable and the test is not vacuous.
-                    for i in 0..n - 1 {
-                        g.add_edge(i.into(), (i + 1).into());
-                    }
-                    for (i, ss) in adj.iter().enumerate() {
-                        for &s in ss {
-                            g.add_edge(i.into(), s.into());
-                        }
-                    }
-                    g
-                },
-            )
-        })
+    /// Random graph with `2..max_n` nodes: node 0 is the root, a spine
+    /// `0 -> 1 -> ...` keeps most nodes reachable (so the tests are not
+    /// vacuous), and every node gets 0..=3 extra random successors.
+    fn arb_graph(rng: &mut Rng, max_n: usize) -> DiGraph {
+        let n = rng.gen_range(2..max_n);
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(i.into(), (i + 1).into());
+        }
+        for i in 0..n {
+            for _ in 0..rng.gen_range(0..4usize) {
+                g.add_edge(i.into(), rng.gen_range(0..n).into());
+            }
+        }
+        g
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn iterative_matches_brute_force(g in arb_graph(16)) {
+    #[test]
+    fn iterative_matches_brute_force() {
+        jumpslice_testkit::check(64, |rng| {
+            let g = arb_graph(rng, 16);
             let fast = DomTree::iterative(&g, 0.into());
             let brute = dominators_brute_force(&g, 0.into());
             for v in g.nodes() {
-                prop_assert_eq!(fast.idom(v), brute[v.index()]);
+                assert_eq!(fast.idom(v), brute[v.index()]);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn lengauer_tarjan_matches_brute_force(g in arb_graph(16)) {
+    #[test]
+    fn lengauer_tarjan_matches_brute_force() {
+        jumpslice_testkit::check(64, |rng| {
+            let g = arb_graph(rng, 16);
             let fast = DomTree::lengauer_tarjan(&g, 0.into());
             let brute = dominators_brute_force(&g, 0.into());
             for v in g.nodes() {
-                prop_assert_eq!(fast.idom(v), brute[v.index()]);
+                assert_eq!(fast.idom(v), brute[v.index()]);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn postdominators_match_brute_force_on_reversal(g in arb_graph(12)) {
+    #[test]
+    fn postdominators_match_brute_force_on_reversal() {
+        jumpslice_testkit::check(64, |rng| {
+            let g = arb_graph(rng, 12);
             // Postdominators = dominators of the reversal rooted at the last
             // node (the spine guarantees it's reachable from everything...
             // in the reversal: everything reaches it in the forward graph).
@@ -157,8 +159,8 @@ mod tests {
             let fast = DomTree::iterative(&r, root);
             let brute = dominators_brute_force(&r, root);
             for v in g.nodes() {
-                prop_assert_eq!(fast.idom(v), brute[v.index()]);
+                assert_eq!(fast.idom(v), brute[v.index()]);
             }
-        }
+        });
     }
 }

@@ -111,8 +111,8 @@ impl DomTree {
     /// numbering, depths) from an immediate-dominator array.
     pub(crate) fn from_idoms(n: usize, root: NodeId, idom: Vec<Option<NodeId>>) -> DomTree {
         let mut children = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(d) = idom[i] {
+        for (i, d) in idom.iter().enumerate() {
+            if let Some(d) = d {
                 children[d.index()].push(NodeId::new(i));
             }
         }
@@ -251,7 +251,16 @@ mod tests {
     fn chk_graph() -> DiGraph {
         // Nodes: 0=entry(6 in paper),1..5
         let mut g = DiGraph::with_nodes(6);
-        for (a, b) in [(0, 4), (0, 3), (4, 1), (3, 2), (1, 2), (2, 1), (2, 5), (1, 5)] {
+        for (a, b) in [
+            (0, 4),
+            (0, 3),
+            (4, 1),
+            (3, 2),
+            (1, 2),
+            (2, 1),
+            (2, 5),
+            (1, 5),
+        ] {
             g.add_edge(a.into(), b.into());
         }
         g
@@ -342,7 +351,18 @@ mod tests {
     fn iterative_matches_lengauer_tarjan_on_fixtures() {
         for g in [chk_graph(), {
             let mut g = DiGraph::with_nodes(8);
-            for (a, b) in [(0, 1), (1, 2), (1, 3), (2, 7), (3, 4), (4, 5), (4, 6), (5, 7), (6, 4), (7, 1)] {
+            for (a, b) in [
+                (0, 1),
+                (1, 2),
+                (1, 3),
+                (2, 7),
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (5, 7),
+                (6, 4),
+                (7, 1),
+            ] {
                 g.add_edge(a.into(), b.into());
             }
             g

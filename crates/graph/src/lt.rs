@@ -64,8 +64,8 @@ impl<'g> LtState<'g> {
             u = self.ancestor[u];
         }
         let top = u; // ancestor[top] is the forest root
-        // Compress top-down so each node sees its (already compressed)
-        // parent's best label.
+                     // Compress top-down so each node sees its (already compressed)
+                     // parent's best label.
         for &w in path.iter().rev() {
             let a = self.ancestor[w];
             if self.semi[self.label[a]] < self.semi[self.label[w]] {
@@ -148,10 +148,27 @@ mod tests {
         let idx = |c: char| names.find(c).unwrap();
         let mut g = DiGraph::with_nodes(13);
         for (a, b) in [
-            ('R', 'A'), ('R', 'B'), ('R', 'C'), ('A', 'D'), ('B', 'A'), ('B', 'D'),
-            ('B', 'E'), ('C', 'F'), ('C', 'G'), ('D', 'L'), ('E', 'H'), ('F', 'I'),
-            ('G', 'I'), ('G', 'J'), ('H', 'E'), ('H', 'K'), ('I', 'K'), ('J', 'I'),
-            ('K', 'I'), ('K', 'R'), ('L', 'H'),
+            ('R', 'A'),
+            ('R', 'B'),
+            ('R', 'C'),
+            ('A', 'D'),
+            ('B', 'A'),
+            ('B', 'D'),
+            ('B', 'E'),
+            ('C', 'F'),
+            ('C', 'G'),
+            ('D', 'L'),
+            ('E', 'H'),
+            ('F', 'I'),
+            ('G', 'I'),
+            ('G', 'J'),
+            ('H', 'E'),
+            ('H', 'K'),
+            ('I', 'K'),
+            ('J', 'I'),
+            ('K', 'I'),
+            ('K', 'R'),
+            ('L', 'H'),
         ] {
             g.add_edge(idx(a).into(), idx(b).into());
         }

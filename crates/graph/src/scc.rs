@@ -135,7 +135,11 @@ mod tests {
             g.add_edge(a.into(), b.into());
         }
         let sccs = tarjan_scc(&g);
-        let pos = |v: usize| sccs.iter().position(|c| c.contains(&NodeId::new(v))).unwrap();
+        let pos = |v: usize| {
+            sccs.iter()
+                .position(|c| c.contains(&NodeId::new(v)))
+                .unwrap()
+        };
         assert!(pos(3) < pos(1));
         assert!(pos(1) < pos(0));
         assert_eq!(pos(1), pos(2));

@@ -107,14 +107,20 @@ mod tests {
     #[test]
     fn preorder_on_chain_is_identity() {
         let g = chain(5);
-        let order: Vec<usize> = dfs_preorder(&g, 0.into()).iter().map(|n| n.index()).collect();
+        let order: Vec<usize> = dfs_preorder(&g, 0.into())
+            .iter()
+            .map(|n| n.index())
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn postorder_on_chain_is_reversed() {
         let g = chain(4);
-        let order: Vec<usize> = dfs_postorder(&g, 0.into()).iter().map(|n| n.index()).collect();
+        let order: Vec<usize> = dfs_postorder(&g, 0.into())
+            .iter()
+            .map(|n| n.index())
+            .collect();
         assert_eq!(order, vec![3, 2, 1, 0]);
     }
 

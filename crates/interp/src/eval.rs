@@ -45,27 +45,20 @@ impl State {
 /// expression (scopes the `eof()` counters). Uninterpreted calls are pure
 /// hashes of their name and argument values; division and modulo by zero
 /// evaluate to 0; unknown variables read as 0.
-pub(crate) fn eval(
-    prog: &Program,
-    state: &mut State,
-    seed: u64,
-    eof_after: u64,
-    site: u64,
-    e: &Expr,
-) -> i64 {
+pub(crate) fn eval(prog: &Program, state: &mut State, eof_after: u64, site: u64, e: &Expr) -> i64 {
     match e {
         Expr::Num(n) => *n,
         Expr::Var(v) => state.vars.get(v).copied().unwrap_or(0),
         Expr::Unary(op, inner) => {
-            let x = eval(prog, state, seed, eof_after, site, inner);
+            let x = eval(prog, state, eof_after, site, inner);
             match op {
                 UnOp::Neg => x.wrapping_neg(),
                 UnOp::Not => i64::from(x == 0),
             }
         }
         Expr::Binary(op, l, r) => {
-            let a = eval(prog, state, seed, eof_after, site, l);
-            let b = eval(prog, state, seed, eof_after, site, r);
+            let a = eval(prog, state, eof_after, site, l);
+            let b = eval(prog, state, eof_after, site, r);
             match op {
                 BinOp::Add => a.wrapping_add(b),
                 BinOp::Sub => a.wrapping_sub(b),
@@ -109,7 +102,7 @@ pub(crate) fn eval(
             }
             let mut h = mix(h);
             for a in args {
-                let v = eval(prog, state, seed, eof_after, site, a);
+                let v = eval(prog, state, eof_after, site, a);
                 h = mix(h ^ v as u64);
             }
             small(h)
@@ -129,8 +122,9 @@ mod tests {
             panic!()
         };
         let mut st = State::default();
-        st.vars.insert(p.name("y").unwrap_or(p.name("x").unwrap()), 5);
-        eval(&p, &mut st, 42, 3, s.index() as u64, rhs)
+        st.vars
+            .insert(p.name("y").unwrap_or(p.name("x").unwrap()), 5);
+        eval(&p, &mut st, 3, s.index() as u64, rhs)
     }
 
     #[test]
@@ -169,8 +163,8 @@ mod tests {
         };
         let mut st = State::default();
         st.vars.insert(p.name("y").unwrap(), 7);
-        let a = eval(&p, &mut st, 1, 3, s1.index() as u64, &get(s1));
-        let b = eval(&p, &mut st, 1, 3, s2.index() as u64, &get(s2));
+        let a = eval(&p, &mut st, 3, s1.index() as u64, &get(s1));
+        let b = eval(&p, &mut st, 3, s2.index() as u64, &get(s2));
         assert_eq!(a, b, "same function, same args, same value");
     }
 
@@ -182,7 +176,9 @@ mod tests {
             panic!()
         };
         let mut st = State::default();
-        let vals: Vec<i64> = (0..5).map(|_| eval(&p, &mut st, 0, 3, s.index() as u64, rhs)).collect();
+        let vals: Vec<i64> = (0..5)
+            .map(|_| eval(&p, &mut st, 3, s.index() as u64, rhs))
+            .collect();
         assert_eq!(vals, vec![0, 0, 0, 1, 1]);
     }
 

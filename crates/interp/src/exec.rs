@@ -215,10 +215,7 @@ impl Planner<'_> {
     }
 
     fn label_target(&self, l: Label) -> Target {
-        let orig = self
-            .prog
-            .label_target(l)
-            .expect("validated labels resolve");
+        let orig = self.prog.label_target(l).expect("validated labels resolve");
         if self.included(orig) {
             return self.first_target(orig);
         }
@@ -233,7 +230,11 @@ impl Planner<'_> {
     }
 
     fn wire_block(&mut self, block: &[StmtId], follow: Target, ctx: Ctx) -> Target {
-        let kept: Vec<StmtId> = block.iter().copied().filter(|&s| self.included(s)).collect();
+        let kept: Vec<StmtId> = block
+            .iter()
+            .copied()
+            .filter(|&s| self.included(s))
+            .collect();
         let mut next = follow;
         for &s in kept.iter().rev() {
             self.wire_stmt(s, next, ctx);
@@ -325,7 +326,7 @@ fn execute(
         }
         fuel -= 1;
         let ev = |prog: &Program, state: &mut State, e| {
-            eval(prog, state, input.seed, input.eof_after, site_key(s), e)
+            eval(prog, state, input.eof_after, site_key(s), e)
         };
         let flow = &plan.flow[&s];
         let mut value = None;
@@ -380,7 +381,10 @@ fn execute(
                     .map(|&(_, t)| t)
                     .unwrap_or(*default)
             }
-            (StmtKind::Skip | StmtKind::Goto { .. } | StmtKind::Break | StmtKind::Continue, Flow::Seq(n)) => *n,
+            (
+                StmtKind::Skip | StmtKind::Goto { .. } | StmtKind::Break | StmtKind::Continue,
+                Flow::Seq(n),
+            ) => *n,
             (k, f) => unreachable!("statement {k:?} with flow {f:?}"),
         };
         traj.events.push(TraceEvent { stmt: s, value });
@@ -452,7 +456,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run(&p, &Input::default()).outputs, vec![2, 3, 0]);
-        let p = parse("c = 7; switch (c) { case 1: write(1); default: write(99); } write(0);").unwrap();
+        let p =
+            parse("c = 7; switch (c) { case 1: write(1); default: write(99); } write(0);").unwrap();
         assert_eq!(run(&p, &Input::default()).outputs, vec![99, 0]);
     }
 

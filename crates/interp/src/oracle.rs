@@ -7,15 +7,15 @@
 //! on jump programs (Figure 3-b); the paper's algorithms must pass it.
 
 use crate::{run, run_masked, Input, TraceEvent, Trajectory};
+use jumpslice_dataflow::StmtSet;
 use jumpslice_lang::{Label, Program, StmtId};
-use std::collections::BTreeSet;
 
 /// Projects a trajectory onto a statement set.
-pub fn project(traj: &Trajectory, keep: &BTreeSet<StmtId>) -> Vec<TraceEvent> {
+pub fn project(traj: &Trajectory, keep: &StmtSet) -> Vec<TraceEvent> {
     traj.events
         .iter()
         .copied()
-        .filter(|e| keep.contains(&e.stmt))
+        .filter(|e| keep.contains(e.stmt))
         .collect()
 }
 
@@ -68,13 +68,13 @@ impl std::error::Error for ProjectionMismatch {}
 /// ```
 pub fn check_projection(
     prog: &Program,
-    slice: &BTreeSet<StmtId>,
+    slice: &StmtSet,
     moved_labels: &[(Label, Option<StmtId>)],
     inputs: &[Input],
 ) -> Result<(), ProjectionMismatch> {
     for input in inputs {
         let full = run(prog, input);
-        let residual = run_masked(prog, input, &|s| slice.contains(&s), moved_labels);
+        let residual = run_masked(prog, input, &|s| slice.contains(s), moved_labels);
         let expected = project(&full, slice);
         // Project the residual run too: structurally auto-included
         // containers execute but are not slice members.
@@ -104,14 +104,14 @@ mod tests {
     #[test]
     fn identity_slice_always_projects() {
         let p = parse("read(x); while (x > 0) { x = x - 1; } write(x);").unwrap();
-        let all: BTreeSet<StmtId> = p.stmt_ids().collect();
+        let all: StmtSet = p.stmt_ids().collect();
         check_projection(&p, &all, &[], &Input::family(6)).unwrap();
     }
 
     #[test]
     fn irrelevant_statement_can_be_dropped() {
         let p = parse("x = 1; y = 2; write(x);").unwrap();
-        let keep: BTreeSet<StmtId> = [p.at_line(1), p.at_line(3)].into_iter().collect();
+        let keep: StmtSet = [p.at_line(1), p.at_line(3)].into_iter().collect();
         check_projection(&p, &keep, &[], &Input::family(4)).unwrap();
     }
 
@@ -128,11 +128,11 @@ mod tests {
         )
         .unwrap();
         // Keep everything except the goto on line 4.
-        let bad: BTreeSet<StmtId> = p.stmt_ids().filter(|&s| s != p.at_line(4)).collect();
+        let bad: StmtSet = p.stmt_ids().filter(|&s| s != p.at_line(4)).collect();
         let err = check_projection(&p, &bad, &[], &Input::family(8));
         assert!(err.is_err(), "missing goto must be caught by the oracle");
         // Keeping it passes.
-        let good: BTreeSet<StmtId> = p.stmt_ids().collect();
+        let good: StmtSet = p.stmt_ids().collect();
         check_projection(&p, &good, &[], &Input::family(8)).unwrap();
     }
 
@@ -140,7 +140,7 @@ mod tests {
     fn projection_helper_filters() {
         let p = parse("a = 1; b = 2;").unwrap();
         let t = run(&p, &Input::default());
-        let keep: BTreeSet<StmtId> = [p.at_line(2)].into_iter().collect();
+        let keep: StmtSet = [p.at_line(2)].into_iter().collect();
         let proj = project(&t, &keep);
         assert_eq!(proj.len(), 1);
         assert_eq!(proj[0].stmt, p.at_line(2));
@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn mismatch_is_reportable() {
         let p = parse("x = 1; write(x);").unwrap();
-        let keep: BTreeSet<StmtId> = [p.at_line(2)].into_iter().collect();
+        let keep: StmtSet = [p.at_line(2)].into_iter().collect();
         // Dropping x = 1 changes the written value: mismatch.
         let err = check_projection(&p, &keep, &[], &[Input::default()]).unwrap_err();
         let msg = err.to_string();

@@ -457,15 +457,11 @@ impl Program {
         let mut vars = Vec::new();
         for s in &self.stmts {
             match &s.kind {
-                StmtKind::Assign { lhs, .. } => {
-                    if !vars.contains(lhs) {
-                        vars.push(*lhs);
-                    }
+                StmtKind::Assign { lhs, .. } if !vars.contains(lhs) => {
+                    vars.push(*lhs);
                 }
-                StmtKind::Read { var } => {
-                    if !vars.contains(var) {
-                        vars.push(*var);
-                    }
+                StmtKind::Read { var } if !vars.contains(var) => {
+                    vars.push(*var);
                 }
                 _ => {}
             }

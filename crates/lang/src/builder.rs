@@ -25,6 +25,10 @@ use crate::ast::*;
 use crate::error::Error;
 use crate::validate::validate;
 
+// Constructor names mirror the surface syntax (`add`, `not`, …); they are
+// static constructors, not operator-trait impls, and `Expr: !Copy` makes
+// real operator overloading more awkward than these calls.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal.
     pub fn num(n: i64) -> Expr {
@@ -389,7 +393,8 @@ mod tests {
         let y = b.var("y");
         b.write(y);
         let built = b.build().unwrap();
-        let parsed = parse("read(x); if (x <= 0) { y = x + 1; } else { y = 0; } write(y);").unwrap();
+        let parsed =
+            parse("read(x); if (x <= 0) { y = x + 1; } else { y = 0; } write(y);").unwrap();
         assert_eq!(print_program(&built), print_program(&parsed));
     }
 

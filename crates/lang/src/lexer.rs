@@ -297,7 +297,11 @@ impl<'src> Lexer<'src> {
                     self.bump();
                     tok(TokenKind::AndAnd)
                 } else {
-                    Err(Error::new(ErrorKind::UnexpectedChar('&'), span.line, span.col))
+                    Err(Error::new(
+                        ErrorKind::UnexpectedChar('&'),
+                        span.line,
+                        span.col,
+                    ))
                 }
             }
             '|' => {
@@ -305,7 +309,11 @@ impl<'src> Lexer<'src> {
                     self.bump();
                     tok(TokenKind::OrOr)
                 } else {
-                    Err(Error::new(ErrorKind::UnexpectedChar('|'), span.line, span.col))
+                    Err(Error::new(
+                        ErrorKind::UnexpectedChar('|'),
+                        span.line,
+                        span.col,
+                    ))
                 }
             }
             c if c.is_ascii_digit() => {
@@ -321,7 +329,11 @@ impl<'src> Lexer<'src> {
                 }
                 match text.parse::<i64>() {
                     Ok(n) => tok(TokenKind::Int(n)),
-                    Err(_) => Err(Error::new(ErrorKind::IntOverflow(text), span.line, span.col)),
+                    Err(_) => Err(Error::new(
+                        ErrorKind::IntOverflow(text),
+                        span.line,
+                        span.col,
+                    )),
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {

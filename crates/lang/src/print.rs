@@ -9,6 +9,7 @@ use crate::ast::*;
 use std::fmt::Write as _;
 
 /// Options controlling [`print_with_options`].
+#[derive(Default)]
 pub struct PrintOptions<'a> {
     /// When present, only statements accepted by the filter (or with an
     /// accepted descendant) are printed.
@@ -21,16 +22,6 @@ pub struct PrintOptions<'a> {
     /// Prefix every statement with its original paper-style lexical line
     /// number (`7: goto L13;`).
     pub line_numbers: bool,
-}
-
-impl Default for PrintOptions<'_> {
-    fn default() -> Self {
-        PrintOptions {
-            filter: None,
-            moved_labels: &[],
-            line_numbers: false,
-        }
-    }
 }
 
 /// Prints the whole program in canonical form.
@@ -418,7 +409,7 @@ mod tests {
         let l = p.label("L").unwrap();
         let write = p.at_line(5);
         // Pretend the slice dropped `z = 3` and re-targeted L to the write.
-        let keep = vec![p.at_line(1), p.at_line(2), write];
+        let keep = [p.at_line(1), p.at_line(2), write];
         let text = print_slice(&p, &|s| keep.contains(&s), &[(l, Some(write))]);
         assert!(text.contains("L: write(z);"), "{text}");
         assert!(!text.contains("z = 3"));
@@ -428,7 +419,7 @@ mod tests {
     fn label_moved_to_exit_prints_trailing() {
         let p = parse("goto L; L: x = 1;").unwrap();
         let l = p.label("L").unwrap();
-        let keep = vec![p.at_line(1)];
+        let keep = [p.at_line(1)];
         let text = print_slice(&p, &|s| keep.contains(&s), &[(l, None)]);
         assert!(text.trim_end().ends_with("L:"), "{text}");
     }

@@ -67,8 +67,20 @@ impl Structure {
                     else_branch,
                     ..
                 } => {
-                    self.walk_block(prog, then_branch, Some(id), enclosing_loop, enclosing_breakable);
-                    self.walk_block(prog, else_branch, Some(id), enclosing_loop, enclosing_breakable);
+                    self.walk_block(
+                        prog,
+                        then_branch,
+                        Some(id),
+                        enclosing_loop,
+                        enclosing_breakable,
+                    );
+                    self.walk_block(
+                        prog,
+                        else_branch,
+                        Some(id),
+                        enclosing_loop,
+                        enclosing_breakable,
+                    );
                 }
                 StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
                     self.walk_block(prog, body, Some(id), Some(id), Some(id));

@@ -66,15 +66,11 @@ fn check_block(prog: &Program, block: &[StmtId], ctx: &Ctx) -> Result<(), Error>
 fn check_stmt(prog: &Program, id: StmtId, ctx: &Ctx) -> Result<(), Error> {
     let stmt = prog.stmt(id);
     match &stmt.kind {
-        StmtKind::Break => {
-            if !ctx.in_breakable {
-                return Err(Error::new(ErrorKind::BreakOutsideLoop, stmt.line, 0));
-            }
+        StmtKind::Break if !ctx.in_breakable => {
+            return Err(Error::new(ErrorKind::BreakOutsideLoop, stmt.line, 0));
         }
-        StmtKind::Continue => {
-            if !ctx.in_loop {
-                return Err(Error::new(ErrorKind::ContinueOutsideLoop, stmt.line, 0));
-            }
+        StmtKind::Continue if !ctx.in_loop => {
+            return Err(Error::new(ErrorKind::ContinueOutsideLoop, stmt.line, 0));
         }
         StmtKind::If {
             then_branch,
@@ -99,11 +95,7 @@ fn check_stmt(prog: &Program, id: StmtId, ctx: &Ctx) -> Result<(), Error> {
                     match g {
                         CaseGuard::Case(v) => {
                             if !seen.insert(*v) {
-                                return Err(Error::new(
-                                    ErrorKind::DuplicateCase(*v),
-                                    stmt.line,
-                                    0,
-                                ));
+                                return Err(Error::new(ErrorKind::DuplicateCase(*v), stmt.line, 0));
                             }
                         }
                         CaseGuard::Default => {

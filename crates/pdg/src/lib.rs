@@ -33,10 +33,9 @@
 #![warn(missing_docs)]
 
 use jumpslice_cfg::Cfg;
-use jumpslice_dataflow::DataDeps;
+use jumpslice_dataflow::{DataDeps, StmtSet};
 use jumpslice_graph::{DiGraph, DomTree, NodeId};
 use jumpslice_lang::{Program, StmtId};
-use std::collections::BTreeSet;
 
 /// Control-dependence edges between statements.
 #[derive(Clone, Debug)]
@@ -71,34 +70,43 @@ impl ControlDeps {
         let mut dependents = vec![Vec::new(); prog.len()];
         let mut entry_controlled = Vec::new();
 
-        for (a, b) in graph.edges() {
-            if !live[a.index()] || !pdom.is_reachable(a) || !pdom.is_reachable(b) {
+        // Per-source stamps over flowgraph nodes: `visited[r] == stamp(a)`
+        // means the pdom-tree path from `r` upward has already been claimed
+        // for source `a`. This replaces the old `Vec::contains` scans
+        // (quadratic on high-fanout predicates) with O(1) dedup *and* lets
+        // each walk stop as soon as it rejoins an earlier walk from the
+        // same source, since the remainder of the path is identical.
+        let mut visited = vec![usize::MAX; graph.len()];
+        for a in graph.nodes() {
+            if !live[a.index()] || !pdom.is_reachable(a) {
                 continue;
             }
             let stop = pdom.idom(a);
-            // Walk the postdominator tree from b up to (excluding) ipdom(a).
-            let mut runner = Some(b);
-            while let Some(r) = runner {
-                if Some(r) == stop {
-                    break;
+            let stamp = a.index();
+            for &b in graph.succs(a) {
+                if !pdom.is_reachable(b) {
+                    continue;
                 }
-                if let Some(target) = cfg.stmt(r) {
-                    match cfg.stmt(a) {
-                        Some(src) => {
-                            if !deps[target.index()].contains(&src) {
+                // Walk the postdominator tree from b up to (excluding)
+                // ipdom(a), or until rejoining a stamped path.
+                let mut runner = Some(b);
+                while let Some(r) = runner {
+                    if Some(r) == stop || visited[r.index()] == stamp {
+                        break;
+                    }
+                    visited[r.index()] = stamp;
+                    if let Some(target) = cfg.stmt(r) {
+                        match cfg.stmt(a) {
+                            Some(src) => {
                                 deps[target.index()].push(src);
                                 dependents[src.index()].push(target);
                             }
+                            None if a == cfg.entry() => entry_controlled.push(target),
+                            None => {}
                         }
-                        None if a == cfg.entry() => {
-                            if !entry_controlled.contains(&target) {
-                                entry_controlled.push(target);
-                            }
-                        }
-                        None => {}
                     }
+                    runner = pdom.idom(r);
                 }
-                runner = pdom.idom(r);
             }
         }
 
@@ -178,9 +186,15 @@ impl ControlDeps {
 
     /// All edges as `(predicate, dependent)` pairs, excluding `Entry` edges.
     pub fn edges(&self) -> impl Iterator<Item = (StmtId, StmtId)> + '_ {
-        self.deps.iter().enumerate().flat_map(|(t, ps)| {
-            ps.iter().map(move |&p| (p, StmtId::from_index(t)))
-        })
+        self.deps
+            .iter()
+            .enumerate()
+            .flat_map(|(t, ps)| ps.iter().map(move |&p| (p, StmtId::from_index(t))))
+    }
+
+    /// Number of statements in the underlying program (the dense id bound).
+    pub fn num_stmts(&self) -> usize {
+        self.deps.len()
     }
 }
 
@@ -212,6 +226,15 @@ impl Pdg {
         }
     }
 
+    /// Assembles a PDG from already-computed halves.
+    ///
+    /// The batch engine caches `ReachingDefs` per program and derives data
+    /// dependence once via [`DataDeps::from_reaching`]; this constructor
+    /// lets it share that work instead of recomputing it per build.
+    pub fn from_parts(data: DataDeps, control: ControlDeps) -> Pdg {
+        Pdg { data, control }
+    }
+
     /// The data-dependence half.
     pub fn data(&self) -> &DataDeps {
         &self.data
@@ -234,9 +257,24 @@ impl Pdg {
     }
 
     /// The transitive closure of data and control dependence from `seeds` —
-    /// the conventional slicing kernel (paper, §2). Returns a sorted set.
-    pub fn backward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> BTreeSet<StmtId> {
-        let mut slice = BTreeSet::new();
+    /// the conventional slicing kernel (paper, §2). The dense [`StmtSet`]
+    /// iterates in ascending id order, so downstream consumers see the same
+    /// sorted view the old `BTreeSet` gave them.
+    pub fn backward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> StmtSet {
+        let mut slice = StmtSet::with_capacity(self.control.num_stmts());
+        self.backward_closure_into(seeds, &mut slice);
+        slice
+    }
+
+    /// [`Pdg::backward_closure`] accumulating into a caller-provided set —
+    /// the allocation-free form the batch engine uses with per-thread
+    /// scratch sets. `slice` is *not* cleared: statements already present
+    /// act as visited marks, so closures can be layered.
+    pub fn backward_closure_into(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+    ) {
         let mut work: Vec<StmtId> = seeds.into_iter().collect();
         while let Some(s) = work.pop() {
             if !slice.insert(s) {
@@ -245,13 +283,12 @@ impl Pdg {
             work.extend(self.data.deps(s).iter().copied());
             work.extend(self.control.deps(s).iter().copied());
         }
-        slice
     }
 
     /// Forward closure: everything affected by `seeds` (used by the
     /// forward-slicing example).
-    pub fn forward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> BTreeSet<StmtId> {
-        let mut slice = BTreeSet::new();
+    pub fn forward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> StmtSet {
+        let mut slice = StmtSet::with_capacity(self.control.num_stmts());
         let mut work: Vec<StmtId> = seeds.into_iter().collect();
         while let Some(s) = work.pop() {
             if !slice.insert(s) {
@@ -301,7 +338,10 @@ mod tests {
         let p = parse(src).unwrap();
         let cfg = Cfg::build(&p);
         let cd = ControlDeps::compute(&p, &cfg);
-        cd.deps(p.at_line(line)).iter().map(|&s| p.line_of(s)).collect()
+        cd.deps(p.at_line(line))
+            .iter()
+            .map(|&s| p.line_of(s))
+            .collect()
     }
 
     #[test]
@@ -374,7 +414,11 @@ mod tests {
         let p = parse(src).unwrap();
         let cfg = Cfg::build(&p);
         let cd = ControlDeps::compute(&p, &cfg);
-        let top: Vec<usize> = cd.entry_controlled().iter().map(|&s| p.line_of(s)).collect();
+        let top: Vec<usize> = cd
+            .entry_controlled()
+            .iter()
+            .map(|&s| p.line_of(s))
+            .collect();
         assert_eq!(top, vec![1, 2, 3, 11, 12]);
     }
 
@@ -454,7 +498,7 @@ mod tests {
         let cfg = Cfg::build(&p);
         let pdg = Pdg::build(&p, &cfg);
         let slice = pdg.backward_closure([p.at_line(12)]);
-        let mut lines: Vec<usize> = slice.iter().map(|&s| p.line_of(s)).collect();
+        let mut lines: Vec<usize> = slice.iter().map(|s| p.line_of(s)).collect();
         lines.sort_unstable();
         assert_eq!(lines, vec![2, 3, 4, 5, 7, 12]);
     }
@@ -465,7 +509,7 @@ mod tests {
         let cfg = Cfg::build(&p);
         let pdg = Pdg::build(&p, &cfg);
         let fwd = pdg.forward_closure([p.at_line(1)]);
-        let lines: Vec<usize> = fwd.iter().map(|&s| p.line_of(s)).collect();
+        let lines: Vec<usize> = fwd.iter().map(|s| p.line_of(s)).collect();
         assert_eq!(lines, vec![1, 2, 4]);
     }
 

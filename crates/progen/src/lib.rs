@@ -17,8 +17,7 @@
 #![warn(missing_docs)]
 
 use jumpslice_lang::{CaseGuard, Expr, Program, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jumpslice_testkit::Rng;
 
 /// Tuning knobs for the generators.
 #[derive(Clone, Copy, Debug)]
@@ -80,7 +79,7 @@ fn var_name(i: usize) -> String {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: Rng,
     cfg: GenConfig,
     emitted: usize,
 }
@@ -88,7 +87,7 @@ struct Gen {
 impl Gen {
     fn new(cfg: &GenConfig) -> Gen {
         Gen {
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng::seed_from_u64(cfg.seed),
             cfg: *cfg,
             emitted: 0,
         }
@@ -114,7 +113,7 @@ impl Gen {
                     jumpslice_lang::BinOp::Sub,
                     jumpslice_lang::BinOp::Mul,
                     jumpslice_lang::BinOp::Mod,
-                ][self.rng.gen_range(0..4)];
+                ][self.rng.gen_range(0..4usize)];
                 Expr::bin(op, l, r)
             }
             9 if depth < 2 => {
@@ -144,7 +143,7 @@ impl Gen {
                 jumpslice_lang::BinOp::Eq,
                 jumpslice_lang::BinOp::Ne,
                 jumpslice_lang::BinOp::Gt,
-            ][self.rng.gen_range(0..5)];
+            ][self.rng.gen_range(0..5usize)];
             Expr::bin(op, l, r)
         }
     }
@@ -180,7 +179,7 @@ impl Gen {
     ) {
         let mut remaining = budget.max(1);
         while remaining > 0 {
-            let r: f64 = self.rng.gen();
+            let r = self.rng.gen_f64();
             let jump_ok = (in_loop || in_breakable) && r < self.cfg.jump_density;
             if jump_ok {
                 self.emitted += 1;
@@ -220,7 +219,12 @@ impl Gen {
                             |g, b2| {
                                 if half > 0 {
                                     g.structured_block(
-                                        b2, depth + 1, half, in_loop, in_breakable, false,
+                                        b2,
+                                        depth + 1,
+                                        half,
+                                        in_loop,
+                                        in_breakable,
+                                        false,
                                     )
                                 }
                             },
@@ -254,7 +258,12 @@ impl Gen {
                             for ai in 0..arms {
                                 s.arm(&[CaseGuard::Case(ai as i64)], |b2| {
                                     self.structured_block(
-                                        b2, depth + 1, per_arm, in_loop, true, false,
+                                        b2,
+                                        depth + 1,
+                                        per_arm,
+                                        in_loop,
+                                        true,
+                                        false,
                                     );
                                     if self.rng.gen_bool(0.7) {
                                         self.emitted += 1;
@@ -265,7 +274,12 @@ impl Gen {
                             if with_default {
                                 s.default(|b2| {
                                     self.structured_block(
-                                        b2, depth + 1, per_arm, in_loop, true, false,
+                                        b2,
+                                        depth + 1,
+                                        per_arm,
+                                        in_loop,
+                                        true,
+                                        false,
                                     )
                                 });
                             }
@@ -312,7 +326,8 @@ pub fn gen_structured(cfg: &GenConfig) -> Program {
         let v = b.var(&var_name(i));
         b.write(v);
     }
-    b.build().expect("structured generator emits valid programs")
+    b.build()
+        .expect("structured generator emits valid programs")
 }
 
 /// Generates a flat unstructured program in the style of the paper's
@@ -368,7 +383,7 @@ fn try_gen_unstructured(cfg: &GenConfig) -> Program {
     let mut i = 0usize;
     while i < n_slots {
         b.label(&label_of(i));
-        let r: f64 = g.rng.gen();
+        let r = g.rng.gen_f64();
         if r < cfg.jump_density && i + 1 < n_slots {
             if g.rng.gen_bool(0.5) {
                 // Unconditional forward goto (skips a random distance).
@@ -447,7 +462,8 @@ fn try_gen_unstructured(cfg: &GenConfig) -> Program {
         let v = b.var(&var_name(i));
         b.write(v);
     }
-    b.build().expect("unstructured generator emits valid programs")
+    b.build()
+        .expect("unstructured generator emits valid programs")
 }
 
 #[cfg(test)]

@@ -1,0 +1,179 @@
+//! Dependency-free randomness and property-testing support.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! `rand` or `proptest` from a registry. This crate supplies the two pieces
+//! those crates were used for:
+//!
+//! * [`Rng`] — a small, fast, seeded PRNG (SplitMix64) with the
+//!   `gen_range`/`gen_bool`/`gen_f64` surface the generators and tests
+//!   need. Determinism is part of the contract: equal seeds produce equal
+//!   streams, forever, on every platform.
+//! * [`check`] — a minimal property-test driver: run a closure over many
+//!   derived seeds and report the failing case so it can be replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A seeded SplitMix64 generator.
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period over its state, and
+/// is two arithmetic operations per output — more than enough statistical
+/// quality for program generation and property tests, with no dependency.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_testkit::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let d6 = a.gen_range(1..7usize);
+/// assert!((1..7).contains(&d6));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in a half-open range. Panics on an empty range.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` below `n` via the widening-multiply trick
+    /// (bias < 2^-64; irrelevant at test scale).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Types of half-open ranges [`Rng::gen_range`] can sample from.
+///
+/// `T` is a type parameter (not an associated type) so that usage context —
+/// say, indexing a slice — can pin the scalar type and back-propagate it to
+/// an untyped range literal, exactly as `rand`'s `SampleRange` does.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u64, u32, i64, i32);
+
+/// Runs `property` once per case with a fresh deterministically-seeded
+/// [`Rng`], re-panicking with the failing case number so the run can be
+/// replayed with `Rng::seed_from_u64(case)`.
+///
+/// This replaces `proptest!` blocks: no shrinking, but fully offline,
+/// deterministic, and the original panic message still reaches stderr via
+/// the default panic hook.
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_testkit::check;
+/// check(16, |rng| {
+///     let n = rng.gen_range(0..100usize);
+///     assert!(n < 100);
+/// });
+/// ```
+pub fn check(cases: u64, property: impl Fn(&mut Rng)) {
+    for case in 0..cases {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Scramble the raw case index so consecutive cases start in
+            // unrelated regions of the state space.
+            let mut rng = Rng::seed_from_u64(case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            property(&mut rng);
+        }));
+        if outcome.is_err() {
+            panic!("property failed at case {case}/{cases} (see panic above for details)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-4..5i64);
+            assert!((-4..5).contains(&w));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn full_singleton_range() {
+        let mut rng = Rng::seed_from_u64(5);
+        assert_eq!(rng.gen_range(4..5usize), 4);
+        assert_eq!(rng.gen_range(-1..0i64), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng::seed_from_u64(5);
+        let _ = rng.gen_range(5..5usize);
+    }
+}

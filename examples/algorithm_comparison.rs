@@ -64,9 +64,8 @@ fn run_corpus(label: &str, programs: &[Program], structured_only_algos: bool) {
                 row.cases += 1;
                 row.total_size += s.len();
                 row.bh_equal += usize::from(s.stmts == bh.stmts);
-                row.sound += usize::from(
-                    check_projection(p, &s.stmts, &s.moved_labels, &inputs).is_ok(),
-                );
+                row.sound +=
+                    usize::from(check_projection(p, &s.stmts, &s.moved_labels, &inputs).is_ok());
             }
         }
     }
@@ -94,7 +93,11 @@ fn main() {
     let structured: Vec<Program> = (0..30)
         .map(|seed| gen_structured(&GenConfig::sized(seed, 60)))
         .collect();
-    run_corpus("structured corpus (30 programs, ~60 stmts)", &structured, true);
+    run_corpus(
+        "structured corpus (30 programs, ~60 stmts)",
+        &structured,
+        true,
+    );
 
     let unstructured: Vec<Program> = (0..30)
         .map(|seed| {

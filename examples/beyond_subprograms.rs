@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Input::default()
     };
     let dynamic = dynamic_slice(&program, &input, &DynCriterion::last(program.at_line(15)));
-    let mut dyn_lines: Vec<usize> = dynamic.stmts.iter().map(|&s| program.line_of(s)).collect();
+    let mut dyn_lines: Vec<usize> = dynamic.stmts.iter().map(|s| program.line_of(s)).collect();
     dyn_lines.sort_unstable();
     println!(
         "Dynamic slice of the same write on one run (seed 3): lines {dyn_lines:?} \

@@ -66,8 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `retries` bookkeeping is provably irrelevant to the bad output and
     // disappears (the guarding if stays: its continue reroutes control).
     assert!(!slice.contains(program.at_line(10)));
-    println!("irrelevant bookkeeping (retries) eliminated: inspect {} statements instead of {}",
-        slice.len(), program.len());
+    println!(
+        "irrelevant bookkeeping (retries) eliminated: inspect {} statements instead of {}",
+        slice.len(),
+        program.len()
+    );
 
     // And the residual program really does reproduce the failure behavior:
     for input in Input::family(5) {

@@ -22,14 +22,22 @@ fn main() {
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(12));
     println!("{}", print_program(&p));
-    show("conventional (Figure 1-b)", &p, &conventional_slice(&a, &crit));
+    show(
+        "conventional (Figure 1-b)",
+        &p,
+        &conventional_slice(&a, &crit),
+    );
 
     banner("Figure 3: goto version; conventional vs Figure 7");
     let p = corpus::fig3();
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(15));
     println!("{}", print_program(&p));
-    show("conventional (Figure 3-b, WRONG)", &p, &conventional_slice(&a, &crit));
+    show(
+        "conventional (Figure 3-b, WRONG)",
+        &p,
+        &conventional_slice(&a, &crit),
+    );
     let s = agrawal_slice(&a, &crit);
     show("Figure 7 algorithm (Figure 3-c)", &p, &s);
     println!("traversals: {}", s.traversals);
@@ -39,15 +47,27 @@ fn main() {
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(14));
     println!("{}", print_program(&p));
-    show("conventional (Figure 5-b, WRONG)", &p, &conventional_slice(&a, &crit));
-    show("Figure 7 algorithm (Figure 5-c)", &p, &agrawal_slice(&a, &crit));
+    show(
+        "conventional (Figure 5-b, WRONG)",
+        &p,
+        &conventional_slice(&a, &crit),
+    );
+    show(
+        "Figure 7 algorithm (Figure 5-c)",
+        &p,
+        &agrawal_slice(&a, &crit),
+    );
 
     banner("Figure 8: direct-goto version; closure pulls in predicate 9");
     let p = corpus::fig8();
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(15));
     println!("{}", print_program(&p));
-    show("Figure 7 algorithm (Figure 8-c)", &p, &agrawal_slice(&a, &crit));
+    show(
+        "Figure 7 algorithm (Figure 8-c)",
+        &p,
+        &agrawal_slice(&a, &crit),
+    );
 
     banner("Figure 10: unstructured program needing TWO traversals");
     let p = corpus::fig10();
@@ -66,25 +86,53 @@ fn main() {
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(9));
     println!("{}", print_program(&p));
-    show("Figure 12, precise (Figure 14-b)", &p, &structured_slice(&a, &crit));
-    show("Figure 13, conservative (Figure 14-c)", &p, &conservative_slice(&a, &crit));
+    show(
+        "Figure 12, precise (Figure 14-b)",
+        &p,
+        &structured_slice(&a, &crit),
+    );
+    show(
+        "Figure 13, conservative (Figure 14-c)",
+        &p,
+        &conservative_slice(&a, &crit),
+    );
 
     banner("Figure 16: Gallagher's algorithm is unsound here");
     let p = corpus::fig16();
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(10));
     println!("{}", print_program(&p));
-    show("Gallagher (Figure 16-b, WRONG)", &p, &gallagher_slice(&a, &crit));
-    show("Figure 7 algorithm (Figure 16-c)", &p, &agrawal_slice(&a, &crit));
+    show(
+        "Gallagher (Figure 16-b, WRONG)",
+        &p,
+        &gallagher_slice(&a, &crit),
+    );
+    show(
+        "Figure 7 algorithm (Figure 16-c)",
+        &p,
+        &agrawal_slice(&a, &crit),
+    );
 
     banner("Related work on Figures 3/5/8 (§5)");
     let p = corpus::fig5();
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(14));
-    show("Lyle on Figure 5 (keeps both continues)", &p, &lyle_slice(&a, &crit));
+    show(
+        "Lyle on Figure 5 (keeps both continues)",
+        &p,
+        &lyle_slice(&a, &crit),
+    );
     let p = corpus::fig8();
     let a = Analysis::new(&p);
     let crit = Criterion::at_stmt(p.at_line(15));
-    show("Jiang–Zhou–Robson on Figure 8 (misses 11 and 13)", &p, &jzr_slice(&a, &crit));
-    show("Ball–Horwitz on Figure 8 (equals Figure 7)", &p, &ball_horwitz_slice(&a, &crit));
+    show(
+        "Jiang–Zhou–Robson on Figure 8 (misses 11 and 13)",
+        &p,
+        &jzr_slice(&a, &crit),
+    );
+    show(
+        "Ball–Horwitz on Figure 8 (equals Figure 7)",
+        &p,
+        &ball_horwitz_slice(&a, &crit),
+    );
 }

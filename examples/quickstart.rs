@@ -49,13 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // original execution exactly (projected onto its statements), the
     // conventional one does not.
     let inputs = Input::family(8);
-    assert!(check_projection(
-        &program,
-        &slice.stmts,
-        &slice.moved_labels,
-        &inputs
-    )
-    .is_ok());
+    assert!(check_projection(&program, &slice.stmts, &slice.moved_labels, &inputs).is_ok());
     assert!(check_projection(
         &program,
         &conventional.stmts,

@@ -31,6 +31,22 @@
 //! assert!(slice.lines(&program).contains(&7), "the goto L3 guarding the loop");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Batch slicing
+//!
+//! Many criteria over one program share a single lazily-cached
+//! [`Analysis`](prelude::Analysis) through
+//! [`BatchSlicer`](prelude::BatchSlicer):
+//!
+//! ```
+//! use jumpslice::prelude::*;
+//!
+//! let program = parse("read(x); y = x + 1; write(y); write(x);")?;
+//! let analysis = Analysis::new(&program);
+//! let slices = BatchSlicer::new(&analysis).slice_all_writes(agrawal_slice);
+//! assert_eq!(slices.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,8 +87,10 @@ pub mod prelude {
     pub use jumpslice_core::synthesize::synthesize_slice;
     pub use jumpslice_core::{
         agrawal_slice, chop, chop_executable, conservative_slice, conventional_slice, corpus,
-        forward_slice, is_structured, structured_slice, Analysis, Criterion, LexSuccTree, Slice,
+        forward_slice, is_structured, structured_slice, Analysis, AnalysisStats, BatchSlicer,
+        Criterion, LexSuccTree, Slice, SliceFn,
     };
+    pub use jumpslice_dataflow::StmtSet;
     pub use jumpslice_dynslice::{dynamic_slice, dynamic_slice_of_trace, DynCriterion};
     pub use jumpslice_interp::{check_projection, run, run_masked, Input};
     pub use jumpslice_lang::{parse, print_program, print_slice, Program, ProgramBuilder, StmtId};

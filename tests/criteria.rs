@@ -15,7 +15,7 @@ fn vars_at_matches_statement_criterion_on_writes() {
     let by_stmt = conventional_slice(&a, &Criterion::at_stmt(p.at_line(12)));
     let by_vars = conventional_slice(&a, &Criterion::vars_at(p.at_line(12), vec![v]));
     let mut expect = by_stmt.stmts.clone();
-    expect.remove(&p.at_line(12));
+    expect.remove(p.at_line(12));
     assert_eq!(by_vars.stmts, expect);
 }
 

@@ -8,11 +8,29 @@
 //! * Figure 12 ≡ Figure 7 and Figure 12 ⊆ Figure 13 on structured programs;
 //! * the conventional slice is contained in every repaired slice;
 //! * the traversal drivers (postdominator tree vs LST preorder) both
-//!   over-approximate Ball–Horwitz and coincide on structured programs.
+//!   over-approximate Ball–Horwitz and coincide on structured programs;
+//! * the dense-bitset slice engine agrees with `BTreeSet` semantics for
+//!   every algorithm, and the parallel batch engine with the sequential
+//!   loop.
 
 use jumpslice::prelude::*;
-use jumpslice_core::agrawal_slice_with_order;
-use proptest::prelude::*;
+use jumpslice_core::{agrawal_slice_with_order, BatchSlicer, SliceFn};
+use jumpslice_dataflow::StmtSet;
+use jumpslice_testkit::Rng;
+use std::collections::BTreeSet;
+
+/// Every slicing algorithm in the workspace, paper order then baselines —
+/// the same table the bench harness sweeps.
+const ALL_ALGOS: &[(&str, SliceFn)] = &[
+    ("conventional", conventional_slice),
+    ("fig7-agrawal", agrawal_slice),
+    ("fig12-structured", structured_slice),
+    ("fig13-conservative", conservative_slice),
+    ("ball-horwitz", ball_horwitz_slice),
+    ("lyle", lyle_slice),
+    ("gallagher", gallagher_slice),
+    ("jzr", jzr_slice),
+];
 
 /// Criterion statements worth slicing on: every *reachable* write, plus the
 /// last statement (criteria must be live code; slicing on dead statements is
@@ -36,88 +54,101 @@ fn criteria(p: &Program) -> Vec<StmtId> {
 /// The equivalence corpus sticks to the paper's core language: no
 /// `do-while`, no `switch` (see `tests/extension_gaps.rs` for why those
 /// weaken precision-equivalence without affecting soundness).
-fn arb_structured() -> impl Strategy<Value = Program> {
-    (0u64..500, 15usize..60, 1usize..4).prop_map(|(seed, size, depth)| {
-        gen_structured(&GenConfig {
-            seed,
-            target_stmts: size,
-            max_depth: depth,
-            do_while: false,
-            switches: false,
-            ..GenConfig::default()
-        })
+fn arb_structured(rng: &mut Rng) -> Program {
+    let seed = rng.gen_range(0u64..500);
+    let size = rng.gen_range(15usize..60);
+    let depth = rng.gen_range(1usize..4);
+    gen_structured(&GenConfig {
+        seed,
+        target_stmts: size,
+        max_depth: depth,
+        do_while: false,
+        switches: false,
+        ..GenConfig::default()
     })
 }
 
-fn arb_unstructured() -> impl Strategy<Value = Program> {
-    (0u64..500, 10usize..40, 1usize..10).prop_map(|(seed, size, dens)| {
-        gen_unstructured(&GenConfig {
-            seed,
-            target_stmts: size,
-            jump_density: dens as f64 / 20.0,
-            do_while: false,
-            switches: false,
-            ..GenConfig::default()
-        })
+fn arb_unstructured(rng: &mut Rng) -> Program {
+    let seed = rng.gen_range(0u64..500);
+    let size = rng.gen_range(10usize..40);
+    let dens = rng.gen_range(1usize..10);
+    gen_unstructured(&GenConfig {
+        seed,
+        target_stmts: size,
+        jump_density: dens as f64 / 20.0,
+        do_while: false,
+        switches: false,
+        ..GenConfig::default()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fig7_equals_ball_horwitz_structured(p in arb_structured()) {
+#[test]
+fn fig7_equals_ball_horwitz_structured() {
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
         for c in criteria(&p) {
             let crit = Criterion::at_stmt(c);
-            prop_assert_eq!(
+            assert_eq!(
                 agrawal_slice(&a, &crit).stmts,
                 ball_horwitz_slice(&a, &crit).stmts
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn ball_horwitz_within_fig7_unstructured(p in arb_unstructured()) {
-        // Exact equality fails on adversarial goto programs (the npd/nls
-        // judgements are history dependent; see extension_gaps.rs). The
-        // robust relation is containment: Figure 7 conservatively includes
-        // at least everything Ball–Horwitz does.
+#[test]
+fn ball_horwitz_within_fig7_unstructured() {
+    // Exact equality fails on adversarial goto programs (the npd/nls
+    // judgements are history dependent; see extension_gaps.rs). The
+    // robust relation is containment: Figure 7 conservatively includes
+    // at least everything Ball–Horwitz does.
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_unstructured(rng);
         let a = Analysis::new(&p);
         for c in criteria(&p) {
             let crit = Criterion::at_stmt(c);
             let f7 = agrawal_slice(&a, &crit);
             let bh = ball_horwitz_slice(&a, &crit);
-            prop_assert!(bh.stmts.is_subset(&f7.stmts));
+            assert!(bh.stmts.is_subset(&f7.stmts));
         }
-    }
+    });
+}
 
-    #[test]
-    fn fig12_equals_fig7_on_structured(p in arb_structured()) {
+#[test]
+fn fig12_equals_fig7_on_structured() {
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
-        prop_assert!(is_structured(&a));
+        assert!(is_structured(&a));
         for c in criteria(&p) {
             let crit = Criterion::at_stmt(c);
-            prop_assert_eq!(
+            assert_eq!(
                 structured_slice(&a, &crit).stmts,
                 agrawal_slice(&a, &crit).stmts
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn fig12_within_fig13_on_structured(p in arb_structured()) {
+#[test]
+fn fig12_within_fig13_on_structured() {
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
         for c in criteria(&p) {
             let crit = Criterion::at_stmt(c);
             let s12 = structured_slice(&a, &crit);
             let s13 = conservative_slice(&a, &crit);
-            prop_assert!(s12.subset_of(&s13));
+            assert!(s12.subset_of(&s13));
         }
-    }
+    });
+}
 
-    #[test]
-    fn conventional_within_all(p in arb_unstructured()) {
+#[test]
+fn conventional_within_all() {
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_unstructured(rng);
         let a = Analysis::new(&p);
         for c in criteria(&p) {
             let crit = Criterion::at_stmt(c);
@@ -129,19 +160,22 @@ proptest! {
                 gallagher_slice(&a, &crit),
                 jzr_slice(&a, &crit),
             ] {
-                prop_assert!(conv.subset_of(&s));
-                prop_assert!(s.contains(c), "criterion statement stays in slice");
+                assert!(conv.subset_of(&s));
+                assert!(s.contains(c), "criterion statement stays in slice");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn traversal_drivers_both_cover_ball_horwitz(p in arb_unstructured()) {
-        // §3 claims either tree's preorder yields the same slice; like the
-        // Ball–Horwitz equivalence this is exact on the figures (checked in
-        // tests/paper_figures.rs and core's unit tests) but only holds as
-        // mutual over-approximation of Ball–Horwitz on adversarial
-        // programs.
+#[test]
+fn traversal_drivers_both_cover_ball_horwitz() {
+    // §3 claims either tree's preorder yields the same slice; like the
+    // Ball–Horwitz equivalence this is exact on the figures (checked in
+    // tests/paper_figures.rs and core's unit tests) but only holds as
+    // mutual over-approximation of Ball–Horwitz on adversarial
+    // programs.
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_unstructured(rng);
         let a = Analysis::new(&p);
         let lst_order = a.jumps_in_lst_preorder();
         for c in criteria(&p) {
@@ -149,34 +183,121 @@ proptest! {
             let by_pdom = agrawal_slice(&a, &crit);
             let by_lst = agrawal_slice_with_order(&a, &crit, &lst_order);
             let bh = ball_horwitz_slice(&a, &crit);
-            prop_assert!(bh.stmts.is_subset(&by_pdom.stmts));
-            prop_assert!(bh.stmts.is_subset(&by_lst.stmts));
+            assert!(bh.stmts.is_subset(&by_pdom.stmts));
+            assert!(bh.stmts.is_subset(&by_lst.stmts));
         }
-    }
+    });
+}
 
-    #[test]
-    fn no_property1_pairs_in_structured_programs(p in arb_structured()) {
+#[test]
+fn no_property1_pairs_in_structured_programs() {
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
-        prop_assert!(!jumpslice_core::has_pdom_lexsucc_pair(&a));
+        assert!(!jumpslice_core::has_pdom_lexsucc_pair(&a));
         // And indeed a single traversal always suffices.
         for c in criteria(&p) {
             let s = agrawal_slice(&a, &Criterion::at_stmt(c));
-            prop_assert!(s.traversals <= 1, "structured => one traversal");
+            assert!(s.traversals <= 1, "structured => one traversal");
         }
-    }
+    });
+}
 
-    #[test]
-    fn slices_are_monotone_in_criterion_closure(p in arb_structured()) {
-        // Slicing on a statement already inside a slice never escapes it:
-        // slice(c2) ⊆ slice(c1) for c2 ∈ slice(c1) is NOT generally true for
-        // jump-repaired slices, but it is for the conventional closure.
+#[test]
+fn slices_are_monotone_in_criterion_closure() {
+    // Slicing on a statement already inside a slice never escapes it:
+    // slice(c2) ⊆ slice(c1) for c2 ∈ slice(c1) is NOT generally true for
+    // jump-repaired slices, but it is for the conventional closure.
+    jumpslice_testkit::check(48, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
         for c in criteria(&p).into_iter().take(2) {
             let s1 = conventional_slice(&a, &Criterion::at_stmt(c));
-            for &c2 in s1.stmts.iter().take(5) {
+            for c2 in s1.stmts.iter().take(5) {
                 let s2 = conventional_slice(&a, &Criterion::at_stmt(c2));
-                prop_assert!(s2.subset_of(&s1));
+                assert!(s2.subset_of(&s1));
             }
         }
+    });
+}
+
+/// The reference `BTreeSet` worklist closure the engine used before the
+/// bitset migration — kept here as the semantic oracle for
+/// [`bitset_engine_matches_btreeset_semantics`].
+fn btreeset_backward_closure(a: &Analysis<'_>, seeds: Vec<StmtId>) -> BTreeSet<StmtId> {
+    let mut out: BTreeSet<StmtId> = BTreeSet::new();
+    let mut work = seeds;
+    while let Some(s) = work.pop() {
+        if !out.insert(s) {
+            continue;
+        }
+        work.extend(a.pdg().deps(s));
     }
+    out
+}
+
+/// Tentpole regression: the dense-bitset slice sets behave exactly like the
+/// `BTreeSet`s they replaced, for every one of the eight algorithms —
+/// sorted duplicate-free iteration, membership, subset, equality — and the
+/// PDG's bitset closure matches an independent `BTreeSet` worklist closure.
+#[test]
+fn bitset_engine_matches_btreeset_semantics() {
+    jumpslice_testkit::check(32, |rng| {
+        let p = if rng.gen_bool(0.5) {
+            arb_structured(rng)
+        } else {
+            arb_unstructured(rng)
+        };
+        let a = Analysis::new(&p);
+        for c in criteria(&p).into_iter().take(3) {
+            let crit = Criterion::at_stmt(c);
+
+            // The closure the conventional slicer is built on, against the
+            // old representation computed independently.
+            let seeds: Vec<StmtId> = crit.seeds(&a);
+            let reference = btreeset_backward_closure(&a, seeds.clone());
+            let bitset = a.pdg().backward_closure(seeds);
+            assert_eq!(
+                bitset.iter().collect::<Vec<_>>(),
+                reference.iter().copied().collect::<Vec<_>>(),
+                "bitset closure == BTreeSet closure, in order"
+            );
+
+            for (name, algo) in ALL_ALGOS {
+                let s = algo(&a, &crit);
+                let tree: BTreeSet<StmtId> = s.stmts.iter().collect();
+                // Iteration is sorted and duplicate-free (== BTreeSet order).
+                assert_eq!(
+                    s.stmts.iter().collect::<Vec<_>>(),
+                    tree.iter().copied().collect::<Vec<_>>(),
+                    "{name}: iteration order"
+                );
+                assert_eq!(s.stmts.len(), tree.len(), "{name}: len");
+                // Membership agrees statement-by-statement.
+                for x in p.stmt_ids() {
+                    assert_eq!(s.stmts.contains(x), tree.contains(&x), "{name}: contains");
+                }
+                // Round-trip through the tree is the identity.
+                let back: StmtSet = tree.iter().copied().collect();
+                assert_eq!(back, s.stmts, "{name}: round-trip equality");
+            }
+        }
+    });
+}
+
+/// The parallel batch engine returns bit-for-bit the sequential results,
+/// for every algorithm, in criterion order.
+#[test]
+fn batch_engine_matches_sequential() {
+    jumpslice_testkit::check(12, |rng| {
+        let p = arb_unstructured(rng);
+        let a = Analysis::new(&p);
+        let crits: Vec<Criterion> = criteria(&p).into_iter().map(Criterion::at_stmt).collect();
+        let batch = BatchSlicer::new(&a).with_threads(4);
+        for (name, algo) in ALL_ALGOS {
+            let sequential: Vec<Slice> = crits.iter().map(|c| algo(&a, c)).collect();
+            let fanned = batch.slice_all(*algo, &crits);
+            assert_eq!(fanned, sequential, "{name}: batch == sequential");
+        }
+    });
 }

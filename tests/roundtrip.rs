@@ -4,7 +4,6 @@
 
 use jumpslice::prelude::*;
 use jumpslice_lang::StmtKind;
-use proptest::prelude::*;
 
 fn kind_tag(p: &Program, s: StmtId) -> &'static str {
     match &p.stmt(s).kind {
@@ -28,32 +27,40 @@ fn shape(p: &Program) -> Vec<&'static str> {
     p.lexical_order().iter().map(|&s| kind_tag(p, s)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn structured_programs_roundtrip(seed in 0u64..400, size in 10usize..60) {
+#[test]
+fn structured_programs_roundtrip() {
+    jumpslice_testkit::check(32, |rng| {
+        let seed = rng.gen_range(0u64..400);
+        let size = rng.gen_range(10usize..60);
         let p = gen_structured(&GenConfig::sized(seed, size));
         let text = print_program(&p);
-        let q = parse(&text).map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
-        prop_assert_eq!(shape(&p), shape(&q));
-    }
+        let q = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(shape(&p), shape(&q));
+    });
+}
 
-    #[test]
-    fn unstructured_programs_roundtrip(seed in 0u64..400, size in 10usize..40) {
+#[test]
+fn unstructured_programs_roundtrip() {
+    jumpslice_testkit::check(32, |rng| {
+        let seed = rng.gen_range(0u64..400);
+        let size = rng.gen_range(10usize..40);
         let p = gen_unstructured(&GenConfig {
             jump_density: 0.35,
             ..GenConfig::sized(seed, size)
         });
         let text = print_program(&p);
-        let q = parse(&text).map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
-        prop_assert_eq!(shape(&p), shape(&q));
-    }
+        let q = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(shape(&p), shape(&q));
+    });
+}
 
-    /// The strongest round-trip: slices of the reparsed program match the
-    /// original's, line for line.
-    #[test]
-    fn slices_survive_roundtrip(seed in 0u64..150, size in 10usize..30) {
+/// The strongest round-trip: slices of the reparsed program match the
+/// original's, line for line.
+#[test]
+fn slices_survive_roundtrip() {
+    jumpslice_testkit::check(32, |rng| {
+        let seed = rng.gen_range(0u64..150);
+        let size = rng.gen_range(10usize..30);
         let p = gen_unstructured(&GenConfig {
             jump_density: 0.3,
             ..GenConfig::sized(seed, size)
@@ -61,18 +68,22 @@ proptest! {
         let q = parse(&print_program(&p)).unwrap();
         let (pa, qa) = (Analysis::new(&p), Analysis::new(&q));
         let last = p.lexical_order().len();
-        prop_assert_eq!(last, q.lexical_order().len());
+        assert_eq!(last, q.lexical_order().len());
         for line in [1, last / 2 + 1, last] {
             let sp = agrawal_slice(&pa, &Criterion::at_stmt(p.at_line(line)));
             let sq = agrawal_slice(&qa, &Criterion::at_stmt(q.at_line(line)));
-            prop_assert_eq!(sp.lines(&p), sq.lines(&q), "line {}", line);
+            assert_eq!(sp.lines(&p), sq.lines(&q), "line {line}");
         }
-    }
+    });
+}
 
-    /// Executions also survive: the reparsed program produces the same
-    /// trajectory values line-by-line.
-    #[test]
-    fn executions_survive_roundtrip(seed in 0u64..150, size in 10usize..30) {
+/// Executions also survive: the reparsed program produces the same
+/// trajectory values line-by-line.
+#[test]
+fn executions_survive_roundtrip() {
+    jumpslice_testkit::check(32, |rng| {
+        let seed = rng.gen_range(0u64..150);
+        let size = rng.gen_range(10usize..30);
         let p = gen_structured(&GenConfig::sized(seed, size));
         let q = parse(&print_program(&p)).unwrap();
         // Statement ids coincide positionally only through lexical order;
@@ -92,11 +103,13 @@ proptest! {
             // parser, so read streams can differ; require only that both
             // executions visit the same statement positions until the first
             // read-influenced divergence — conservatively: same first event.
-            if p.stmt_ids().all(|s| !matches!(p.stmt(s).kind, StmtKind::Read { .. })) {
-                prop_assert_eq!(ep, eq_);
+            if p.stmt_ids()
+                .all(|s| !matches!(p.stmt(s).kind, StmtKind::Read { .. }))
+            {
+                assert_eq!(ep, eq_);
             } else if !(ep.is_empty() || eq_.is_empty()) {
-                prop_assert_eq!(ep[0], eq_[0]);
+                assert_eq!(ep[0], eq_[0]);
             }
         }
-    }
+    });
 }

@@ -3,7 +3,8 @@
 //! §4.3, §6).
 
 use jumpslice::prelude::*;
-use proptest::prelude::*;
+use jumpslice_dataflow::StmtSet;
+use jumpslice_testkit::Rng;
 
 /// Reachable write statements — slicing criteria must be live code: a slice
 /// "with respect to" a statement that can never execute is degenerate (the
@@ -17,81 +18,96 @@ fn writes(p: &Program) -> Vec<StmtId> {
         .collect()
 }
 
-fn check(p: &Program, s: &Slice, inputs: &[Input], what: &str) -> Result<(), TestCaseError> {
+fn check(p: &Program, s: &Slice, inputs: &[Input], what: &str) {
     check_projection(p, &s.stmts, &s.moved_labels, inputs)
-        .map_err(|e| TestCaseError::fail(format!("{what}: {e}")))
+        .unwrap_or_else(|e| panic!("{what}: {e}\n{}", print_program(p)));
 }
 
-fn arb_structured() -> impl Strategy<Value = Program> {
-    (0u64..300, 15usize..50).prop_map(|(seed, size)| gen_structured(&GenConfig::sized(seed, size)))
+fn arb_structured(rng: &mut Rng) -> Program {
+    let seed = rng.gen_range(0u64..300);
+    let size = rng.gen_range(15usize..50);
+    gen_structured(&GenConfig::sized(seed, size))
 }
 
-fn arb_unstructured() -> impl Strategy<Value = Program> {
-    (0u64..300, 10usize..35).prop_map(|(seed, size)| {
-        gen_unstructured(&GenConfig {
-            jump_density: 0.3,
-            ..GenConfig::sized(seed, size)
-        })
+fn arb_unstructured(rng: &mut Rng) -> Program {
+    let seed = rng.gen_range(0u64..300);
+    let size = rng.gen_range(10usize..35);
+    gen_unstructured(&GenConfig {
+        jump_density: 0.3,
+        ..GenConfig::sized(seed, size)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn fig7_slices_are_sound_on_structured(p in arb_structured()) {
+#[test]
+fn fig7_slices_are_sound_on_structured() {
+    jumpslice_testkit::check(32, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
         let inputs = Input::family(5);
         for c in writes(&p).into_iter().take(4) {
             let s = agrawal_slice(&a, &Criterion::at_stmt(c));
-            check(&p, &s, &inputs, "fig7")?;
+            check(&p, &s, &inputs, "fig7");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fig7_slices_are_sound_on_unstructured(p in arb_unstructured()) {
+#[test]
+fn fig7_slices_are_sound_on_unstructured() {
+    jumpslice_testkit::check(32, |rng| {
+        let p = arb_unstructured(rng);
         let a = Analysis::new(&p);
         let inputs = Input::family(5);
         for c in writes(&p).into_iter().take(4) {
             let s = agrawal_slice(&a, &Criterion::at_stmt(c));
-            check(&p, &s, &inputs, "fig7")?;
+            check(&p, &s, &inputs, "fig7");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fig12_and_fig13_are_sound_on_structured(p in arb_structured()) {
+#[test]
+fn fig12_and_fig13_are_sound_on_structured() {
+    jumpslice_testkit::check(32, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
-        prop_assert!(is_structured(&a));
+        assert!(is_structured(&a));
         let inputs = Input::family(5);
         for c in writes(&p).into_iter().take(3) {
             let crit = Criterion::at_stmt(c);
-            check(&p, &structured_slice(&a, &crit), &inputs, "fig12")?;
-            check(&p, &conservative_slice(&a, &crit), &inputs, "fig13")?;
+            check(&p, &structured_slice(&a, &crit), &inputs, "fig12");
+            check(&p, &conservative_slice(&a, &crit), &inputs, "fig13");
         }
-    }
+    });
+}
 
-    #[test]
-    fn ball_horwitz_is_sound_everywhere(p in arb_unstructured()) {
+#[test]
+fn ball_horwitz_is_sound_everywhere() {
+    jumpslice_testkit::check(32, |rng| {
+        let p = arb_unstructured(rng);
         let a = Analysis::new(&p);
         let inputs = Input::family(4);
         for c in writes(&p).into_iter().take(3) {
             let s = ball_horwitz_slice(&a, &Criterion::at_stmt(c));
-            check(&p, &s, &inputs, "ball-horwitz")?;
+            check(&p, &s, &inputs, "ball-horwitz");
         }
-    }
+    });
+}
 
-    #[test]
-    fn full_program_is_its_own_slice(p in arb_unstructured()) {
-        let all: std::collections::BTreeSet<StmtId> = p.stmt_ids().collect();
+#[test]
+fn full_program_is_its_own_slice() {
+    jumpslice_testkit::check(32, |rng| {
+        let p = arb_unstructured(rng);
+        let all: StmtSet = p.stmt_ids().collect();
         let inputs = Input::family(4);
-        check_projection(&p, &all, &[], &inputs)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-    }
+        check_projection(&p, &all, &[], &inputs).unwrap_or_else(|e| panic!("{e}"));
+    });
+}
 
-    #[test]
-    fn criterion_outputs_are_preserved(p in arb_structured()) {
-        // Weiser's original statement: the value sequence written at the
-        // criterion is identical in program and slice.
+#[test]
+fn criterion_outputs_are_preserved() {
+    // Weiser's original statement: the value sequence written at the
+    // criterion is identical in program and slice.
+    jumpslice_testkit::check(32, |rng| {
+        let p = arb_structured(rng);
         let a = Analysis::new(&p);
         let inputs = Input::family(4);
         for c in writes(&p).into_iter().take(3) {
@@ -109,10 +125,10 @@ proptest! {
                         .map(|e| e.value.unwrap())
                         .collect()
                 };
-                prop_assert_eq!(vals(&full), vals(&masked));
+                assert_eq!(vals(&full), vals(&masked));
             }
         }
-    }
+    });
 }
 
 /// Reproduction finding: Gallagher's rule is unsound even on *structured*

@@ -7,7 +7,6 @@ use jumpslice::prelude::*;
 use jumpslice_core::synthesize::{synthesize_slice, SynthesizedSlice};
 use jumpslice_interp::run_with_sites;
 use jumpslice_lang::StmtKind;
-use proptest::prelude::*;
 
 /// (original line, value) events of a run, restricted to `stmts`.
 fn original_projection(
@@ -19,7 +18,7 @@ fn original_projection(
     (
         t.events
             .iter()
-            .filter(|e| s.stmts.contains(&e.stmt))
+            .filter(|e| s.stmts.contains(e.stmt))
             .map(|e| (e.stmt, e.value))
             .collect(),
         t.fuel_exhausted,
@@ -27,10 +26,7 @@ fn original_projection(
 }
 
 /// Events of the synthesized program, mapped back to original statements.
-fn synthesized_events(
-    s: &SynthesizedSlice,
-    input: &Input,
-) -> (Vec<(StmtId, Option<i64>)>, bool) {
+fn synthesized_events(s: &SynthesizedSlice, input: &Input) -> (Vec<(StmtId, Option<i64>)>, bool) {
     let key = s.site_key();
     let t = run_with_sites(&s.program, input, &key);
     (
@@ -113,26 +109,35 @@ fn synthesized_programs_are_flat_and_valid() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn synthesized_slices_replay_on_unstructured(seed in 0u64..300, size in 10usize..35) {
-        let p = gen_unstructured(&GenConfig {
-            jump_density: 0.3,
-            ..GenConfig::sized(seed, size)
-        });
-        let a = Analysis::new(&p);
-        let inputs = Input::family(5);
-        let writes: Vec<StmtId> = p
-            .stmt_ids()
-            .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Write { .. }) && a.is_live(s))
-            .take(3)
-            .collect();
-        for c in writes {
-            let s = synthesize_slice(&a, &Criterion::at_stmt(c))
-                .expect("unstructured corpus has no switches");
-            check_replay(&p, &s, &inputs).map_err(TestCaseError::fail)?;
-        }
+fn replay_case(seed: u64, size: usize) {
+    let p = gen_unstructured(&GenConfig {
+        jump_density: 0.3,
+        ..GenConfig::sized(seed, size)
+    });
+    let a = Analysis::new(&p);
+    let inputs = Input::family(5);
+    let writes: Vec<StmtId> = p
+        .stmt_ids()
+        .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Write { .. }) && a.is_live(s))
+        .take(3)
+        .collect();
+    for c in writes {
+        let s = synthesize_slice(&a, &Criterion::at_stmt(c))
+            .expect("unstructured corpus has no switches");
+        check_replay(&p, &s, &inputs).unwrap_or_else(|e| panic!("seed {seed} size {size}: {e}"));
     }
+}
+
+#[test]
+fn synthesized_slices_replay_on_unstructured() {
+    jumpslice_testkit::check(24, |rng| {
+        replay_case(rng.gen_range(0u64..300), rng.gen_range(10usize..35));
+    });
+}
+
+/// Regression pinned from an earlier property-test failure (divergent
+/// predicate promotion on a goto-dense program).
+#[test]
+fn replay_regression_seed_105() {
+    replay_case(105, 10);
 }
