@@ -1,0 +1,135 @@
+//! Differential slicing fuzzer CLI.
+//!
+//! Runs the `jumpslice-difftest` harness over a seed range and reports
+//! findings with shrunk counterexamples and ready-to-paste regression
+//! tests. Exits non-zero when any *pinned* claim is violated, so CI can
+//! gate on it.
+//!
+//! ```text
+//! difftest --smoke                 # fixed-seed CI configuration
+//! difftest --seeds 200 --size 40   # a longer hunt
+//! difftest --family unstructured --record-expected
+//! ```
+
+use jumpslice_difftest::{run_difftest_with, DiffConfig, Family};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftest [options]
+  --smoke              fixed-seed smoke configuration (CI)
+  --seeds N            number of seeds (default 25; one program per family each)
+  --start N            first seed (default 0)
+  --family NAME        paper-fragment | structured | unstructured (default: all)
+  --size N             target statements per program (default 30)
+  --density F          goto density for the unstructured family (default 0.3)
+  --criteria N         max criteria per program (default 4)
+  --inputs N           inputs per projection check (default 5)
+  --fuel N             interpreter fuel per run (default 20000)
+  --threads N          batch-slicer worker threads (default 1)
+  --no-shrink          report findings without minimizing
+  --record-expected    also shrink+report known-unsound failures (non-fatal)
+  --max-findings N     stop after N findings (default 8)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> DiffConfig {
+    let mut cfg = DiffConfig::default();
+    let mut args = std::env::args().skip(1);
+    let next_num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("missing/invalid value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cfg = DiffConfig::smoke(),
+            "--seeds" => cfg.seeds = next_num(&mut args, "--seeds"),
+            "--start" => cfg.start_seed = next_num(&mut args, "--start"),
+            "--size" => cfg.target_stmts = next_num(&mut args, "--size") as usize,
+            "--criteria" => cfg.max_criteria = next_num(&mut args, "--criteria") as usize,
+            "--inputs" => cfg.num_inputs = next_num(&mut args, "--inputs") as usize,
+            "--fuel" => cfg.fuel = next_num(&mut args, "--fuel"),
+            "--threads" => cfg.threads = next_num(&mut args, "--threads") as usize,
+            "--max-findings" => cfg.max_findings = next_num(&mut args, "--max-findings") as usize,
+            "--no-shrink" => cfg.shrink = false,
+            "--record-expected" => cfg.record_expected = true,
+            "--density" => {
+                cfg.jump_density = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--family" => {
+                let name = args.next().unwrap_or_default();
+                cfg.family = Some(Family::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown family `{name}`");
+                    usage()
+                }));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Panics are a *verdict* here (caught, attributed, reported); keep the
+    // default hook from spraying backtraces over the progress output.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut last = 0usize;
+    let report = run_difftest_with(&cfg, |r| {
+        if r.programs / 25 > last {
+            last = r.programs / 25;
+            eprintln!(
+                "  …{} programs, {} oracle checks, {} verified, {} findings",
+                r.programs,
+                r.oracle_checks,
+                r.verified,
+                r.findings.len()
+            );
+        }
+    });
+    let _ = std::panic::take_hook();
+
+    println!(
+        "difftest: {} programs · {} (program, criterion) cases · {} oracle checks",
+        report.programs, report.criterion_cases, report.oracle_checks
+    );
+    println!(
+        "  verified {}, inconclusive {}, expected-unsound failures {}, lattice checks {}",
+        report.verified, report.inconclusive, report.expected_failures, report.lattice_checks
+    );
+
+    for f in &report.findings {
+        let tag = if f.expected { "expected" } else { "FINDING" };
+        println!(
+            "\n[{tag}] {} / {} (seed {}, {} family)",
+            f.algo,
+            f.kind.name(),
+            f.seed,
+            f.family.name()
+        );
+        println!("  {}", f.detail);
+        println!("--- shrunk program ---");
+        for l in f.program.lines() {
+            println!("  {l}");
+        }
+        println!("--- regression test ---");
+        print!("{}", f.regression_test);
+    }
+
+    let hard = report.hard_findings().count();
+    if hard > 0 {
+        eprintln!("\n{hard} pinned-claim violation(s)");
+        std::process::exit(1);
+    }
+    println!("\nno pinned-claim violations");
+}

@@ -30,7 +30,19 @@ use jumpslice_pdg::Pdg;
 /// ```
 pub fn ball_horwitz_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
     let aug = Pdg::build_augmented(a.prog(), a.cfg());
-    let stmts = aug.backward_closure(crit.seeds(a));
+    let mut stmts = aug.backward_closure(crit.seeds(a));
+    // The augmentation adds a pseudo edge from *every* unconditional jump,
+    // including unreachable ones (a dead `break` after a `break`), so the
+    // closure can drag dead jumps in through spurious control dependences.
+    // A statement that never executes contributes nothing to the
+    // trajectory — and keeping it is actively wrong: excluding some other
+    // jump may make it reachable in the residual program, where it would
+    // then execute without a counterpart in the original run. The paper's
+    // algorithms apply the same refinement via their live-jump orders.
+    let dead: Vec<_> = stmts.iter().filter(|&s| !a.is_live(s)).collect();
+    for s in dead {
+        stmts.remove(s);
+    }
     let moved_labels = reassociate_labels(a, &stmts);
     Slice {
         stmts,
@@ -53,6 +65,34 @@ mod tests {
             let ag = agrawal_slice(&a, &crit);
             assert_eq!(bh.stmts, ag.stmts, "{name}: Ball–Horwitz != Figure 7");
         }
+    }
+
+    /// Found by the difftest fuzzer (structured family, seed 1): the dead
+    /// second `break` used to enter the slice through its augmentation
+    /// pseudo edge, breaking the pinned `ball_horwitz ⊆ fig7` containment.
+    #[test]
+    fn dead_jumps_stay_out_of_the_augmented_closure() {
+        use jumpslice_lang::parse;
+        let p = parse(
+            "read(v2);
+             switch (v2) {
+               case 0:
+                 break;
+                 break;
+               case 1:
+                 v2 = 0;
+             }
+             write(v2);",
+        )
+        .unwrap();
+        // Statement lines: 1 read, 2 switch, 3 break, 4 dead break,
+        // 5 assign, 6 write.
+        let a = Analysis::new(&p);
+        let crit = Criterion::at_stmt(p.at_line(6));
+        let bh = ball_horwitz_slice(&a, &crit);
+        assert!(!bh.contains(p.at_line(4)), "{:?}", bh.lines(&p));
+        let ag = agrawal_slice(&a, &crit);
+        assert!(bh.stmts.is_subset(&ag.stmts));
     }
 
     #[test]

@@ -31,7 +31,46 @@
 use crate::{Analysis, Criterion, Slice};
 use jumpslice_lang::{StmtId, StmtKind};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A slicer panic caught mid-batch, attributed to the criterion whose
+/// closure died. Differential testing needs the attribution: a raw scoped
+/// -thread panic says nothing about *which* of a thousand criteria killed
+/// the worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchPanic {
+    /// Index of the offending criterion in the batch's `criteria` slice.
+    pub index: usize,
+    /// The criterion itself.
+    pub criterion: Criterion,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case: `panic!`, `assert!`, `expect` all produce one).
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "slicer panicked on criterion #{} ({:?}): {}",
+            self.index, self.criterion, self.message
+        )
+    }
+}
+
+impl std::error::Error for BatchPanic {}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// A slicing algorithm usable in a batch: any of the workspace's slicers
 /// (`conventional_slice`, `agrawal_slice`, `structured_slice`,
@@ -76,12 +115,41 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
     /// Slices every criterion with `algo`; `slices[i]` corresponds to
     /// `criteria[i]`. Identical to mapping `algo` sequentially, modulo
     /// wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from `algo`, prefixed with the offending
+    /// criterion (see [`try_slice_all`](BatchSlicer::try_slice_all) for the
+    /// non-panicking form).
     pub fn slice_all(&self, algo: SliceFn, criteria: &[Criterion]) -> Vec<Slice> {
+        self.try_slice_all(algo, criteria)
+            .unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// Like [`slice_all`](BatchSlicer::slice_all), but a panicking slicer
+    /// produces an attributed [`BatchPanic`] instead of tearing down the
+    /// scoped thread pool with an anonymous worker panic. When several
+    /// criteria panic in one batch, the one with the lowest index is
+    /// reported; the remaining workers drain the queue normally.
+    pub fn try_slice_all(
+        &self,
+        algo: SliceFn,
+        criteria: &[Criterion],
+    ) -> Result<Vec<Slice>, BatchPanic> {
         let a = self.analysis;
         let n = criteria.len();
         let threads = self.threads.min(n);
+
+        let slice_one = |i: usize| -> Result<Slice, BatchPanic> {
+            catch_unwind(AssertUnwindSafe(|| algo(a, &criteria[i]))).map_err(|payload| BatchPanic {
+                index: i,
+                criterion: criteria[i].clone(),
+                message: panic_message(payload),
+            })
+        };
+
         if threads <= 1 {
-            return criteria.iter().map(|c| algo(a, c)).collect();
+            return (0..n).map(slice_one).collect();
         }
         // Force every lazy artifact up front so workers never race to
         // initialize one (OnceLock would serialize them on first touch).
@@ -89,31 +157,43 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
 
         let next = AtomicUsize::new(0);
         let worker = || {
-            let mut local: Vec<(usize, Slice)> = Vec::new();
+            let mut local: Vec<(usize, Result<Slice, BatchPanic>)> = Vec::new();
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                local.push((i, algo(a, &criteria[i])));
+                local.push((i, slice_one(i)));
             }
             local
         };
-        let finished: Vec<Vec<(usize, Slice)>> = std::thread::scope(|s| {
+        let finished: Vec<Vec<(usize, Result<Slice, BatchPanic>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads).map(|_| s.spawn(worker)).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
+                .map(|h| h.join().expect("batch worker itself never panics"))
                 .collect()
         });
 
         let mut out: Vec<Option<Slice>> = std::iter::repeat_with(|| None).take(n).collect();
-        for (i, slice) in finished.into_iter().flatten() {
-            out[i] = Some(slice);
+        let mut first_panic: Option<BatchPanic> = None;
+        for (i, result) in finished.into_iter().flatten() {
+            match result {
+                Ok(slice) => out[i] = Some(slice),
+                Err(p) => {
+                    if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
+                        first_panic = Some(p);
+                    }
+                }
+            }
         }
-        out.into_iter()
+        if let Some(p) = first_panic {
+            return Err(p);
+        }
+        Ok(out
+            .into_iter()
             .map(|s| s.expect("every criterion sliced exactly once"))
-            .collect()
+            .collect())
     }
 
     /// Slices at every reachable `write` statement — the criterion family
@@ -182,6 +262,42 @@ mod tests {
         for (w, s) in &pairs {
             assert!(s.contains(*w), "slice at a write contains the write");
         }
+    }
+
+    #[test]
+    fn panicking_slicer_is_attributed_to_its_criterion() {
+        fn bomb(a: &Analysis<'_>, c: &Criterion) -> Slice {
+            if c.stmt.index() == 2 {
+                panic!("boom at {:?}", c.stmt);
+            }
+            agrawal_slice(a, c)
+        }
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        for threads in [1, 4] {
+            let err = BatchSlicer::new(&a)
+                .with_threads(threads)
+                .try_slice_all(bomb, &criteria)
+                .unwrap_err();
+            assert_eq!(err.index, 2, "lowest panicking index wins");
+            assert_eq!(err.criterion, criteria[2]);
+            assert!(err.message.contains("boom"), "{}", err.message);
+            assert!(err.to_string().contains("criterion #2"), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_slice_all_matches_slice_all_when_nothing_panics() {
+        let p = corpus::fig10();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let ok = BatchSlicer::new(&a)
+            .with_threads(4)
+            .try_slice_all(agrawal_slice, &criteria)
+            .unwrap();
+        let plain = BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria);
+        assert_eq!(ok, plain);
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod synthesize;
 
 pub use agrawal::{agrawal_slice, agrawal_slice_with_order};
 pub use analysis::{Analysis, AnalysisStats};
-pub use batch::{BatchSlicer, SliceFn};
+pub use batch::{BatchPanic, BatchSlicer, SliceFn};
 pub use chop::{chop, chop_executable, forward_slice};
 pub use conservative::conservative_slice;
 pub use conventional::{conventional_slice, Criterion};

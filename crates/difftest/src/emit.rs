@@ -1,0 +1,130 @@
+//! Rendering a finding as a self-contained `#[test]`.
+//!
+//! The emitted test depends only on the public facade (`jumpslice::prelude`
+//! plus the baseline slicers) and embeds the shrunk program as a string
+//! literal, so it can be pasted into `tests/` verbatim. For violations of
+//! pinned claims the test asserts the *correct* behavior (it fails until
+//! the slicer is fixed, then pins the fix); for the paper's known-unsound
+//! algorithms it asserts that the oracle *catches* the failure, pinning the
+//! counterexample itself.
+
+use crate::harness::{Family, FindingKind};
+
+/// The fully qualified call for a registry algorithm name.
+fn algo_path(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "conventional" => "conventional_slice",
+        "fig7-agrawal" => "agrawal_slice",
+        "fig12-structured" => "structured_slice",
+        "fig13-conservative" => "conservative_slice",
+        "ball-horwitz" => "ball_horwitz_slice",
+        "lyle" => "lyle_slice",
+        "gallagher" => "gallagher_slice",
+        "jzr" => "jzr_slice",
+        _ => return None,
+    })
+}
+
+fn test_name(algo: &str, kind: FindingKind, seed: u64, family: Family) -> String {
+    let slug: String = algo
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!(
+        "difftest_{}_{}_{}_seed{}",
+        slug,
+        kind.name(),
+        family.name().replace('-', "_"),
+        seed
+    )
+}
+
+/// Renders a regression test for a finding. `line` is the 1-based
+/// criterion line in `program`; when absent (the failure did not
+/// re-localize), the last line is used.
+pub fn regression_test(
+    program: &str,
+    algo: &str,
+    kind: FindingKind,
+    line: Option<usize>,
+    expected: bool,
+    seed: u64,
+    family: Family,
+) -> String {
+    let name = test_name(algo, kind, seed, family);
+    let crit_line = line.unwrap_or_else(|| program.lines().count().max(1));
+    let header = format!(
+        "/// Shrunk by the difftest fuzzer (seed {seed}, {} family).\n#[test]\nfn {name}() {{\n    let p = parse(\n        \"{}\",\n    )\n    .unwrap();\n    let a = Analysis::new(&p);\n    let crit = Criterion::at_stmt(p.at_line({crit_line}));\n",
+        family.name(),
+        escape(program),
+    );
+    let body = match (kind, algo_path(algo)) {
+        (FindingKind::Lattice, _) => {
+            // algo is "sub⊆sup"; split it back apart.
+            let mut parts = algo.split('⊆');
+            let sub = algo_path(parts.next().unwrap_or_default()).unwrap_or("agrawal_slice");
+            let sup = algo_path(parts.next().unwrap_or_default()).unwrap_or("agrawal_slice");
+            format!(
+                "    let lo = {sub}(&a, &crit);\n    let hi = {sup}(&a, &crit);\n    assert!(lo.stmts.is_subset(&hi.stmts));\n"
+            )
+        }
+        (FindingKind::Panic, Some(path)) => {
+            format!("    let _ = {path}(&a, &crit); // must not panic\n")
+        }
+        (_, Some(path)) if expected => format!(
+            "    let s = {path}(&a, &crit);\n    // Known-unsound algorithm: the projection oracle must catch it.\n    assert!(check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).is_err());\n"
+        ),
+        (_, Some(path)) => format!(
+            "    let s = {path}(&a, &crit);\n    check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).unwrap();\n"
+        ),
+        (_, None) => "    // unknown algorithm name; fill in manually\n".to_owned(),
+    };
+    format!("{header}{body}}}\n")
+}
+
+fn escape(program: &str) -> String {
+    let mut out = String::new();
+    for (i, l) in program.lines().enumerate() {
+        if i > 0 {
+            out.push_str("\\n\\\n         ");
+        }
+        out.push_str(&l.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_compilable_shape() {
+        let t = regression_test(
+            "read(x);\nwrite(x);",
+            "gallagher",
+            FindingKind::Projection,
+            Some(2),
+            true,
+            7,
+            Family::Structured,
+        );
+        assert!(t.contains("#[test]"), "{t}");
+        assert!(t.contains("fn difftest_gallagher_projection_structured_seed7()"));
+        assert!(t.contains("at_line(2)"));
+        assert!(t.contains("is_err"), "expected finding pins the catch: {t}");
+    }
+
+    #[test]
+    fn unexpected_findings_pin_the_fix() {
+        let t = regression_test(
+            "write(1);",
+            "fig7-agrawal",
+            FindingKind::Projection,
+            Some(1),
+            false,
+            0,
+            Family::PaperFragment,
+        );
+        assert!(t.contains(".unwrap()"), "{t}");
+    }
+}

@@ -1,0 +1,246 @@
+//! The slicer registry: every algorithm the workspace implements, tagged
+//! with where the paper (and this repo's property-test suite) claims it is
+//! sound, plus the inter-slice lattice relations the differential harness
+//! cross-checks.
+//!
+//! The soundness scopes are deliberately exactly the claims the existing
+//! test suite pins (`tests/soundness.rs`, `tests/equivalence.rs`): the
+//! fuzzer's job is to hunt for violations of *established* expectations,
+//! not to invent new ones that would drown real bugs in noise.
+
+use jumpslice_core::baselines::{ball_horwitz_slice, gallagher_slice, jzr_slice, lyle_slice};
+use jumpslice_core::{
+    agrawal_slice, conservative_slice, conventional_slice, structured_slice, SliceFn,
+};
+
+/// Program classes a claim can be scoped to, ordered by inclusion:
+/// every paper-fragment program is structured, every structured program is
+/// a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Structured programs (no gotos) restricted to the paper's own
+    /// constructs — no `do-while`, no `switch`. On these, the suite pins
+    /// precision *equalities* (Fig 7 == Ball–Horwitz, Fig 12 == Fig 7).
+    PaperFragment,
+    /// Structured in the paper's §4 sense: jumps are only
+    /// `break`/`continue`/`return` ([`jumpslice_core::is_structured`]).
+    Structured,
+    /// Any valid program, gotos included.
+    All,
+}
+
+impl Scope {
+    /// Whether a claim scoped to `self` applies to a program of class
+    /// `program_scope` (the program's *most specific* class).
+    pub fn covers(self, program_scope: Scope) -> bool {
+        // A PaperFragment claim applies only to paper-fragment programs; an
+        // All claim applies everywhere.
+        program_scope <= self
+    }
+}
+
+/// A registered slicing algorithm.
+#[derive(Clone, Copy)]
+pub struct Algo {
+    /// Stable display name, matching the suite's `tests/equivalence.rs`
+    /// table.
+    pub name: &'static str,
+    /// The slicer.
+    pub f: SliceFn,
+    /// Where the slicer *must* pass the projection oracle. `None` means the
+    /// algorithm is expected-unsound (the paper's §5/§6 counterexample
+    /// material): the oracle still runs, and failures are tallied as
+    /// expected rather than reported as findings.
+    pub sound_on: Option<Scope>,
+}
+
+impl std::fmt::Debug for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Algo")
+            .field("name", &self.name)
+            .field("sound_on", &self.sound_on)
+            .finish()
+    }
+}
+
+/// Every slicer in the workspace: the four paper algorithms and the four
+/// baselines.
+pub const ALGOS: &[Algo] = &[
+    Algo {
+        name: "conventional",
+        f: conventional_slice,
+        // §2: ignores jump statements entirely — the paper's motivating
+        // counterexample (Figure 3-b). Generated programs always contain
+        // jumps, so no soundness claim anywhere.
+        sound_on: None,
+    },
+    Algo {
+        name: "fig7-agrawal",
+        f: agrawal_slice,
+        sound_on: Some(Scope::All),
+    },
+    Algo {
+        name: "fig12-structured",
+        f: structured_slice,
+        // §4's simplification is only claimed for structured programs.
+        sound_on: Some(Scope::Structured),
+    },
+    Algo {
+        name: "fig13-conservative",
+        f: conservative_slice,
+        // The suite pins soundness on structured programs
+        // (tests/soundness.rs::fig12_and_fig13_are_sound_on_structured);
+        // on goto programs it still runs but carries no pinned claim.
+        sound_on: Some(Scope::Structured),
+    },
+    Algo {
+        name: "ball-horwitz",
+        f: ball_horwitz_slice,
+        sound_on: Some(Scope::All),
+    },
+    Algo {
+        name: "lyle",
+        f: lyle_slice,
+        // The paper hedges on Lyle's in-between-jump rule ("except in some
+        // special cases", §5) and the baseline inherits the hedge — see
+        // crates/core/src/baselines/lyle.rs; no universal claim to enforce.
+        sound_on: None,
+    },
+    Algo {
+        name: "gallagher",
+        f: gallagher_slice,
+        // Known-unsound: a break whose target block misses the slice
+        // (tests/soundness.rs::gallagher_unsound_on_structured_break).
+        sound_on: None,
+    },
+    Algo {
+        name: "jzr",
+        f: jzr_slice,
+        // Known-unsound on the paper's Figure 8.
+        sound_on: None,
+    },
+];
+
+/// How two slices must relate on programs in a relation's scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelKind {
+    /// `sub.stmts ⊆ sup.stmts`.
+    Subset,
+    /// `sub.stmts == sup.stmts`.
+    Equal,
+}
+
+/// A pinned lattice relation between two registered slicers.
+#[derive(Clone, Copy, Debug)]
+pub struct Relation {
+    /// The (expected-) smaller slice's algorithm name.
+    pub sub: &'static str,
+    /// The (expected-) larger slice's algorithm name.
+    pub sup: &'static str,
+    /// Subset or equality.
+    pub kind: RelKind,
+    /// Program class the relation is claimed on.
+    pub scope: Scope,
+}
+
+/// The lattice relations the property-test suite establishes
+/// (`tests/equivalence.rs`); the fuzzer re-checks each on every generated
+/// program in scope.
+pub const RELATIONS: &[Relation] = &[
+    // Figure 7 conservatively includes everything Ball–Horwitz keeps.
+    Relation {
+        sub: "ball-horwitz",
+        sup: "fig7-agrawal",
+        kind: RelKind::Subset,
+        scope: Scope::All,
+    },
+    // §4: the structured simplification never exceeds the conservative one.
+    Relation {
+        sub: "fig12-structured",
+        sup: "fig13-conservative",
+        kind: RelKind::Subset,
+        scope: Scope::Structured,
+    },
+    // The conventional closure seeds every jump-aware algorithm.
+    Relation {
+        sub: "conventional",
+        sup: "fig7-agrawal",
+        kind: RelKind::Subset,
+        scope: Scope::All,
+    },
+    Relation {
+        sub: "conventional",
+        sup: "ball-horwitz",
+        kind: RelKind::Subset,
+        scope: Scope::All,
+    },
+    Relation {
+        sub: "conventional",
+        sup: "lyle",
+        kind: RelKind::Subset,
+        scope: Scope::All,
+    },
+    Relation {
+        sub: "conventional",
+        sup: "gallagher",
+        kind: RelKind::Subset,
+        scope: Scope::All,
+    },
+    Relation {
+        sub: "conventional",
+        sup: "jzr",
+        kind: RelKind::Subset,
+        scope: Scope::All,
+    },
+    // On the paper's own language fragment the precision equalities hold.
+    Relation {
+        sub: "fig7-agrawal",
+        sup: "ball-horwitz",
+        kind: RelKind::Equal,
+        scope: Scope::PaperFragment,
+    },
+    Relation {
+        sub: "fig12-structured",
+        sup: "fig7-agrawal",
+        kind: RelKind::Equal,
+        scope: Scope::PaperFragment,
+    },
+];
+
+/// Looks an algorithm up by its registry name.
+pub fn algo(name: &str) -> Option<&'static Algo> {
+    ALGOS.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations_reference_registered_algos() {
+        for r in RELATIONS {
+            assert!(algo(r.sub).is_some(), "unknown sub {}", r.sub);
+            assert!(algo(r.sup).is_some(), "unknown sup {}", r.sup);
+        }
+    }
+
+    #[test]
+    fn scope_inclusion() {
+        assert!(Scope::All.covers(Scope::PaperFragment));
+        assert!(Scope::All.covers(Scope::Structured));
+        assert!(Scope::All.covers(Scope::All));
+        assert!(Scope::Structured.covers(Scope::PaperFragment));
+        assert!(Scope::Structured.covers(Scope::Structured));
+        assert!(!Scope::Structured.covers(Scope::All));
+        assert!(!Scope::PaperFragment.covers(Scope::Structured));
+    }
+
+    #[test]
+    fn all_eight_slicers_registered() {
+        assert_eq!(ALGOS.len(), 8);
+        let mut names: Vec<_> = ALGOS.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "duplicate registry names");
+    }
+}

@@ -61,6 +61,64 @@ pub struct Trajectory {
     pub fuel_exhausted: bool,
 }
 
+/// Why a residual program could not be planned or executed.
+///
+/// A *full* validated program never produces these — the language validator
+/// guarantees every `break`/`continue` has an enclosing construct and every
+/// `goto` a resolvable label. They arise only when a mask (an incorrect
+/// slice) strands a jump, which is exactly the situation the differential
+/// tester must observe as data rather than as a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// An included `goto` targets an excluded label that the slicer did not
+    /// re-associate.
+    DanglingLabel {
+        /// The unresolved label's name.
+        label: String,
+    },
+    /// A `break` survived the mask with no enclosing breakable construct to
+    /// transfer control out of.
+    StrandedBreak {
+        /// The stranded statement.
+        stmt: StmtId,
+    },
+    /// A `continue` survived the mask with no enclosing loop.
+    StrandedContinue {
+        /// The stranded statement.
+        stmt: StmtId,
+    },
+    /// Execution reached a statement whose control flow was never planned,
+    /// or whose planned flow shape does not match its kind.
+    MalformedFlow {
+        /// The offending statement.
+        stmt: StmtId,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DanglingLabel { label } => write!(
+                f,
+                "goto target `{label}` excluded from the residual program but not re-associated"
+            ),
+            ExecError::StrandedBreak { stmt } => write!(
+                f,
+                "break ({stmt:?}) has no enclosing breakable construct in the residual program"
+            ),
+            ExecError::StrandedContinue { stmt } => write!(
+                f,
+                "continue ({stmt:?}) has no enclosing loop in the residual program"
+            ),
+            ExecError::MalformedFlow { stmt } => {
+                write!(f, "no planned control flow for statement {stmt:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Where control goes next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Target {
@@ -93,6 +151,7 @@ enum Flow {
 /// ```
 pub fn run(prog: &Program, input: &Input) -> Trajectory {
     run_masked(prog, input, &|_| true, &[])
+        .expect("validated full programs plan and execute without errors")
 }
 
 /// Runs the *residual program* induced by `include` on `input`.
@@ -106,24 +165,27 @@ pub fn run(prog: &Program, input: &Input) -> Trajectory {
 /// if the mask excludes it — mirroring how `print_slice` renders such
 /// residual programs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an included `goto` targets an excluded label that was not
-/// re-associated. Slices produced by the algorithms in `jumpslice-core`
-/// never trip this.
+/// Returns [`ExecError`] when the mask strands a jump — an included `goto`
+/// targeting an excluded label that was not re-associated, or a
+/// `break`/`continue` left without its enclosing construct. Slices produced
+/// by the algorithms in `jumpslice-core` never trip this; the differential
+/// tester relies on the error to catch slicers that do.
 pub fn run_masked(
     prog: &Program,
     input: &Input,
     include: &dyn Fn(StmtId) -> bool,
     moved_labels: &[(Label, Option<StmtId>)],
-) -> Trajectory {
+) -> Result<Trajectory, ExecError> {
     let plan = Planner {
         prog,
         include,
         moved: moved_labels.iter().copied().collect(),
         flow: HashMap::new(),
+        error: None,
     }
-    .plan();
+    .plan()?;
     execute(prog, input, &plan, &|s| s.index() as u64)
 }
 
@@ -141,9 +203,11 @@ pub fn run_with_sites(
         include: &|_| true,
         moved: HashMap::new(),
         flow: HashMap::new(),
+        error: None,
     }
-    .plan();
-    execute(prog, input, &plan, site_key)
+    .plan()
+    .expect("validated full programs plan without errors");
+    execute(prog, input, &plan, site_key).expect("validated full programs execute without errors")
 }
 
 struct Plan {
@@ -156,6 +220,8 @@ struct Planner<'a> {
     include: &'a dyn Fn(StmtId) -> bool,
     moved: HashMap<Label, Option<StmtId>>,
     flow: HashMap<StmtId, Flow>,
+    /// First stranded-jump error met while wiring; reported after the walk.
+    error: Option<ExecError>,
 }
 
 #[derive(Clone, Copy)]
@@ -165,17 +231,26 @@ struct Ctx {
 }
 
 impl Planner<'_> {
-    fn plan(mut self) -> Plan {
+    fn plan(mut self) -> Result<Plan, ExecError> {
         let body: Vec<StmtId> = self.prog.body().to_vec();
         let ctx = Ctx {
             break_to: None,
             continue_to: None,
         };
         let entry = self.wire_block(&body, Target::Exit, ctx);
-        Plan {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Plan {
             entry,
             flow: self.flow,
-        }
+        })
+    }
+
+    /// Records the first wiring error; later ones are dropped (the first is
+    /// the one a shrinker wants to chase anyway).
+    fn fail(&mut self, e: ExecError) {
+        self.error.get_or_insert(e);
     }
 
     fn included(&self, s: StmtId) -> bool {
@@ -214,7 +289,7 @@ impl Planner<'_> {
         Target::Stmt(s)
     }
 
-    fn label_target(&self, l: Label) -> Target {
+    fn label_target(&mut self, l: Label) -> Target {
         let orig = self.prog.label_target(l).expect("validated labels resolve");
         if self.included(orig) {
             return self.first_target(orig);
@@ -222,10 +297,12 @@ impl Planner<'_> {
         match self.moved.get(&l) {
             Some(Some(dest)) => self.first_target(*dest),
             Some(None) => Target::Exit,
-            None => panic!(
-                "goto target `{}` excluded from the residual program but not re-associated",
-                self.prog.label_str(l)
-            ),
+            None => {
+                self.fail(ExecError::DanglingLabel {
+                    label: self.prog.label_str(l).to_owned(),
+                });
+                Target::Exit
+            }
         }
     }
 
@@ -251,8 +328,20 @@ impl Planner<'_> {
             | StmtKind::Skip => Flow::Seq(follow),
             StmtKind::Goto { target } => Flow::Seq(self.label_target(*target)),
             StmtKind::CondGoto { target, .. } => Flow::Branch(self.label_target(*target), follow),
-            StmtKind::Break => Flow::Seq(ctx.break_to.expect("break inside breakable")),
-            StmtKind::Continue => Flow::Seq(ctx.continue_to.expect("continue inside loop")),
+            StmtKind::Break => match ctx.break_to {
+                Some(t) => Flow::Seq(t),
+                None => {
+                    self.fail(ExecError::StrandedBreak { stmt: s });
+                    Flow::Seq(Target::Exit)
+                }
+            },
+            StmtKind::Continue => match ctx.continue_to {
+                Some(t) => Flow::Seq(t),
+                None => {
+                    self.fail(ExecError::StrandedContinue { stmt: s });
+                    Flow::Seq(Target::Exit)
+                }
+            },
             StmtKind::Return { .. } => Flow::Seq(Target::Exit),
             StmtKind::If {
                 then_branch,
@@ -310,7 +399,7 @@ fn execute(
     input: &Input,
     plan: &Plan,
     site_key: &dyn Fn(StmtId) -> u64,
-) -> Trajectory {
+) -> Result<Trajectory, ExecError> {
     let mut state = State::default();
     let mut traj = Trajectory::default();
     let mut fuel = input.fuel;
@@ -328,7 +417,9 @@ fn execute(
         let ev = |prog: &Program, state: &mut State, e| {
             eval(prog, state, input.eof_after, site_key(s), e)
         };
-        let flow = &plan.flow[&s];
+        let Some(flow) = plan.flow.get(&s) else {
+            return Err(ExecError::MalformedFlow { stmt: s });
+        };
         let mut value = None;
         cur = match (&prog.stmt(s).kind, flow) {
             (StmtKind::Assign { lhs, rhs }, Flow::Seq(n)) => {
@@ -385,11 +476,11 @@ fn execute(
                 StmtKind::Skip | StmtKind::Goto { .. } | StmtKind::Break | StmtKind::Continue,
                 Flow::Seq(n),
             ) => *n,
-            (k, f) => unreachable!("statement {k:?} with flow {f:?}"),
+            _ => return Err(ExecError::MalformedFlow { stmt: s }),
         };
         traj.events.push(TraceEvent { stmt: s, value });
     }
-    traj
+    Ok(traj)
 }
 
 #[cfg(test)]
@@ -531,7 +622,7 @@ mod tests {
     fn masked_run_deletes_statements() {
         let p = parse("x = 1; x = 2; write(x);").unwrap();
         let skip = p.at_line(2);
-        let t = run_masked(&p, &Input::default(), &|s| s != skip, &[]);
+        let t = run_masked(&p, &Input::default(), &|s| s != skip, &[]).unwrap();
         assert_eq!(t.outputs, vec![1], "deleting x = 2 exposes x = 1");
     }
 
@@ -546,7 +637,8 @@ mod tests {
             &Input::default(),
             &|s| keep.contains(&s),
             &[(l, Some(p.at_line(5)))],
-        );
+        )
+        .unwrap();
         assert_eq!(t.outputs, vec![5]);
         assert_eq!(t.events.len(), 3);
     }
@@ -556,7 +648,7 @@ mod tests {
         let p = parse("goto L; L: x = 1;").unwrap();
         let keep = [p.at_line(1)];
         let l = p.label("L").unwrap();
-        let t = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[(l, None)]);
+        let t = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[(l, None)]).unwrap();
         assert_eq!(t.events.len(), 1);
         assert!(!t.fuel_exhausted);
     }
@@ -568,7 +660,7 @@ mod tests {
         // so the branch is not taken and write(y) sees 0).
         let p = parse("x = 1; if (x > 0) { y = 7; } write(y);").unwrap();
         let keep = [p.at_line(3), p.at_line(4)];
-        let t = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[]);
+        let t = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[]).unwrap();
         assert_eq!(t.outputs, vec![0]);
         // The if executed (auto-included) even though the mask excludes it.
         assert!(t.events.iter().any(|e| e.stmt == p.at_line(2)));
@@ -577,11 +669,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not re-associated")]
-    fn masked_dangling_label_panics() {
+    fn masked_dangling_label_is_an_error_not_a_panic() {
         let p = parse("goto L; L: x = 1;").unwrap();
         let keep = [p.at_line(1)];
-        let _ = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[]);
+        let err = run_masked(&p, &Input::default(), &|s| keep.contains(&s), &[]).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DanglingLabel {
+                label: "L".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("not re-associated"));
     }
 
     #[test]
@@ -598,7 +696,8 @@ mod tests {
             },
             &|s| s != body,
             &[],
-        );
+        )
+        .unwrap();
         assert!(t.fuel_exhausted);
     }
 }

@@ -29,5 +29,7 @@ mod exec;
 mod oracle;
 
 pub use eval::mix;
-pub use exec::{run, run_masked, run_with_sites, Input, TraceEvent, Trajectory};
-pub use oracle::{check_projection, project, ProjectionMismatch};
+pub use exec::{run, run_masked, run_with_sites, ExecError, Input, TraceEvent, Trajectory};
+pub use oracle::{
+    check_projection, project, ProjectionError, ProjectionMismatch, ProjectionReport,
+};

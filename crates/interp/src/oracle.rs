@@ -5,8 +5,21 @@
 //! execution's trajectory *projected onto the slice's statements* — same
 //! statements, same order, same values. The conventional slicer fails this
 //! on jump programs (Figure 3-b); the paper's algorithms must pass it.
+//!
+//! Three verdicts are possible per input, and the distinction matters to
+//! the differential tester:
+//!
+//! * **verified** — both runs terminated and the projected trajectories
+//!   agree;
+//! * **inconclusive** — a run exhausted its fuel, so only a prefix could be
+//!   compared (and it agreed). A non-terminating program can never *verify*
+//!   a slice, only fail to refute it; [`ProjectionReport`] keeps the count
+//!   so harnesses can tell "checked" apart from "timed out".
+//! * **failed** — the trajectories disagree ([`ProjectionError::Mismatch`])
+//!   or the residual program could not even run because the slice stranded
+//!   a jump ([`ProjectionError::Stuck`]).
 
-use crate::{run, run_masked, Input, TraceEvent, Trajectory};
+use crate::{run, run_masked, ExecError, Input, TraceEvent, Trajectory};
 use jumpslice_dataflow::StmtSet;
 use jumpslice_lang::{Label, Program, StmtId};
 
@@ -44,16 +57,66 @@ impl std::fmt::Display for ProjectionMismatch {
 
 impl std::error::Error for ProjectionMismatch {}
 
+/// Why [`check_projection`] rejected a slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProjectionError {
+    /// The projected trajectories disagree.
+    Mismatch(ProjectionMismatch),
+    /// The residual program could not run at all: the slice stranded a jump
+    /// (dangling label, orphaned `break`/`continue`).
+    Stuck {
+        /// The input being checked when planning failed.
+        input: Input,
+        /// What stranded.
+        error: ExecError,
+    },
+}
+
+impl std::fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProjectionError::Mismatch(m) => m.fmt(f),
+            ProjectionError::Stuck { input, error } => {
+                write!(f, "residual program stuck on input {input:?}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectionError {}
+
+/// How conclusively a family of inputs exercised a slice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProjectionReport {
+    /// Inputs on which both runs terminated and the projections agreed.
+    pub verified: usize,
+    /// Inputs where a run exhausted its fuel: only an (agreeing) prefix
+    /// could be compared, which refutes nothing about the tail.
+    pub inconclusive: usize,
+}
+
+impl ProjectionReport {
+    /// Whether at least one input produced a full, terminating comparison.
+    pub fn is_conclusive(&self) -> bool {
+        self.verified > 0
+    }
+}
+
 /// Checks the projection property of a slice on a family of inputs.
 ///
 /// For each input the full program and the residual program run with the
 /// same fuel; their (projected) event sequences must agree. If either run
 /// exhausts its fuel, the shorter sequence must be a prefix of the longer —
-/// with identical deterministic inputs the property is prefix-closed.
+/// with identical deterministic inputs the property is prefix-closed — and
+/// the input counts as *inconclusive* in the returned report rather than
+/// verified: a truncated run cannot certify the slice, only fail to refute
+/// it.
 ///
 /// # Errors
 ///
-/// Returns the first input whose projected trajectories disagree.
+/// Returns the first input whose projected trajectories disagree
+/// ([`ProjectionError::Mismatch`]), or on which the residual program could
+/// not run because the slice stranded a jump ([`ProjectionError::Stuck`]).
 ///
 /// # Examples
 ///
@@ -63,7 +126,8 @@ impl std::error::Error for ProjectionMismatch {}
 /// let p = corpus::fig3();
 /// let a = Analysis::new(&p);
 /// let s = agrawal_slice(&a, &Criterion::at_stmt(p.at_line(15)));
-/// check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8))?;
+/// let report = check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8))?;
+/// assert!(report.is_conclusive());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn check_projection(
@@ -71,29 +135,44 @@ pub fn check_projection(
     slice: &StmtSet,
     moved_labels: &[(Label, Option<StmtId>)],
     inputs: &[Input],
-) -> Result<(), ProjectionMismatch> {
+) -> Result<ProjectionReport, ProjectionError> {
+    let mut report = ProjectionReport::default();
     for input in inputs {
         let full = run(prog, input);
-        let residual = run_masked(prog, input, &|s| slice.contains(s), moved_labels);
+        let residual = match run_masked(prog, input, &|s| slice.contains(s), moved_labels) {
+            Ok(t) => t,
+            Err(error) => {
+                return Err(ProjectionError::Stuck {
+                    input: *input,
+                    error,
+                })
+            }
+        };
         let expected = project(&full, slice);
         // Project the residual run too: structurally auto-included
         // containers execute but are not slice members.
         let actual = project(&residual, slice);
-        let ok = if full.fuel_exhausted || residual.fuel_exhausted {
+        let truncated = full.fuel_exhausted || residual.fuel_exhausted;
+        let ok = if truncated {
             let n = expected.len().min(actual.len());
             expected[..n] == actual[..n]
         } else {
             expected == actual
         };
         if !ok {
-            return Err(ProjectionMismatch {
+            return Err(ProjectionError::Mismatch(ProjectionMismatch {
                 input: *input,
                 expected,
                 actual,
-            });
+            }));
+        }
+        if truncated {
+            report.inconclusive += 1;
+        } else {
+            report.verified += 1;
         }
     }
-    Ok(())
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -105,7 +184,9 @@ mod tests {
     fn identity_slice_always_projects() {
         let p = parse("read(x); while (x > 0) { x = x - 1; } write(x);").unwrap();
         let all: StmtSet = p.stmt_ids().collect();
-        check_projection(&p, &all, &[], &Input::family(6)).unwrap();
+        let report = check_projection(&p, &all, &[], &Input::family(6)).unwrap();
+        assert!(report.is_conclusive());
+        assert_eq!(report.inconclusive, 0);
     }
 
     #[test]
@@ -154,5 +235,41 @@ mod tests {
         let err = check_projection(&p, &keep, &[], &[Input::default()]).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("projection mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn stranded_jump_reported_as_stuck_not_panic() {
+        // A slice keeping a goto but neither its target nor a re-associated
+        // label used to abort the whole process; now it is a verdict.
+        let p = parse("goto L; L: x = 1; write(x);").unwrap();
+        let keep: StmtSet = [p.at_line(1), p.at_line(3)].into_iter().collect();
+        let err = check_projection(&p, &keep, &[], &[Input::default()]).unwrap_err();
+        match err {
+            ProjectionError::Stuck { error, .. } => {
+                assert_eq!(
+                    error,
+                    crate::ExecError::DanglingLabel {
+                        label: "L".to_owned()
+                    }
+                );
+            }
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_inconclusive_not_verified() {
+        // The original program never terminates under this eof horizon; a
+        // truncated prefix comparison must not count as verification.
+        let p = parse("x = 1; while (x) { x = 1; } write(x);").unwrap();
+        let all: StmtSet = p.stmt_ids().collect();
+        let inputs = [Input {
+            fuel: 50,
+            ..Input::default()
+        }];
+        let report = check_projection(&p, &all, &[], &inputs).unwrap();
+        assert_eq!(report.verified, 0);
+        assert_eq!(report.inconclusive, 1);
+        assert!(!report.is_conclusive());
     }
 }

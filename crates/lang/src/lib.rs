@@ -50,5 +50,5 @@ pub use builder::ProgramBuilder;
 pub use error::{Error, ErrorKind};
 pub use lexer::{Lexer, Span, Token, TokenKind};
 pub use parser::parse;
-pub use print::{print_program, print_slice, PrintOptions};
+pub use print::{print_program, print_slice, print_with_options, PrintOptions};
 pub use structure::Structure;

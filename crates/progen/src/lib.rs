@@ -72,6 +72,26 @@ impl GenConfig {
             ..GenConfig::default()
         }
     }
+
+    /// The paper's own language fragment: structured constructs only, no
+    /// `do-while`, no `switch`. On programs from this preset the precision
+    /// equalities of §4 (Figure 7 ≡ Ball–Horwitz, Figure 12 ≡ Figure 7)
+    /// are expected to hold exactly.
+    pub fn paper_fragment(seed: u64, target_stmts: usize) -> GenConfig {
+        GenConfig {
+            do_while: false,
+            switches: false,
+            ..GenConfig::sized(seed, target_stmts)
+        }
+    }
+
+    /// Overrides the jump density.
+    pub fn with_jump_density(self, jump_density: f64) -> GenConfig {
+        GenConfig {
+            jump_density,
+            ..self
+        }
+    }
 }
 
 fn var_name(i: usize) -> String {

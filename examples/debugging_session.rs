@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &input,
             &|s| slice.contains(s),
             &slice.moved_labels,
-        );
+        )?;
         // write(failures) is the only write in the slice.
         assert_eq!(full.outputs.last(), masked.outputs.last());
     }

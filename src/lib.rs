@@ -78,6 +78,9 @@ pub use jumpslice_progen as progen;
 /// Dynamic slicing over execution trajectories.
 pub use jumpslice_dynslice as dynslice;
 
+/// Differential fuzzing of the slicers against the projection oracle.
+pub use jumpslice_difftest as difftest;
+
 /// One-import access to the common workflow: parse → analyze → slice →
 /// render/check.
 pub mod prelude {
@@ -91,8 +94,11 @@ pub mod prelude {
         Criterion, LexSuccTree, Slice, SliceFn,
     };
     pub use jumpslice_dataflow::StmtSet;
+    pub use jumpslice_difftest::{run_difftest, DiffConfig, DiffReport};
     pub use jumpslice_dynslice::{dynamic_slice, dynamic_slice_of_trace, DynCriterion};
-    pub use jumpslice_interp::{check_projection, run, run_masked, Input};
+    pub use jumpslice_interp::{
+        check_projection, run, run_masked, ExecError, Input, ProjectionError, ProjectionReport,
+    };
     pub use jumpslice_lang::{parse, print_program, print_slice, Program, ProgramBuilder, StmtId};
     pub use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
 }

@@ -1,0 +1,221 @@
+//! The differential fuzzer as a test suite: a fixed-seed smoke run, the
+//! shrunk counterexamples it produced (checked in verbatim as emitted by
+//! `difftest --record-expected`), and end-to-end label re-association
+//! cases exercised through the projection oracle.
+
+use jumpslice::prelude::*;
+
+/// A small fixed-seed differential run must complete with zero pinned-claim
+/// violations: every algorithm that claims soundness on a scope passes the
+/// projection oracle there, every pinned lattice relation holds, and no
+/// slicer panics.
+#[test]
+fn fixed_seed_differential_run_is_clean() {
+    let cfg = DiffConfig {
+        seeds: 3,
+        target_stmts: 20,
+        num_inputs: 3,
+        ..DiffConfig::smoke()
+    };
+    let report = run_difftest(&cfg);
+    assert_eq!(
+        report.hard_findings().count(),
+        0,
+        "pinned-claim violations: {:#?}",
+        report.hard_findings().collect::<Vec<_>>()
+    );
+    assert!(report.programs > 0 && report.verified > 0);
+    assert!(report.lattice_checks > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shrunk counterexamples, exactly as emitted by the fuzzer. Each documents a
+// *known* unsoundness (the paper's motivation); the companion assertion
+// checks Figure 7 stays sound on the very same program and criterion.
+// ---------------------------------------------------------------------------
+
+/// Shrunk by the difftest fuzzer (seed 0, paper-fragment family).
+///
+/// Dropping the `break` from the slice resurrects the infinite outer loop:
+/// the residual program spins until fuel runs out instead of producing the
+/// original three-event trajectory.
+#[test]
+fn difftest_conventional_projection_paper_fragment_seed0() {
+    let p = parse(
+        "while (1) {\n\
+           while (0) {\n\
+             v2 = v2;\n\
+           }\n\
+           break;\n\
+         }\n\
+         write(v2);",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(5));
+    let s = conventional_slice(&a, &crit);
+    // Known-unsound algorithm: the projection oracle must catch it.
+    assert!(check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).is_err());
+    // The paper's algorithm keeps the break and stays sound.
+    let ag = agrawal_slice(&a, &crit);
+    check_projection(&p, &ag.stmts, &ag.moved_labels, &Input::family(8)).unwrap();
+}
+
+/// Shrunk by the difftest fuzzer (seed 0, paper-fragment family).
+#[test]
+fn difftest_gallagher_projection_paper_fragment_seed0() {
+    let p = parse(
+        "while (1) {\n\
+           while (0) {\n\
+             v2 = v2;\n\
+           }\n\
+           break;\n\
+         }\n\
+         while (0) {\n\
+         }\n\
+         write(v2);",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(6));
+    let s = gallagher_slice(&a, &crit);
+    // Known-unsound algorithm: the projection oracle must catch it.
+    assert!(check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).is_err());
+    let ag = agrawal_slice(&a, &crit);
+    check_projection(&p, &ag.stmts, &ag.moved_labels, &Input::family(8)).unwrap();
+}
+
+/// Shrunk by the difftest fuzzer (seed 0, unstructured family).
+///
+/// `write(0)` is bypassed by `goto L21` in the original program; a slice
+/// that drops the goto lets the write execute — one extra trajectory event.
+#[test]
+fn difftest_conventional_projection_unstructured_seed0() {
+    let p = parse(
+        "L10: if (1) {\n\
+           goto L21;\n\
+         }\n\
+         L18: write(0);\n\
+         L21: if (0) goto L22;\n\
+         L22: v1 = 0;",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(3));
+    let s = conventional_slice(&a, &crit);
+    // Known-unsound algorithm: the projection oracle must catch it.
+    assert!(check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).is_err());
+    let ag = agrawal_slice(&a, &crit);
+    check_projection(&p, &ag.stmts, &ag.moved_labels, &Input::family(8)).unwrap();
+}
+
+/// Shrunk by the difftest fuzzer (seed 0, unstructured family).
+///
+/// Lyle's "include the whole loop" hedge is genuinely unsound on goto
+/// programs — the paper says as much in §5, and the fuzzer confirms it on a
+/// six-statement program.
+#[test]
+fn difftest_lyle_projection_unstructured_seed0() {
+    let p = parse(
+        "L10: if (1) {\n\
+           goto L21;\n\
+         }\n\
+         L18: write(0);\n\
+         L21: if (0) goto L22;\n\
+         L22: v1 = 0;",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(3));
+    let s = lyle_slice(&a, &crit);
+    // Known-unsound algorithm: the projection oracle must catch it.
+    assert!(check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).is_err());
+    let ag = agrawal_slice(&a, &crit);
+    check_projection(&p, &ag.stmts, &ag.moved_labels, &Input::family(8)).unwrap();
+}
+
+/// Shrunk by the difftest fuzzer (seed 1, unstructured family).
+#[test]
+fn difftest_conventional_projection_unstructured_seed1() {
+    let p = parse(
+        "L26: if (1) {\n\
+           goto LEND;\n\
+         }\n\
+         L29: v1 = v0;\n\
+         LEND: write(v0);\n\
+         write(v1);",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(5));
+    let s = conventional_slice(&a, &crit);
+    // Known-unsound algorithm: the projection oracle must catch it.
+    assert!(check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).is_err());
+    let ag = agrawal_slice(&a, &crit);
+    check_projection(&p, &ag.stmts, &ag.moved_labels, &Input::family(8)).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Label re-association, end to end: slice → moved_labels → residual
+// execution through the oracle (the paths satellite 4 pins down).
+// ---------------------------------------------------------------------------
+
+/// Two gotos share one label whose carrier falls out of the slice. The
+/// label must be re-associated exactly once (one `moved_labels` entry, not
+/// one per goto) and the residual program must still replay the original
+/// trajectory.
+#[test]
+fn shared_dangling_label_is_reassociated_once() {
+    let p = parse(
+        "read(x);
+         if (x > 0) goto SKIP;
+         if (x < 0) goto SKIP;
+         y = 1;
+         SKIP: z = 5;
+         write(y);",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(6));
+    let s = agrawal_slice(&a, &crit);
+
+    // Both gotos can bypass `y = 1`, so both are in the slice; `z = 5` is
+    // irrelevant to `write(y)` and stays out, leaving SKIP dangling.
+    assert!(s.contains(p.at_line(2)) && s.contains(p.at_line(3)));
+    assert!(!s.contains(p.at_line(5)), "{}", s.render(&p));
+
+    assert_eq!(s.moved_labels.len(), 1, "{:?}", s.moved_labels);
+    let (label, dest) = s.moved_labels[0];
+    assert_eq!(p.label_str(label), "SKIP");
+    // Nearest postdominator of `z = 5` inside the slice is `write(y)`.
+    assert_eq!(dest, Some(p.at_line(6)));
+
+    check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).unwrap();
+}
+
+/// A dangling label whose target has no postdominator left in the slice is
+/// re-associated with the program exit (`SlicePoint` = `None`), and the
+/// interpreter treats a jump there as normal termination.
+#[test]
+fn dangling_label_reassociates_to_exit() {
+    let p = parse(
+        "read(y);
+         if (y > 0) goto END;
+         write(y);
+         END: z = 1;",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let crit = Criterion::at_stmt(p.at_line(3));
+    let s = agrawal_slice(&a, &crit);
+
+    assert!(s.contains(p.at_line(2)), "goto can bypass the criterion");
+    assert!(!s.contains(p.at_line(4)), "{}", s.render(&p));
+
+    assert_eq!(s.moved_labels.len(), 1, "{:?}", s.moved_labels);
+    let (label, dest) = s.moved_labels[0];
+    assert_eq!(p.label_str(label), "END");
+    assert_eq!(dest, None, "END must move to the exit");
+
+    check_projection(&p, &s.stmts, &s.moved_labels, &Input::family(8)).unwrap();
+}

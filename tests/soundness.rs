@@ -114,7 +114,7 @@ fn criterion_outputs_are_preserved() {
             let s = agrawal_slice(&a, &Criterion::at_stmt(c));
             for input in &inputs {
                 let full = run(&p, input);
-                let masked = run_masked(&p, input, &|x| s.contains(x), &s.moved_labels);
+                let masked = run_masked(&p, input, &|x| s.contains(x), &s.moved_labels).unwrap();
                 if full.fuel_exhausted || masked.fuel_exhausted {
                     continue;
                 }
@@ -190,6 +190,7 @@ fn dead_jumps_never_join_slices() {
         for s in [
             agrawal_slice(&a, &crit),
             conservative_slice(&a, &crit),
+            ball_horwitz_slice(&a, &crit),
             gallagher_slice(&a, &crit),
             lyle_slice(&a, &crit),
             jzr_slice(&a, &crit),
