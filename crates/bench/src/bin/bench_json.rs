@@ -134,6 +134,38 @@ fn main() {
     }
     r.finish();
 
+    // Per-phase cost breakdown via the obs layer: one cold analysis + warm
+    // + a single-threaded batch sweep per family, captured on this thread's
+    // trace sink (workers would be silent, so the sweep runs sequentially).
+    let mut per_phase: Vec<(String, Vec<(&'static str, u64)>)> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        let p = make(1000);
+        let (_, events) = jumpslice_obs::capture(|| {
+            let a = Analysis::new(&p);
+            a.warm();
+            let criteria = criterion_pool(&p, &a, BATCH);
+            black_box(
+                BatchSlicer::new(&a)
+                    .with_threads(1)
+                    .slice_all(agrawal_slice, &criteria),
+            );
+        });
+        let m = jumpslice_obs::Metrics::of(&events);
+        per_phase.push((
+            format!("{family}-{}", p.len()),
+            m.phase_ns.into_iter().collect(),
+        ));
+    }
+
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"slicing\",");
@@ -178,7 +210,18 @@ fn main() {
         );
         let _ = writeln!(out, "    }}{comma}");
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"per_phase_ns\": {\n");
+    for (i, (corpus, phases)) in per_phase.iter().enumerate() {
+        let comma = if i + 1 == per_phase.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {{", json_escape(corpus));
+        for (j, (phase, ns)) in phases.iter().enumerate() {
+            let c = if j + 1 == phases.len() { "" } else { "," };
+            let _ = writeln!(out, "      \"{phase}\": {ns}{c}");
+        }
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  }\n}\n");
 
     std::fs::write("BENCH_slicing.json", &out).expect("write BENCH_slicing.json");
     println!("\nwrote BENCH_slicing.json");

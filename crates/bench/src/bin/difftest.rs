@@ -11,7 +11,8 @@
 //! difftest --family unstructured --record-expected
 //! ```
 
-use jumpslice_difftest::{run_difftest_with, DiffConfig, Family};
+use jumpslice_difftest::{run_difftest_with, DiffConfig, Family, Finding};
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
@@ -28,13 +29,32 @@ fn usage() -> ! {
   --threads N          batch-slicer worker threads (default 1)
   --no-shrink          report findings without minimizing
   --record-expected    also shrink+report known-unsound failures (non-fatal)
-  --max-findings N     stop after N findings (default 8)"
+  --max-findings N     stop after N findings (default 8)
+  --out DIR            write per-finding artifacts (.prog.txt / .test.rs /
+                       .trace.json) into DIR (created if missing)"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> DiffConfig {
+/// Write one finding's artifacts into `dir` under a stable, shell-safe stem.
+fn write_finding(dir: &Path, idx: usize, f: &Finding) -> std::io::Result<()> {
+    let tag = if f.expected { "expected" } else { "finding" };
+    let stem = format!(
+        "{idx:03}-{tag}-{}-{}-{}-seed{}",
+        f.algo,
+        f.kind.name(),
+        f.family.name(),
+        f.seed
+    );
+    std::fs::write(dir.join(format!("{stem}.prog.txt")), &f.program)?;
+    std::fs::write(dir.join(format!("{stem}.test.rs")), &f.regression_test)?;
+    std::fs::write(dir.join(format!("{stem}.trace.json")), &f.trace_json)?;
+    Ok(())
+}
+
+fn parse_args() -> (DiffConfig, Option<PathBuf>) {
     let mut cfg = DiffConfig::default();
+    let mut out_dir = None;
     let mut args = std::env::args().skip(1);
     let next_num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
         args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -61,6 +81,12 @@ fn parse_args() -> DiffConfig {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--out" => {
+                out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    usage()
+                })));
+            }
             "--family" => {
                 let name = args.next().unwrap_or_default();
                 cfg.family = Some(Family::from_name(&name).unwrap_or_else(|| {
@@ -75,11 +101,11 @@ fn parse_args() -> DiffConfig {
             }
         }
     }
-    cfg
+    (cfg, out_dir)
 }
 
 fn main() {
-    let cfg = parse_args();
+    let (cfg, out_dir) = parse_args();
     // Panics are a *verdict* here (caught, attributed, reported); keep the
     // default hook from spraying backtraces over the progress output.
     std::panic::set_hook(Box::new(|_| {}));
@@ -124,6 +150,24 @@ fn main() {
         }
         println!("--- regression test ---");
         print!("{}", f.regression_test);
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        for (i, f) in report.findings.iter().enumerate() {
+            write_finding(dir, i, f).unwrap_or_else(|e| {
+                eprintln!("cannot write finding {i} to {}: {e}", dir.display());
+                std::process::exit(2);
+            });
+        }
+        println!(
+            "wrote {} finding artifact set(s) to {}",
+            report.findings.len(),
+            dir.display()
+        );
     }
 
     let hard = report.hard_findings().count();

@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod perfgate;
 
 use jumpslice_core::{Analysis, Criterion, Slice};
 use jumpslice_lang::{Program, StmtId, StmtKind};

@@ -1,0 +1,208 @@
+//! The CI perf-regression gate: compares a freshly measured
+//! `BENCH_slicing.json` against the committed baseline and fails on
+//! wall-clock regressions beyond a tolerance band.
+//!
+//! Only the `batch_sweeps` section is compared — single-slice latencies at
+//! figure scale are nanosecond-noisy, while the batch sweeps integrate
+//! enough work (120 criteria per program) to be stable across runs on the
+//! same machine. Rows are matched by `(family, stmts)`; a row present in
+//! the baseline but missing from the current run is reported rather than
+//! silently skipped.
+
+use jumpslice_obs::Json;
+
+/// Metrics compared per batch-sweep row. `sequential_per_criterion_analysis`
+/// is deliberately absent: it measures the *naive* strategy the batch engine
+/// exists to beat, so regressing it is not a product regression.
+const GATED_METRICS: &[&str] = &[
+    "batch_shared_analysis_sequential_ns",
+    "batch_shared_analysis_threads_ns",
+];
+
+/// One gated metric that regressed beyond the tolerance band.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Corpus family of the offending row (`structured`/`unstructured`).
+    pub family: String,
+    /// Program size of the offending row.
+    pub stmts: u64,
+    /// The regressed metric name.
+    pub metric: &'static str,
+    /// Baseline nanoseconds.
+    pub baseline_ns: f64,
+    /// Currently measured nanoseconds.
+    pub current_ns: f64,
+}
+
+impl Regression {
+    /// `current / baseline` slowdown factor.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// Outcome of one gate run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateReport {
+    /// Metric comparisons performed.
+    pub compared: usize,
+    /// Comparisons beyond the tolerance band, worst first.
+    pub regressions: Vec<Regression>,
+    /// Baseline rows with no matching `(family, stmts)` row in the current
+    /// measurement.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no regressions *and* full row coverage).
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+fn sweep_rows(doc: &Json) -> Result<Vec<&Json>, String> {
+    doc.get("batch_sweeps")
+        .and_then(Json::as_arr)
+        .map(|rows| rows.iter().collect())
+        .ok_or_else(|| "document has no `batch_sweeps` array".to_owned())
+}
+
+fn row_key(row: &Json) -> Result<(String, u64), String> {
+    let family = row
+        .get("family")
+        .and_then(Json::as_str)
+        .ok_or("sweep row missing `family`")?;
+    let stmts = row
+        .get("stmts")
+        .and_then(Json::as_num)
+        .ok_or("sweep row missing `stmts`")?;
+    Ok((family.to_owned(), stmts as u64))
+}
+
+/// Compares `current` against `baseline`: every gated metric of every
+/// baseline batch-sweep row must satisfy
+/// `current ≤ baseline × (1 + tolerance)`.
+pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateReport, String> {
+    let base_rows = sweep_rows(baseline)?;
+    let cur_rows = sweep_rows(current)?;
+    let mut report = GateReport::default();
+    for base in base_rows {
+        let key = row_key(base)?;
+        let Some(cur) = cur_rows
+            .iter()
+            .find(|r| row_key(r).as_ref() == Ok(&key))
+            .copied()
+        else {
+            report.missing.push(format!("{}-{}", key.0, key.1));
+            continue;
+        };
+        for &metric in GATED_METRICS {
+            let (Some(b), Some(c)) = (
+                base.get(metric).and_then(Json::as_num),
+                cur.get(metric).and_then(Json::as_num),
+            ) else {
+                // A metric absent on either side (e.g. an older baseline
+                // schema) is not comparable; skip rather than fail spuriously.
+                continue;
+            };
+            report.compared += 1;
+            if b > 0.0 && c > b * (1.0 + tolerance) {
+                report.regressions.push(Regression {
+                    family: key.0.clone(),
+                    stmts: key.1,
+                    metric,
+                    baseline_ns: b,
+                    current_ns: c,
+                });
+            }
+        }
+    }
+    report
+        .regressions
+        .sort_by(|x, y| y.ratio().total_cmp(&x.ratio()));
+    Ok(report)
+}
+
+/// Multiplies every gated metric in `doc` by `factor` in place — the
+/// self-test hook `perf_gate --inject-slowdown` uses to prove the gate
+/// actually trips.
+pub fn inject_slowdown(doc: &mut Json, factor: f64) {
+    let Json::Obj(fields) = doc else { return };
+    let Some((_, Json::Arr(rows))) = fields.iter_mut().find(|(k, _)| k == "batch_sweeps") else {
+        return;
+    };
+    for row in rows {
+        let Json::Obj(cells) = row else { continue };
+        for (k, v) in cells {
+            if GATED_METRICS.contains(&k.as_str()) {
+                if let Json::Num(n) = v {
+                    *n *= factor;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(seq: f64, thr: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "batch_shared_analysis_sequential_ns": {seq},
+                  "batch_shared_analysis_threads_ns": {thr}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_measurements_pass() {
+        let base = doc(1e6, 5e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let report = compare(&doc(1e6, 5e5), &doc(1.2e6, 6e5), 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+    }
+
+    #[test]
+    fn two_x_slowdown_fails() {
+        let report = compare(&doc(1e6, 5e5), &doc(2e6, 1e6), 0.25).unwrap();
+        assert_eq!(report.regressions.len(), 2);
+        assert!(!report.passes());
+        assert!((report.regressions[0].ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_slowdown_trips_the_gate() {
+        let base = doc(1e6, 5e5);
+        let mut cur = base.clone();
+        inject_slowdown(&mut cur, 2.0);
+        let report = compare(&base, &cur, 0.25).unwrap();
+        assert!(!report.passes(), "2x injection must trip the gate");
+        // And the untouched metrics still match the baseline document.
+        assert!(compare(&base, &base, 0.25).unwrap().passes());
+    }
+
+    #[test]
+    fn missing_row_is_reported() {
+        let base = doc(1e6, 5e5);
+        let empty = Json::parse(r#"{"batch_sweeps": []}"#).unwrap();
+        let report = compare(&base, &empty, 0.25).unwrap();
+        assert_eq!(report.missing, vec!["structured-954".to_owned()]);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let report = compare(&doc(1e6, 5e5), &doc(1e5, 5e4), 0.25).unwrap();
+        assert!(report.passes());
+    }
+}

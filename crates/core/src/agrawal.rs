@@ -1,7 +1,9 @@
 //! The paper's general algorithm (Figure 7).
 
-use crate::{conventional_slice, reassociate_labels, Analysis, Criterion, Slice};
+use crate::provenance::Recorder;
+use crate::{reassociate_labels, Analysis, Criterion, Slice};
 use jumpslice_lang::StmtId;
+use jumpslice_obs as obs;
 
 /// Agrawal's Figure 7: the slicing algorithm for programs with arbitrary
 /// jump statements.
@@ -48,34 +50,83 @@ pub fn agrawal_slice_with_order(
     crit: &Criterion,
     jump_order: &[StmtId],
 ) -> Slice {
-    let mut stmts = conventional_slice(a, crit).stmts;
+    figure7(a, crit, jump_order, None)
+}
+
+/// The single Figure-7 implementation behind both the plain slicers and the
+/// traced [`crate::agrawal_slice_traced`]: one code path, so a provenance
+/// record can never diverge from the slice it explains. `rec`, when present,
+/// is told why each statement entered the slice.
+pub(crate) fn figure7(
+    a: &Analysis<'_>,
+    crit: &Criterion,
+    jump_order: &[StmtId],
+    mut rec: Option<&mut Recorder>,
+) -> Slice {
+    let mut stmts = {
+        let _t = obs::phase(obs::Phase::ConventionalClosure);
+        match rec.as_deref_mut() {
+            Some(r) => r.seed_closure(a, crit),
+            None => a.pdg().backward_closure(crit.seeds(a)),
+        }
+    };
     let mut traversals = 0usize;
+    let mut round: u32 = 0;
     loop {
-        let mut added = false;
-        for &j in jump_order {
-            if stmts.contains(j) {
-                continue;
-            }
-            let npd = a.nearest_pdom_in(j, &stmts);
-            let nls = a.nearest_lexsucc_in(j, &stmts);
-            // `dowhile_hazard` extends the paper's test to the do-while
-            // construct this workspace adds; it never fires on the paper's
-            // own language (see Analysis::dowhile_hazard).
-            if npd != nls || a.dowhile_hazard(j, &stmts) {
-                // Add J and the transitive closure of its dependences. The
-                // in-place closure treats statements already in the slice
-                // as visited: sound, because the slice is closed under
-                // dependence at every point of the traversal.
-                a.pdg().backward_closure_into([j], &mut stmts);
-                added = true;
+        round += 1;
+        let mut admitted: u32 = 0;
+        {
+            let _t = obs::phase_round(obs::Phase::FixpointRound, round);
+            for &j in jump_order {
+                if stmts.contains(j) {
+                    continue;
+                }
+                let npd = a.nearest_pdom_in(j, &stmts);
+                let nls = a.nearest_lexsucc_in(j, &stmts);
+                // `dowhile_hazard` extends the paper's test to the do-while
+                // construct this workspace adds; it never fires on the
+                // paper's own language (see Analysis::dowhile_hazard).
+                let disagree = npd != nls;
+                if disagree || a.dowhile_hazard(j, &stmts) {
+                    obs::record(|| obs::Event::JumpAdmitted {
+                        algo: "fig7",
+                        line: a.prog().line_of(j) as u32,
+                        round,
+                        reason: if disagree {
+                            obs::AdmitReason::PdomLexsuccDisagree {
+                                npd_line: npd.map(|s| a.prog().line_of(s) as u32),
+                                nls_line: nls.map(|s| a.prog().line_of(s) as u32),
+                            }
+                        } else {
+                            obs::AdmitReason::DoWhileHazard
+                        },
+                    });
+                    // Add J and the transitive closure of its dependences.
+                    // The in-place closure treats statements already in the
+                    // slice as visited: sound, because the slice is closed
+                    // under dependence at every point of the traversal.
+                    match rec.as_deref_mut() {
+                        Some(r) => r.jump_closure(a, j, round, npd, nls, !disagree, &mut stmts),
+                        None => a.pdg().backward_closure_into([j], &mut stmts),
+                    }
+                    admitted += 1;
+                }
             }
         }
-        if !added {
+        obs::record(|| obs::Event::Round {
+            algo: "fig7",
+            round,
+            admitted,
+        });
+        if admitted == 0 {
             break;
         }
         traversals += 1;
     }
-    let moved_labels = reassociate_labels(a, &stmts);
+    let moved_labels = {
+        let _t = obs::phase(obs::Phase::LabelReassoc);
+        reassociate_labels(a, &stmts)
+    };
     Slice {
         stmts,
         moved_labels,
@@ -86,7 +137,7 @@ pub fn agrawal_slice_with_order(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus;
+    use crate::{conventional_slice, corpus};
 
     #[test]
     fn figure_3_slice_and_labels() {

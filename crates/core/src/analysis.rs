@@ -5,6 +5,7 @@ use jumpslice_cfg::Cfg;
 use jumpslice_dataflow::{DataDeps, ReachingDefs, StmtSet};
 use jumpslice_graph::DomTree;
 use jumpslice_lang::{Program, StmtId, StmtKind, Structure};
+use jumpslice_obs as obs;
 use jumpslice_pdg::{ControlDeps, Pdg};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -127,8 +128,10 @@ impl<'p> Analysis<'p> {
 
     /// The postdominator tree of the flowgraph (computed on first use).
     pub fn pdom(&self) -> &DomTree {
+        self.cache_probe(obs::Artifact::Pdom, self.pdom.get().is_some());
         self.pdom.get_or_init(|| {
             self.n_pdom.fetch_add(1, Ordering::Relaxed);
+            let _t = obs::phase(obs::Phase::Postdominators);
             self.cfg.postdominators()
         })
     }
@@ -136,9 +139,12 @@ impl<'p> Analysis<'p> {
     /// The (unaugmented) program dependence graph (computed on first use;
     /// its data half reuses the cached reaching-definitions fixpoint).
     pub fn pdg(&self) -> &Pdg {
+        self.cache_probe(obs::Artifact::Pdg, self.pdg.get().is_some());
         self.pdg.get_or_init(|| {
             self.n_pdg.fetch_add(1, Ordering::Relaxed);
-            let data = DataDeps::from_reaching(self.prog, &self.cfg, self.reaching());
+            let reaching = self.reaching();
+            let _t = obs::phase(obs::Phase::PdgBuild);
+            let data = DataDeps::from_reaching(self.prog, &self.cfg, reaching);
             let control = ControlDeps::compute(self.prog, &self.cfg);
             Pdg::from_parts(data, control)
         })
@@ -146,8 +152,10 @@ impl<'p> Analysis<'p> {
 
     /// The lexical successor tree (computed on first use).
     pub fn lst(&self) -> &LexSuccTree {
+        self.cache_probe(obs::Artifact::Lst, self.lst.get().is_some());
         self.lst.get_or_init(|| {
             self.n_lst.fetch_add(1, Ordering::Relaxed);
+            let _t = obs::phase(obs::Phase::LstBuild);
             LexSuccTree::build(self.prog, &self.structure)
         })
     }
@@ -155,10 +163,19 @@ impl<'p> Analysis<'p> {
     /// The reaching-definitions fixpoint (computed on first use). Shared by
     /// every `vars_at` criterion and by the PDG's data-dependence half.
     pub fn reaching(&self) -> &ReachingDefs {
+        self.cache_probe(obs::Artifact::ReachingDefs, self.reaching.get().is_some());
         self.reaching.get_or_init(|| {
             self.n_reaching.fetch_add(1, Ordering::Relaxed);
+            let _t = obs::phase(obs::Phase::ReachingDefs);
             ReachingDefs::compute(self.prog, &self.cfg)
         })
+    }
+
+    /// Emits one cache hit/miss event for an artifact accessor. `hit` is
+    /// sampled *before* `get_or_init` runs, so the request that triggers the
+    /// computation reports a miss.
+    fn cache_probe(&self, artifact: obs::Artifact, hit: bool) {
+        obs::record(|| obs::Event::Cache { artifact, hit });
     }
 
     /// How many times each lazy artifact has been computed so far. The

@@ -30,9 +30,48 @@
 
 use crate::{Analysis, Criterion, Slice};
 use jumpslice_lang::{StmtId, StmtKind};
+use jumpslice_obs as obs;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Execution statistics for **one** batch run.
+///
+/// A fresh snapshot is produced by every `*_stats` call: nothing accumulates
+/// across runs, so two consecutive runs on one (reused, already-warm)
+/// analysis each report only their own work. Workers run on scoped threads
+/// whose sinks are empty, so these numbers are gathered by the coordinating
+/// thread and reported through [`Event::Count`](jumpslice_obs::Event::Count)
+/// events (`batch.*`) on the caller's sink.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchRunStats {
+    /// Criteria sliced in this run.
+    pub criteria: usize,
+    /// Worker threads actually used (after clamping to the batch size;
+    /// `1` means the sequential path on the caller's thread).
+    pub threads: usize,
+    /// Wall-clock duration of the whole run.
+    pub wall_ns: u64,
+    /// Summed per-worker time spent inside slicer calls.
+    pub busy_ns: u64,
+    /// Summed per-worker time *not* spent slicing (queue acquisition plus
+    /// the idle tail after the work runs out): `wall × threads − busy`.
+    pub queue_wait_ns: u64,
+    /// Slices produced by each worker — the work-stealing balance.
+    pub per_worker_slices: Vec<usize>,
+}
+
+impl BatchRunStats {
+    /// Fraction of the run's total thread-time spent slicing (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        let total = self.wall_ns.saturating_mul(self.threads as u64);
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / total as f64
+    }
+}
 
 /// A slicer panic caught mid-batch, attributed to the criterion whose
 /// closure died. Differential testing needs the attribution: a raw scoped
@@ -136,9 +175,33 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         algo: SliceFn,
         criteria: &[Criterion],
     ) -> Result<Vec<Slice>, BatchPanic> {
+        self.try_slice_all_stats(algo, criteria).map(|(s, _)| s)
+    }
+
+    /// [`slice_all`](BatchSlicer::slice_all) returning a per-run
+    /// [`BatchRunStats`] snapshot alongside the slices.
+    pub fn slice_all_stats(
+        &self,
+        algo: SliceFn,
+        criteria: &[Criterion],
+    ) -> (Vec<Slice>, BatchRunStats) {
+        self.try_slice_all_stats(algo, criteria)
+            .unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// [`try_slice_all`](BatchSlicer::try_slice_all) returning a per-run
+    /// [`BatchRunStats`] snapshot alongside the slices — the single
+    /// implementation every other entry point delegates to.
+    pub fn try_slice_all_stats(
+        &self,
+        algo: SliceFn,
+        criteria: &[Criterion],
+    ) -> Result<(Vec<Slice>, BatchRunStats), BatchPanic> {
         let a = self.analysis;
         let n = criteria.len();
-        let threads = self.threads.min(n);
+        let threads = self.threads.min(n).max(1);
+        let _run = obs::phase(obs::Phase::BatchRun);
+        let run_start = Instant::now();
 
         let slice_one = |i: usize| -> Result<Slice, BatchPanic> {
             catch_unwind(AssertUnwindSafe(|| algo(a, &criteria[i]))).map_err(|payload| BatchPanic {
@@ -149,7 +212,16 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         };
 
         if threads <= 1 {
-            return (0..n).map(slice_one).collect();
+            let mut busy_ns = 0u64;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let t0 = Instant::now();
+                let r = slice_one(i);
+                busy_ns += t0.elapsed().as_nanos() as u64;
+                out.push(r?);
+            }
+            let stats = self.finish_stats(n, 1, run_start, busy_ns, vec![n]);
+            return Ok((out, stats));
         }
         // Force every lazy artifact up front so workers never race to
         // initialize one (OnceLock would serialize them on first touch).
@@ -158,16 +230,21 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         let next = AtomicUsize::new(0);
         let worker = || {
             let mut local: Vec<(usize, Result<Slice, BatchPanic>)> = Vec::new();
+            let mut busy_ns = 0u64;
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                local.push((i, slice_one(i)));
+                let t0 = Instant::now();
+                let r = slice_one(i);
+                busy_ns += t0.elapsed().as_nanos() as u64;
+                local.push((i, r));
             }
-            local
+            (local, busy_ns)
         };
-        let finished: Vec<Vec<(usize, Result<Slice, BatchPanic>)>> = std::thread::scope(|s| {
+        type WorkerOut = (Vec<(usize, Result<Slice, BatchPanic>)>, u64);
+        let finished: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads).map(|_| s.spawn(worker)).collect();
             handles
                 .into_iter()
@@ -177,12 +254,18 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
 
         let mut out: Vec<Option<Slice>> = std::iter::repeat_with(|| None).take(n).collect();
         let mut first_panic: Option<BatchPanic> = None;
-        for (i, result) in finished.into_iter().flatten() {
-            match result {
-                Ok(slice) => out[i] = Some(slice),
-                Err(p) => {
-                    if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
-                        first_panic = Some(p);
+        let mut busy_ns = 0u64;
+        let mut per_worker_slices = Vec::with_capacity(threads);
+        for (local, worker_busy) in finished {
+            busy_ns += worker_busy;
+            per_worker_slices.push(local.len());
+            for (i, result) in local {
+                match result {
+                    Ok(slice) => out[i] = Some(slice),
+                    Err(p) => {
+                        if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
+                            first_panic = Some(p);
+                        }
                     }
                 }
             }
@@ -190,10 +273,57 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         if let Some(p) = first_panic {
             return Err(p);
         }
-        Ok(out
-            .into_iter()
-            .map(|s| s.expect("every criterion sliced exactly once"))
-            .collect())
+        let stats = self.finish_stats(n, threads, run_start, busy_ns, per_worker_slices);
+        Ok((
+            out.into_iter()
+                .map(|s| s.expect("every criterion sliced exactly once"))
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Assembles the per-run snapshot and mirrors it onto the caller's
+    /// trace sink as `batch.*` counter events.
+    fn finish_stats(
+        &self,
+        criteria: usize,
+        threads: usize,
+        run_start: Instant,
+        busy_ns: u64,
+        per_worker_slices: Vec<usize>,
+    ) -> BatchRunStats {
+        let wall_ns = run_start.elapsed().as_nanos() as u64;
+        let stats = BatchRunStats {
+            criteria,
+            threads,
+            wall_ns,
+            busy_ns,
+            queue_wait_ns: wall_ns
+                .saturating_mul(threads as u64)
+                .saturating_sub(busy_ns),
+            per_worker_slices,
+        };
+        obs::record(|| obs::Event::Count {
+            name: "batch.criteria",
+            value: stats.criteria as u64,
+        });
+        obs::record(|| obs::Event::Count {
+            name: "batch.threads",
+            value: stats.threads as u64,
+        });
+        obs::record(|| obs::Event::Count {
+            name: "batch.wall_ns",
+            value: stats.wall_ns,
+        });
+        obs::record(|| obs::Event::Count {
+            name: "batch.busy_ns",
+            value: stats.busy_ns,
+        });
+        obs::record(|| obs::Event::Count {
+            name: "batch.queue_wait_ns",
+            value: stats.queue_wait_ns,
+        });
+        stats
     }
 
     /// Slices at every reachable `write` statement — the criterion family
@@ -298,6 +428,47 @@ mod tests {
             .unwrap();
         let plain = BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria);
         assert_eq!(ok, plain);
+    }
+
+    #[test]
+    fn stats_are_per_run_snapshots() {
+        // Regression pin: stats must not accumulate across `slice_all`
+        // calls on a reused (already-warm) analysis — each run reports only
+        // its own criteria and timings.
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let batch = BatchSlicer::new(&a).with_threads(2);
+        let all: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let (_, first) = batch.slice_all_stats(agrawal_slice, &all);
+        assert_eq!(first.criteria, all.len());
+        let (_, second) = batch.slice_all_stats(agrawal_slice, &all[..3]);
+        assert_eq!(second.criteria, 3, "second run counts only its own work");
+        assert_eq!(second.per_worker_slices.iter().sum::<usize>(), 3);
+        assert!(second.wall_ns > 0);
+        assert!(
+            second.busy_ns <= second.wall_ns.saturating_mul(second.threads as u64),
+            "busy time bounded by thread-time"
+        );
+        assert!(second.utilization() <= 1.0);
+        let (_, empty) = batch.slice_all_stats(agrawal_slice, &[]);
+        assert_eq!(empty.criteria, 0);
+        assert_eq!(empty.per_worker_slices, vec![0]);
+    }
+
+    #[test]
+    fn stats_thread_clamping() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let all: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let (_, seq) = BatchSlicer::new(&a)
+            .with_threads(1)
+            .slice_all_stats(agrawal_slice, &all);
+        assert_eq!(seq.threads, 1);
+        assert_eq!(seq.per_worker_slices, vec![all.len()]);
+        let (_, wide) = BatchSlicer::new(&a)
+            .with_threads(64)
+            .slice_all_stats(agrawal_slice, &all[..2]);
+        assert_eq!(wide.threads, 2, "threads clamp to the batch size");
     }
 
     #[test]

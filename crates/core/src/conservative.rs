@@ -1,6 +1,7 @@
 //! The conservative on-the-fly approximation (paper, §4, Figure 13).
 
 use crate::{conventional_slice, reassociate_labels, Analysis, Criterion, Slice};
+use jumpslice_obs as obs;
 
 /// The paper's Figure 13: include *every* jump statement directly control
 /// dependent on a predicate in the conventional slice.
@@ -46,9 +47,25 @@ pub fn conservative_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
         // the paper's own constructs — and costs nothing on programs
         // without do-while, so this algorithm forces neither the pdom tree
         // nor the LST on the paper's language (label re-association aside).
-        if a.pdg().control().deps(j).iter().any(|&p| stmts.contains(p))
-            || a.dowhile_hazard(j, &stmts)
-        {
+        let on_predicate = a
+            .pdg()
+            .control()
+            .deps(j)
+            .iter()
+            .find(|&&p| stmts.contains(p))
+            .copied();
+        if on_predicate.is_some() || a.dowhile_hazard(j, &stmts) {
+            obs::record(|| obs::Event::JumpAdmitted {
+                algo: "fig13",
+                line: a.prog().line_of(j) as u32,
+                round: 1,
+                reason: match on_predicate {
+                    Some(p) => obs::AdmitReason::OnIncludedPredicate {
+                        predicate_line: a.prog().line_of(p) as u32,
+                    },
+                    None => obs::AdmitReason::DoWhileHazard,
+                },
+            });
             stmts.insert(j);
         }
     }

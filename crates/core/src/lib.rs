@@ -66,17 +66,19 @@ mod conventional;
 pub mod corpus;
 mod labels;
 mod lexsucc;
+mod provenance;
 mod slice;
 mod structured;
 pub mod synthesize;
 
 pub use agrawal::{agrawal_slice, agrawal_slice_with_order};
 pub use analysis::{Analysis, AnalysisStats};
-pub use batch::{BatchPanic, BatchSlicer, SliceFn};
+pub use batch::{BatchPanic, BatchRunStats, BatchSlicer, SliceFn};
 pub use chop::{chop, chop_executable, forward_slice};
 pub use conservative::conservative_slice;
 pub use conventional::{conventional_slice, Criterion};
 pub use labels::reassociate_labels;
 pub use lexsucc::LexSuccTree;
+pub use provenance::{agrawal_slice_traced, Provenance, Why};
 pub use slice::{Slice, SlicePoint};
 pub use structured::{has_pdom_lexsucc_pair, is_structured, structured_slice};

@@ -2,6 +2,7 @@
 //! (paper, §4, Figure 12).
 
 use crate::{conventional_slice, reassociate_labels, Analysis, Criterion, Slice};
+use jumpslice_obs as obs;
 
 /// Whether every jump in the program is a *structured* jump: one whose
 /// target statement is also one of its lexical successors (paper, §4).
@@ -100,6 +101,12 @@ pub fn structured_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
         // yet deleting it resurrects the loop (extension; see
         // Analysis::dowhile_hazard).
         if a.dowhile_hazard(j, &stmts) {
+            obs::record(|| obs::Event::JumpAdmitted {
+                algo: "fig12",
+                line: a.prog().line_of(j) as u32,
+                round: 1,
+                reason: obs::AdmitReason::DoWhileHazard,
+            });
             stmts.insert(j);
             added_any = true;
             continue;
@@ -111,6 +118,15 @@ pub fn structured_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
         let npd = a.nearest_pdom_in(j, &stmts);
         let nls = a.nearest_lexsucc_in(j, &stmts);
         if npd != nls {
+            obs::record(|| obs::Event::JumpAdmitted {
+                algo: "fig12",
+                line: a.prog().line_of(j) as u32,
+                round: 1,
+                reason: obs::AdmitReason::PdomLexsuccDisagree {
+                    npd_line: npd.map(|s| a.prog().line_of(s) as u32),
+                    nls_line: nls.map(|s| a.prog().line_of(s) as u32),
+                },
+            });
             stmts.insert(j);
             added_any = true;
         }

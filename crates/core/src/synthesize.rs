@@ -1,4 +1,4 @@
-//! Choi–Ferrante's *second* algorithm (paper §5, [8]): executable slices
+//! Choi–Ferrante's *second* algorithm (paper §5, \[8\]): executable slices
 //! built by **synthesizing fresh jump statements** instead of reusing the
 //! program's own.
 //!
@@ -29,7 +29,7 @@
 //!   discusses.
 //!
 //! Correctness is checked with the same projection oracle as everything
-//! else, via [`jumpslice_interp::run_with_sites`] and the
+//! else, via `jumpslice_interp::run_with_sites` and the
 //! [`SynthesizedSlice::site_key`] mapping.
 
 use crate::{conventional_slice, Analysis, Criterion};
@@ -53,7 +53,7 @@ pub struct SynthesizedSlice {
 }
 
 impl SynthesizedSlice {
-    /// Site-key function for [`jumpslice_interp::run_with_sites`]: maps a
+    /// Site-key function for `jumpslice_interp::run_with_sites`: maps a
     /// synthesized statement to its original's input-stream site, so both
     /// programs draw identical `read`/`eof` values.
     pub fn site_key(&self) -> impl Fn(StmtId) -> u64 + '_ {

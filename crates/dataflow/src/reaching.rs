@@ -109,8 +109,10 @@ impl ReachingDefs {
         // Worklist in reverse postorder from entry for fast convergence.
         let order = jumpslice_graph::reverse_postorder(cfg.graph(), cfg.entry());
         let mut changed = true;
+        let mut passes = 0u64;
         while changed {
             changed = false;
+            passes += 1;
             for &node in &order {
                 let i = node.index();
                 let mut new_in = BitSet::new(nsites);
@@ -128,6 +130,10 @@ impl ReachingDefs {
             }
         }
 
+        jumpslice_obs::record(|| jumpslice_obs::Event::Count {
+            name: "reaching.fixpoint_passes",
+            value: passes,
+        });
         ReachingDefs {
             def_sites,
             in_sets,

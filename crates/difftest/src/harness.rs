@@ -207,6 +207,10 @@ pub struct Finding {
     pub criterion_line: Option<usize>,
     /// A self-contained `#[test]` reproducing the finding.
     pub regression_test: String,
+    /// Instrumentation trace (obs event JSON) of the probe re-check on the
+    /// shrunk program: every phase, cache access, fixpoint round, and jump
+    /// admission leading to the failure. Uploaded as a nightly CI artifact.
+    pub trace_json: String,
 }
 
 /// Aggregate statistics of one fuzzing session.
@@ -406,10 +410,15 @@ fn build_finding(
     } else {
         p.clone()
     };
-    let hit = probe.check(&minimized, cfg).unwrap_or_else(|| Hit {
+    // Re-check the minimized program under a trace sink: the captured
+    // events (phases, cache accesses, fixpoint rounds, jump admissions)
+    // ship with the finding for post-mortem analysis.
+    let (hit, events) = jumpslice_obs::capture(|| probe.check(&minimized, cfg));
+    let hit = hit.unwrap_or_else(|| Hit {
         line: None,
         detail: "failure not reproduced on minimized program".to_owned(),
     });
+    let trace_json = jumpslice_obs::trace_to_json(&events).write_pretty();
     let program = print_program(&minimized);
     let regression_test =
         emit::regression_test(&program, &algo_name, kind, hit.line, expected, seed, family);
@@ -423,6 +432,7 @@ fn build_finding(
         program,
         criterion_line: hit.line,
         regression_test,
+        trace_json,
     }
 }
 
@@ -626,6 +636,13 @@ mod tests {
             assert!(f.regression_test.contains("#[test]"));
             // Shrinking keeps the program parseable and failing.
             assert!(jumpslice_lang::parse(&f.program).is_ok());
+            // The trace capture is valid obs event JSON.
+            let parsed = jumpslice_obs::Json::parse(&f.trace_json).expect("trace parses");
+            assert!(
+                jumpslice_obs::events_from_json(&parsed).is_ok(),
+                "{}",
+                f.trace_json
+            );
         }
     }
 

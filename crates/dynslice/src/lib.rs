@@ -1,7 +1,7 @@
 //! Dynamic slicing over execution trajectories.
 //!
 //! The paper's opening motivation cites debugging with *dynamic* slicing
-//! (Agrawal–DeMillo–Spafford [1]): instead of every statement that *may*
+//! (Agrawal–DeMillo–Spafford \[1\]): instead of every statement that *may*
 //! affect the criterion on *some* input, keep only the statements that
 //! *did* affect it on *this* run. This crate implements trajectory-based
 //! dynamic slicing on top of the workspace interpreter:

@@ -76,8 +76,10 @@ impl DomTree {
         };
 
         let mut changed = true;
+        let mut passes = 0u64;
         while changed {
             changed = false;
+            passes += 1;
             for &n in rpo.iter().skip(1) {
                 let mut new_idom: Option<NodeId> = None;
                 for &p in g.preds(n) {
@@ -97,6 +99,10 @@ impl DomTree {
         }
 
         idom[root.index()] = None;
+        jumpslice_obs::record(|| jumpslice_obs::Event::Count {
+            name: "domtree.fixpoint_passes",
+            value: passes,
+        });
         Self::from_idoms(g.len(), root, idom)
     }
 

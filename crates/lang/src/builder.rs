@@ -96,8 +96,8 @@ impl Expr {
     }
 }
 
-/// Incrementally builds a [`Program`]; see the [module docs](self) for an
-/// example.
+/// Incrementally builds a [`Program`]; the `builder` module example
+/// shows the typical flow.
 #[derive(Debug, Default)]
 pub struct ProgramBuilder {
     prog: Program,

@@ -46,7 +46,7 @@ mod validate;
 pub use ast::{
     BinOp, CaseGuard, Expr, Label, Name, Program, Stmt, StmtId, StmtKind, SwitchArm, UnOp,
 };
-pub use builder::ProgramBuilder;
+pub use builder::{ProgramBuilder, SwitchArms};
 pub use error::{Error, ErrorKind};
 pub use lexer::{Lexer, Span, Token, TokenKind};
 pub use parser::parse;

@@ -1,7 +1,7 @@
 //! Control dependence and program dependence graphs.
 //!
 //! Control dependence is computed with the Ferrante–Ottenstein–Warren
-//! construction the paper cites ([10]): for every flowgraph edge `A -> B`
+//! construction the paper cites (\[10\]): for every flowgraph edge `A -> B`
 //! where `B` does not postdominate `A`, every node on the postdominator-tree
 //! path from `B` up to (but excluding) `ipdom(A)` is control dependent on
 //! `A`. Thanks to the always-present `Entry -> Exit` edge, top-level
@@ -209,10 +209,10 @@ impl Pdg {
     /// Builds the standard PDG: control and data dependence both from the
     /// unaugmented flowgraph (paper, §2).
     pub fn build(prog: &Program, cfg: &Cfg) -> Pdg {
-        Pdg {
-            data: DataDeps::compute(prog, cfg),
-            control: ControlDeps::compute(prog, cfg),
-        }
+        Pdg::from_parts(
+            DataDeps::compute(prog, cfg),
+            ControlDeps::compute(prog, cfg),
+        )
     }
 
     /// Builds the *augmented* PDG used by the Ball–Horwitz / Choi–Ferrante
@@ -220,10 +220,10 @@ impl Pdg {
     /// dependence from the standard one (paper, §5).
     pub fn build_augmented(prog: &Program, cfg: &Cfg) -> Pdg {
         let aug = cfg.augmented_graph();
-        Pdg {
-            data: DataDeps::compute(prog, cfg),
-            control: ControlDeps::compute_from_graph(prog, cfg, &aug),
-        }
+        Pdg::from_parts(
+            DataDeps::compute(prog, cfg),
+            ControlDeps::compute_from_graph(prog, cfg, &aug),
+        )
     }
 
     /// Assembles a PDG from already-computed halves.
@@ -232,6 +232,14 @@ impl Pdg {
     /// dependence once via [`DataDeps::from_reaching`]; this constructor
     /// lets it share that work instead of recomputing it per build.
     pub fn from_parts(data: DataDeps, control: ControlDeps) -> Pdg {
+        jumpslice_obs::record(|| jumpslice_obs::Event::Count {
+            name: "pdg.data_edges",
+            value: data.num_edges() as u64,
+        });
+        jumpslice_obs::record(|| jumpslice_obs::Event::Count {
+            name: "pdg.control_edges",
+            value: control.edges().count() as u64,
+        });
         Pdg { data, control }
     }
 

@@ -51,6 +51,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Observability: trace events, phase timers, counters, JSON emission.
+pub use jumpslice_obs as obs;
+
 /// The mini-C language: lexer, parser, AST, builder, printer.
 pub use jumpslice_lang as lang;
 
@@ -89,9 +92,10 @@ pub mod prelude {
     };
     pub use jumpslice_core::synthesize::synthesize_slice;
     pub use jumpslice_core::{
-        agrawal_slice, chop, chop_executable, conservative_slice, conventional_slice, corpus,
-        forward_slice, is_structured, structured_slice, Analysis, AnalysisStats, BatchSlicer,
-        Criterion, LexSuccTree, Slice, SliceFn,
+        agrawal_slice, agrawal_slice_traced, chop, chop_executable, conservative_slice,
+        conventional_slice, corpus, forward_slice, is_structured, structured_slice, Analysis,
+        AnalysisStats, BatchRunStats, BatchSlicer, Criterion, LexSuccTree, Provenance, Slice,
+        SliceFn, Why,
     };
     pub use jumpslice_dataflow::StmtSet;
     pub use jumpslice_difftest::{run_difftest, DiffConfig, DiffReport};
