@@ -7,7 +7,10 @@
 //!   the figure-scale and ~1k-statement numbers;
 //! * the batch sweep (120 criteria per program): a naive per-criterion
 //!   `Analysis::new` loop vs `BatchSlicer` over one warm shared analysis,
-//!   sequentially and at available parallelism.
+//!   sequentially and at available parallelism;
+//! * the incremental sweep: one edit followed by a re-slice of a criterion
+//!   pool, through a warm [`jumpslice_incr::EditSession`] (expression patch
+//!   and seeded re-solve paths) vs edit-then-`Analysis::new` from scratch.
 //!
 //! The headline `speedup_batch_vs_per_criterion_analysis` is the
 //! cached-analysis amortization; on single-core containers the threaded
@@ -19,10 +22,17 @@ use jumpslice_bench::{criterion_pool, sized_structured, sized_unstructured};
 use jumpslice_core::{
     agrawal_slice, conservative_slice, conventional_slice, Analysis, BatchSlicer, Criterion,
 };
+use jumpslice_incr::{apply_edit, Edit, EditExpr, EditSession, NewStmt};
+use jumpslice_lang::{path_of, StmtKind, StmtPath};
 use std::fmt::Write as _;
 use std::hint::black_box;
 
 const BATCH: usize = 120;
+/// Criteria re-sliced after each edit in the incremental sweep — sized
+/// like an interactive session (a handful of live slices kept current),
+/// not like a batch audit, so the measurement isolates edit-to-answer
+/// latency instead of drowning it in slice evaluation common to both arms.
+const INCR_CRITERIA: usize = 4;
 
 struct BatchRow {
     family: &'static str,
@@ -31,6 +41,15 @@ struct BatchRow {
     cold_ns: f64,
     warm_seq_ns: f64,
     warm_threads_ns: f64,
+}
+
+struct IncrRow {
+    family: &'static str,
+    stmts: usize,
+    criteria: usize,
+    edit: &'static str,
+    scratch_ns: f64,
+    incr_ns: f64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -132,6 +151,127 @@ fn main() {
             });
         }
     }
+
+    // The incremental sweep: edit + re-slice through a warm session vs
+    // edit + from-scratch analysis. Two edit shapes, matching the two
+    // fast paths: an expression replacement (everything reused) and an
+    // insert/delete cycle (seeded re-solve, steady-state program size).
+    let mut incr_rows: Vec<IncrRow> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        let p = make(1000);
+        let a = Analysis::new(&p);
+        a.warm();
+        let criteria = criterion_pool(&p, &a, INCR_CRITERIA);
+        let n = p.len();
+        drop(a);
+
+        let sweep = |a: &Analysis<'_>| {
+            BatchSlicer::new(a)
+                .with_threads(1)
+                .slice_all(agrawal_slice, &criteria)
+        };
+
+        // Edit 1: replace the right-hand side of the last assignment.
+        let target = p
+            .stmt_ids()
+            .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Assign { .. }))
+            .last()
+            .expect("corpus has an assignment");
+        let replace = Edit::ReplaceExpr {
+            at: path_of(&p, target).expect("lexical statement has a path"),
+            with: EditExpr::Num(7),
+        };
+        let scratch_ns = r.bench(
+            &format!("json/incr/{family}/{n}/replace-expr/scratch"),
+            || {
+                let applied = apply_edit(&p, &replace).expect("valid edit");
+                let fresh = Analysis::new(&applied.prog);
+                black_box(sweep(&fresh))
+            },
+        );
+        let mut session = EditSession::new(p.clone());
+        session.with_analysis(|a| a.warm());
+        let incr_ns = r.bench(
+            &format!("json/incr/{family}/{n}/replace-expr/session"),
+            || {
+                session.apply(&replace).expect("valid edit");
+                session.with_analysis(|a| black_box(sweep(a)))
+            },
+        );
+        assert_eq!(
+            session.stats().full_rebuilds,
+            0,
+            "expression replacement must stay on the patch path"
+        );
+        incr_rows.push(IncrRow {
+            family,
+            stmts: n,
+            criteria: criteria.len(),
+            edit: "replace-expr",
+            scratch_ns,
+            incr_ns,
+        });
+
+        // Edit 2: append an assignment, re-slice, delete it, re-slice —
+        // program size is steady across iterations.
+        let var = p.name_str(*p.defined_vars().first().expect("corpus defines a variable"));
+        let insert = Edit::InsertStmt {
+            at: StmtPath::root(p.body().len()),
+            stmt: NewStmt::Assign {
+                var: var.to_owned(),
+                rhs: EditExpr::Num(1),
+            },
+        };
+        let delete = Edit::DeleteStmt {
+            at: StmtPath::root(p.body().len()),
+        };
+        let scratch_ns = r.bench(
+            &format!("json/incr/{family}/{n}/insert-delete/scratch"),
+            || {
+                let q = apply_edit(&p, &insert).expect("valid edit").prog;
+                let fa = Analysis::new(&q);
+                let s1 = sweep(&fa);
+                let q2 = apply_edit(&q, &delete).expect("valid edit").prog;
+                let fb = Analysis::new(&q2);
+                let s2 = sweep(&fb);
+                black_box((s1, s2))
+            },
+        );
+        let mut session = EditSession::new(p.clone());
+        session.with_analysis(|a| a.warm());
+        let incr_ns = r.bench(
+            &format!("json/incr/{family}/{n}/insert-delete/session"),
+            || {
+                session.apply(&insert).expect("valid edit");
+                let s1 = session.with_analysis(|a| sweep(a));
+                session.apply(&delete).expect("valid edit");
+                let s2 = session.with_analysis(|a| sweep(a));
+                black_box((s1, s2))
+            },
+        );
+        assert_eq!(
+            session.stats().full_rebuilds,
+            0,
+            "insert/delete of a simple statement must stay on the seeded path"
+        );
+        incr_rows.push(IncrRow {
+            family,
+            stmts: n,
+            criteria: criteria.len(),
+            edit: "insert-delete",
+            scratch_ns,
+            incr_ns,
+        });
+    }
     r.finish();
 
     // Per-phase cost breakdown via the obs layer: one cold analysis + warm
@@ -211,6 +351,28 @@ fn main() {
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ],\n");
+    out.push_str("  \"incr_sweeps\": [\n");
+    for (i, row) in incr_rows.iter().enumerate() {
+        let comma = if i + 1 == incr_rows.len() { "" } else { "," };
+        let speedup = row.scratch_ns / row.incr_ns;
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
+        let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
+        let _ = writeln!(out, "      \"edit\": \"{}\",", row.edit);
+        let _ = writeln!(
+            out,
+            "      \"scratch_reanalysis_ns\": {:.1},",
+            row.scratch_ns
+        );
+        let _ = writeln!(out, "      \"incremental_ns\": {:.1},", row.incr_ns);
+        let _ = writeln!(
+            out,
+            "      \"speedup_incremental_vs_scratch\": {speedup:.2}"
+        );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"per_phase_ns\": {\n");
     for (i, (corpus, phases)) in per_phase.iter().enumerate() {
         let comma = if i + 1 == per_phase.len() { "" } else { "," };
@@ -232,6 +394,15 @@ fn main() {
             row.stmts,
             row.criteria,
             row.cold_ns / row.warm_threads_ns
+        );
+    }
+    for row in &incr_rows {
+        println!(
+            "  {:<12} {:>5} stmts, {:<13} edit: {:.2}x incremental speedup vs scratch re-analysis",
+            row.family,
+            row.stmts,
+            row.edit,
+            row.scratch_ns / row.incr_ns
         );
     }
 }

@@ -9,14 +9,18 @@
 //! difftest --smoke                 # fixed-seed CI configuration
 //! difftest --seeds 200 --size 40   # a longer hunt
 //! difftest --family unstructured --record-expected
+//! difftest --mode incr --seeds 170 # incremental-vs-scratch equivalence
 //! ```
 
-use jumpslice_difftest::{run_difftest_with, DiffConfig, Family, Finding};
+use jumpslice_difftest::{
+    run_difftest_with, run_incrtest_with, DiffConfig, Family, Finding, IncrConfig,
+};
 use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
         "usage: difftest [options]
+  --mode NAME          diff (default) | incr (incremental-vs-scratch equality)
   --smoke              fixed-seed smoke configuration (CI)
   --seeds N            number of seeds (default 25; one program per family each)
   --start N            first seed (default 0)
@@ -26,6 +30,7 @@ fn usage() -> ! {
   --criteria N         max criteria per program (default 4)
   --inputs N           inputs per projection check (default 5)
   --fuel N             interpreter fuel per run (default 20000)
+  --steps N            incr mode: edits per script (default 6)
   --threads N          batch-slicer worker threads (default 1)
   --no-shrink          report findings without minimizing
   --record-expected    also shrink+report known-unsound failures (non-fatal)
@@ -52,9 +57,21 @@ fn write_finding(dir: &Path, idx: usize, f: &Finding) -> std::io::Result<()> {
     Ok(())
 }
 
-fn parse_args() -> (DiffConfig, Option<PathBuf>) {
+/// Flags shared between the two modes, plus the incr-only step count.
+struct Cli {
+    cfg: DiffConfig,
+    out_dir: Option<PathBuf>,
+    incr: bool,
+    smoke: bool,
+    steps: usize,
+}
+
+fn parse_args() -> Cli {
     let mut cfg = DiffConfig::default();
     let mut out_dir = None;
+    let mut incr = false;
+    let mut smoke = false;
+    let mut steps = IncrConfig::default().edits_per_script;
     let mut args = std::env::args().skip(1);
     let next_num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
         args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -64,7 +81,19 @@ fn parse_args() -> (DiffConfig, Option<PathBuf>) {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => cfg = DiffConfig::smoke(),
+            "--mode" => match args.next().as_deref() {
+                Some("diff") => incr = false,
+                Some("incr") => incr = true,
+                other => {
+                    eprintln!("unknown mode `{}`", other.unwrap_or_default());
+                    usage()
+                }
+            },
+            "--smoke" => {
+                cfg = DiffConfig::smoke();
+                smoke = true;
+            }
+            "--steps" => steps = next_num(&mut args, "--steps") as usize,
             "--seeds" => cfg.seeds = next_num(&mut args, "--seeds"),
             "--start" => cfg.start_seed = next_num(&mut args, "--start"),
             "--size" => cfg.target_stmts = next_num(&mut args, "--size") as usize,
@@ -101,11 +130,87 @@ fn parse_args() -> (DiffConfig, Option<PathBuf>) {
             }
         }
     }
-    (cfg, out_dir)
+    Cli {
+        cfg,
+        out_dir,
+        incr,
+        smoke,
+        steps,
+    }
+}
+
+/// Runs the incremental-vs-scratch mode and exits.
+fn run_incr_mode(cli: &Cli) -> ! {
+    let mut icfg = if cli.smoke {
+        IncrConfig::smoke()
+    } else {
+        IncrConfig::default()
+    };
+    // Shared flags carry over; --smoke keeps its own seed count.
+    if !cli.smoke {
+        icfg.seeds = cli.cfg.seeds;
+        icfg.target_stmts = cli.cfg.target_stmts;
+    }
+    icfg.start_seed = cli.cfg.start_seed;
+    icfg.family = cli.cfg.family;
+    icfg.jump_density = cli.cfg.jump_density;
+    icfg.max_criteria = cli.cfg.max_criteria;
+    icfg.shrink = cli.cfg.shrink;
+    icfg.max_findings = cli.cfg.max_findings;
+    icfg.edits_per_script = cli.steps;
+
+    let mut last = 0usize;
+    let report = run_incrtest_with(&icfg, |r| {
+        if r.scripts / 50 > last {
+            last = r.scripts / 50;
+            eprintln!(
+                "  …{} scripts, {} edits applied, {} comparisons, {} findings",
+                r.scripts,
+                r.edits_applied,
+                r.comparisons,
+                r.findings.len()
+            );
+        }
+    });
+
+    println!(
+        "difftest --mode incr: {} edit scripts · {} edits applied ({} rejected) · {} identity comparisons",
+        report.scripts, report.edits_applied, report.edits_rejected, report.comparisons
+    );
+    println!(
+        "  apply paths: {} expression patches, {} seeded re-solves, {} full rebuilds",
+        report.expr_patches, report.seeded_resolves, report.full_rebuilds
+    );
+    for f in &report.findings {
+        println!(
+            "\n[FINDING] incremental ≠ scratch (seed {}, {} family)",
+            f.seed,
+            f.family.name()
+        );
+        println!("  {}", f.detail);
+        println!("--- shrunk program ---");
+        for l in f.program.lines() {
+            println!("  {l}");
+        }
+        println!("--- shrunk edit script ({} edits) ---", f.script.len());
+        for e in &f.script {
+            println!("  {e:?}");
+        }
+    }
+    if !report.findings.is_empty() {
+        eprintln!("\n{} incremental mismatch(es)", report.findings.len());
+        std::process::exit(1);
+    }
+    println!("\nno incremental mismatches");
+    std::process::exit(0)
 }
 
 fn main() {
-    let (cfg, out_dir) = parse_args();
+    let cli = parse_args();
+    if cli.incr {
+        run_incr_mode(&cli);
+    }
+    let Cli { cfg, out_dir, .. } = cli;
     // Panics are a *verdict* here (caught, attributed, reported); keep the
     // default hook from spraying backtraces over the progress output.
     std::panic::set_hook(Box::new(|_| {}));

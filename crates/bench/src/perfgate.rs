@@ -2,12 +2,14 @@
 //! `BENCH_slicing.json` against the committed baseline and fails on
 //! wall-clock regressions beyond a tolerance band.
 //!
-//! Only the `batch_sweeps` section is compared — single-slice latencies at
-//! figure scale are nanosecond-noisy, while the batch sweeps integrate
-//! enough work (120 criteria per program) to be stable across runs on the
-//! same machine. Rows are matched by `(family, stmts)`; a row present in
-//! the baseline but missing from the current run is reported rather than
-//! silently skipped.
+//! The `batch_sweeps` and `incr_sweeps` sections are compared —
+//! single-slice latencies at figure scale are nanosecond-noisy, while the
+//! sweeps integrate enough work (a full criterion pool per measurement) to
+//! be stable across runs on the same machine. Rows are matched by
+//! `(family, stmts)` plus the edit shape for incremental rows; a row
+//! present in the baseline but missing from the current run is reported
+//! rather than silently skipped. A baseline predating the `incr_sweeps`
+//! schema simply skips that section.
 
 use jumpslice_obs::Json;
 
@@ -17,6 +19,32 @@ use jumpslice_obs::Json;
 const GATED_METRICS: &[&str] = &[
     "batch_shared_analysis_sequential_ns",
     "batch_shared_analysis_threads_ns",
+];
+
+/// Metrics compared per incremental-sweep row. `scratch_reanalysis_ns` is
+/// the naive strategy the edit session exists to beat, so it is not gated.
+const INCR_GATED_METRICS: &[&str] = &["incremental_ns"];
+
+/// One comparable section of `BENCH_slicing.json`.
+struct Section {
+    name: &'static str,
+    metrics: &'static [&'static str],
+    /// Required sections fail the gate when absent; optional ones are
+    /// skipped (older baseline schema).
+    required: bool,
+}
+
+const SECTIONS: &[Section] = &[
+    Section {
+        name: "batch_sweeps",
+        metrics: GATED_METRICS,
+        required: true,
+    },
+    Section {
+        name: "incr_sweeps",
+        metrics: INCR_GATED_METRICS,
+        required: false,
+    },
 ];
 
 /// One gated metric that regressed beyond the tolerance band.
@@ -60,13 +88,17 @@ impl GateReport {
     }
 }
 
-fn sweep_rows(doc: &Json) -> Result<Vec<&Json>, String> {
-    doc.get("batch_sweeps")
-        .and_then(Json::as_arr)
-        .map(|rows| rows.iter().collect())
-        .ok_or_else(|| "document has no `batch_sweeps` array".to_owned())
+fn sweep_rows<'a>(doc: &'a Json, section: &Section) -> Result<Option<Vec<&'a Json>>, String> {
+    match doc.get(section.name).map(|v| v.as_arr()) {
+        Some(Some(rows)) => Ok(Some(rows.iter().collect())),
+        Some(None) => Err(format!("`{}` is not an array", section.name)),
+        None if section.required => Err(format!("document has no `{}` array", section.name)),
+        None => Ok(None),
+    }
 }
 
+/// A row's identity: `family`, `stmts`, and — for incremental rows — the
+/// edit shape, folded into the family string.
 fn row_key(row: &Json) -> Result<(String, u64), String> {
     let family = row
         .get("family")
@@ -76,44 +108,53 @@ fn row_key(row: &Json) -> Result<(String, u64), String> {
         .get("stmts")
         .and_then(Json::as_num)
         .ok_or("sweep row missing `stmts`")?;
-    Ok((family.to_owned(), stmts as u64))
+    let family = match row.get("edit").and_then(Json::as_str) {
+        Some(edit) => format!("{family}/{edit}"),
+        None => family.to_owned(),
+    };
+    Ok((family, stmts as u64))
 }
 
 /// Compares `current` against `baseline`: every gated metric of every
-/// baseline batch-sweep row must satisfy
+/// baseline sweep row (batch and incremental) must satisfy
 /// `current ≤ baseline × (1 + tolerance)`.
 pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateReport, String> {
-    let base_rows = sweep_rows(baseline)?;
-    let cur_rows = sweep_rows(current)?;
     let mut report = GateReport::default();
-    for base in base_rows {
-        let key = row_key(base)?;
-        let Some(cur) = cur_rows
-            .iter()
-            .find(|r| row_key(r).as_ref() == Ok(&key))
-            .copied()
-        else {
-            report.missing.push(format!("{}-{}", key.0, key.1));
-            continue;
+    for section in SECTIONS {
+        let Some(base_rows) = sweep_rows(baseline, section)? else {
+            continue; // baseline predates this section
         };
-        for &metric in GATED_METRICS {
-            let (Some(b), Some(c)) = (
-                base.get(metric).and_then(Json::as_num),
-                cur.get(metric).and_then(Json::as_num),
-            ) else {
-                // A metric absent on either side (e.g. an older baseline
-                // schema) is not comparable; skip rather than fail spuriously.
+        let cur_rows = sweep_rows(current, section)?.unwrap_or_default();
+        for base in base_rows {
+            let key = row_key(base)?;
+            let Some(cur) = cur_rows
+                .iter()
+                .find(|r| row_key(r).as_ref() == Ok(&key))
+                .copied()
+            else {
+                report.missing.push(format!("{}-{}", key.0, key.1));
                 continue;
             };
-            report.compared += 1;
-            if b > 0.0 && c > b * (1.0 + tolerance) {
-                report.regressions.push(Regression {
-                    family: key.0.clone(),
-                    stmts: key.1,
-                    metric,
-                    baseline_ns: b,
-                    current_ns: c,
-                });
+            for &metric in section.metrics {
+                let (Some(b), Some(c)) = (
+                    base.get(metric).and_then(Json::as_num),
+                    cur.get(metric).and_then(Json::as_num),
+                ) else {
+                    // A metric absent on either side (e.g. an older baseline
+                    // schema) is not comparable; skip rather than fail
+                    // spuriously.
+                    continue;
+                };
+                report.compared += 1;
+                if b > 0.0 && c > b * (1.0 + tolerance) {
+                    report.regressions.push(Regression {
+                        family: key.0.clone(),
+                        stmts: key.1,
+                        metric,
+                        baseline_ns: b,
+                        current_ns: c,
+                    });
+                }
             }
         }
     }
@@ -128,15 +169,17 @@ pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateRe
 /// actually trips.
 pub fn inject_slowdown(doc: &mut Json, factor: f64) {
     let Json::Obj(fields) = doc else { return };
-    let Some((_, Json::Arr(rows))) = fields.iter_mut().find(|(k, _)| k == "batch_sweeps") else {
-        return;
-    };
-    for row in rows {
-        let Json::Obj(cells) = row else { continue };
-        for (k, v) in cells {
-            if GATED_METRICS.contains(&k.as_str()) {
-                if let Json::Num(n) = v {
-                    *n *= factor;
+    for section in SECTIONS {
+        let Some((_, Json::Arr(rows))) = fields.iter_mut().find(|(k, _)| k == section.name) else {
+            continue;
+        };
+        for row in rows {
+            let Json::Obj(cells) = row else { continue };
+            for (k, v) in cells {
+                if section.metrics.contains(&k.as_str()) {
+                    if let Json::Num(n) = v {
+                        *n *= factor;
+                    }
                 }
             }
         }
@@ -204,5 +247,65 @@ mod tests {
     fn speedups_never_fail() {
         let report = compare(&doc(1e6, 5e5), &doc(1e5, 5e4), 0.25).unwrap();
         assert!(report.passes());
+    }
+
+    fn doc_with_incr(incr: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "batch_shared_analysis_sequential_ns": 1e6,
+                  "batch_shared_analysis_threads_ns": 5e5}}
+            ],
+            "incr_sweeps": [
+                {{"family": "structured", "stmts": 954, "edit": "replace-expr",
+                  "scratch_reanalysis_ns": 1e6,
+                  "incremental_ns": {incr}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn incr_rows_are_gated() {
+        let base = doc_with_incr(1e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 3, "two batch metrics + one incr metric");
+
+        let slow = compare(&base, &doc_with_incr(3e5), 0.25).unwrap();
+        assert_eq!(slow.regressions.len(), 1);
+        assert_eq!(slow.regressions[0].metric, "incremental_ns");
+        assert_eq!(slow.regressions[0].family, "structured/replace-expr");
+    }
+
+    #[test]
+    fn baseline_without_incr_section_skips_it() {
+        // An old baseline gates only the batch section, even when the
+        // current measurement carries incr rows.
+        let report = compare(&doc(1e6, 5e5), &doc_with_incr(1e5), 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn missing_incr_row_is_reported() {
+        let report = compare(&doc_with_incr(1e5), &doc(1e6, 5e5), 0.25).unwrap();
+        assert!(!report.passes());
+        assert_eq!(
+            report.missing,
+            vec!["structured/replace-expr-954".to_owned()]
+        );
+    }
+
+    #[test]
+    fn injected_slowdown_trips_incr_metrics_too() {
+        let base = doc_with_incr(1e5);
+        let mut cur = base.clone();
+        inject_slowdown(&mut cur, 2.0);
+        let report = compare(&base, &cur, 0.25).unwrap();
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.metric == "incremental_ns"));
     }
 }

@@ -28,6 +28,44 @@ pub struct AnalysisStats {
     pub lst_builds: usize,
 }
 
+/// Owned analysis artifacts detached from any program borrow.
+///
+/// A seed is harvested from a finished [`Analysis`] with
+/// [`Analysis::into_seed`] and injected into a fresh one with
+/// [`Analysis::with_seed`]. The incremental edit session uses this pair to
+/// carry surviving artifacts across a program edit: whatever the edit left
+/// valid is moved into the next `Analysis` instead of being recomputed.
+///
+/// Every field is optional; a missing artifact is simply computed lazily as
+/// usual. **Contract:** artifacts injected via `with_seed` must be correct
+/// for the program being analyzed — the seed is trusted, and a stale
+/// artifact produces wrong slices, not a panic. The differential harness's
+/// `incr` mode exists to enforce exactly this.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisSeed {
+    /// The flowgraph (reused as-is when present).
+    pub cfg: Option<Cfg>,
+    /// The postdominator tree.
+    pub pdom: Option<DomTree>,
+    /// The program dependence graph.
+    pub pdg: Option<Pdg>,
+    /// The lexical successor tree.
+    pub lst: Option<LexSuccTree>,
+    /// The reaching-definitions solution.
+    pub reaching: Option<ReachingDefs>,
+}
+
+impl AnalysisSeed {
+    /// How many of the four lazy artifacts are present (the flowgraph is
+    /// not counted — it is always built eagerly anyway).
+    pub fn reused_phases(&self) -> usize {
+        usize::from(self.pdom.is_some())
+            + usize::from(self.pdg.is_some())
+            + usize::from(self.lst.is_some())
+            + usize::from(self.reaching.is_some())
+    }
+}
+
 /// Everything the algorithms in this crate need, computed per program:
 /// the flowgraph eagerly, and the postdominator tree, the (unmodified)
 /// program dependence graph, the lexical successor tree, and reaching
@@ -84,8 +122,20 @@ impl<'p> Analysis<'p> {
     /// paper — are undefined there. Use [`Cfg::all_reach_exit`] to check
     /// first when handling untrusted input.
     pub fn new(prog: &'p Program) -> Analysis<'p> {
+        Self::with_seed(prog, AnalysisSeed::default())
+    }
+
+    /// Analyzes `prog`, pre-filling the lazy caches with the artifacts in
+    /// `seed` (see [`AnalysisSeed`] for the correctness contract). Seeded
+    /// artifacts do **not** count as builds in [`Analysis::stats`], so tests
+    /// can assert reuse by checking the counters stay at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same condition as [`Analysis::new`].
+    pub fn with_seed(prog: &'p Program, seed: AnalysisSeed) -> Analysis<'p> {
         let structure = Structure::of(prog);
-        let cfg = Cfg::build(prog);
+        let cfg = seed.cfg.unwrap_or_else(|| Cfg::build(prog));
         assert!(
             cfg.all_reach_exit(),
             "program has statements that cannot reach the exit; postdominators are undefined"
@@ -94,7 +144,7 @@ impl<'p> Analysis<'p> {
         let has_dowhile = prog
             .stmt_ids()
             .any(|s| matches!(prog.stmt(s).kind, StmtKind::DoWhile { .. }));
-        Analysis {
+        let a = Analysis {
             prog,
             structure,
             cfg,
@@ -108,6 +158,32 @@ impl<'p> Analysis<'p> {
             n_pdg: AtomicUsize::new(0),
             n_pdom: AtomicUsize::new(0),
             n_lst: AtomicUsize::new(0),
+        };
+        if let Some(x) = seed.pdom {
+            let _ = a.pdom.set(x);
+        }
+        if let Some(x) = seed.pdg {
+            let _ = a.pdg.set(x);
+        }
+        if let Some(x) = seed.lst {
+            let _ = a.lst.set(x);
+        }
+        if let Some(x) = seed.reaching {
+            let _ = a.reaching.set(x);
+        }
+        a
+    }
+
+    /// Consumes the analysis, harvesting every materialized artifact (plus
+    /// the flowgraph) into an owned [`AnalysisSeed`]. Artifacts never forced
+    /// come back `None`.
+    pub fn into_seed(self) -> AnalysisSeed {
+        AnalysisSeed {
+            cfg: Some(self.cfg),
+            pdom: self.pdom.into_inner(),
+            pdg: self.pdg.into_inner(),
+            lst: self.lst.into_inner(),
+            reaching: self.reaching.into_inner(),
         }
     }
 

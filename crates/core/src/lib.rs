@@ -72,7 +72,7 @@ mod structured;
 pub mod synthesize;
 
 pub use agrawal::{agrawal_slice, agrawal_slice_with_order};
-pub use analysis::{Analysis, AnalysisStats};
+pub use analysis::{Analysis, AnalysisSeed, AnalysisStats};
 pub use batch::{BatchPanic, BatchRunStats, BatchSlicer, SliceFn};
 pub use chop::{chop, chop_executable, forward_slice};
 pub use conservative::conservative_slice;

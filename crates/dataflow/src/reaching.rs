@@ -69,9 +69,19 @@ pub struct ReachingDefs {
     vars: VarTable,
 }
 
-impl ReachingDefs {
-    /// Runs the fixpoint on `prog`'s flowgraph.
-    pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
+/// The dense def-site numbering plus per-node gen/kill sets — the static
+/// part of the reaching-definitions problem, shared by the cold solve and
+/// the seeded re-solve.
+struct GenKill {
+    vars: VarTable,
+    def_sites: Vec<StmtId>,
+    site_of_stmt: Vec<Option<usize>>,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+}
+
+impl GenKill {
+    fn of(prog: &Program, cfg: &Cfg) -> GenKill {
         let vars = VarTable::of(prog);
         let mut def_sites = Vec::new();
         let mut site_of_stmt: Vec<Option<usize>> = vec![None; prog.len()];
@@ -87,10 +97,6 @@ impl ReachingDefs {
 
         let n = cfg.graph().len();
         let nsites = def_sites.len();
-        let mut in_sets = vec![BitSet::new(nsites); n];
-        let mut out_sets = vec![BitSet::new(nsites); n];
-
-        // gen/kill per node.
         let mut gen = vec![BitSet::new(nsites); n];
         let mut kill = vec![BitSet::new(nsites); n];
         for s in prog.stmt_ids() {
@@ -105,9 +111,212 @@ impl ReachingDefs {
                 }
             }
         }
+        GenKill {
+            vars,
+            def_sites,
+            site_of_stmt,
+            gen,
+            kill,
+        }
+    }
+}
 
+impl ReachingDefs {
+    /// Runs the fixpoint on `prog`'s flowgraph.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> ReachingDefs {
+        let gk = GenKill::of(prog, cfg);
+        let in_sets = vec![BitSet::new(gk.def_sites.len()); cfg.graph().len()];
+        Self::solve(cfg, gk, in_sets, "reaching.fixpoint_passes")
+    }
+
+    /// Re-solves the fixpoint for an edited program, warm-started from the
+    /// previous solution. See [`ReachingDefs::compute_seeded_tracked`] for
+    /// the parameters; this variant discards the change tracking.
+    pub fn compute_seeded(
+        prog: &Program,
+        cfg: &Cfg,
+        old_cfg: &Cfg,
+        old: &ReachingDefs,
+        fwd: &[Option<StmtId>],
+        dirty_vars: &[Name],
+        dirty_from: Option<NodeId>,
+    ) -> ReachingDefs {
+        Self::compute_seeded_tracked(prog, cfg, old_cfg, old, fwd, dirty_vars, dirty_from).0
+    }
+
+    /// Re-solves the fixpoint for an edited program, warm-started from the
+    /// previous solution, and reports which nodes' IN sets ended up
+    /// different from the translated seed.
+    ///
+    /// `fwd` maps each old-arena statement index to its surviving id in
+    /// `prog` (`None` for deleted statements). `dirty_vars` are the
+    /// variables (in `prog`'s interner) that gained a definition in the
+    /// edit; `dirty_from` is the flowgraph node of that new definition
+    /// (`None` drops dirty bits everywhere).
+    ///
+    /// Soundness: the seed must sit at or below the new least fixpoint so
+    /// monotone iteration converges to it exactly. Translating the old
+    /// solution is below the new one for every bit whose definition variable
+    /// is *clean*: the edit only splices nodes into or out of paths and
+    /// removes no kills of clean variables. A *deleted* definition needs no
+    /// dirty variable at all — removing a definition removes kills, so every
+    /// surviving definition's reach can only grow and the translated bits
+    /// stay below the fixpoint (the deleted site itself has no forward
+    /// image and drops out of the translation). An *inserted* definition
+    /// kills other definitions of its variable, but only along paths that
+    /// pass through it — so bits owned by dirty variables are cleared only
+    /// at nodes reachable from `dirty_from`, and the first iteration
+    /// regenerates whatever genuinely still reaches. Statements with no old
+    /// counterpart start at bottom, which is trivially safe.
+    ///
+    /// The returned flags are indexed by `cfg` node: `true` means the
+    /// node's fixpoint IN set differs from its seed, or the node had no old
+    /// counterpart to seed from. Callers patching per-statement facts (see
+    /// [`DataDeps::patch_seeded`]) may keep facts at unflagged nodes.
+    pub fn compute_seeded_tracked(
+        prog: &Program,
+        cfg: &Cfg,
+        old_cfg: &Cfg,
+        old: &ReachingDefs,
+        fwd: &[Option<StmtId>],
+        dirty_vars: &[Name],
+        dirty_from: Option<NodeId>,
+    ) -> (ReachingDefs, Vec<bool>) {
+        let gk = GenKill::of(prog, cfg);
+        let nsites = gk.def_sites.len();
+        let n = cfg.graph().len();
+        let mut in_sets = vec![BitSet::new(nsites); n];
+
+        // Translate old site indices to new ones across the statement map;
+        // sites of deleted statements drop out here.
+        let mut site_map: Vec<Option<usize>> = vec![None; old.def_sites.len()];
+        let mut dirty_old_site = vec![false; old.def_sites.len()];
+        for (old_idx, &old_stmt) in old.def_sites.iter().enumerate() {
+            let Some(new_stmt) = fwd.get(old_stmt.index()).copied().flatten() else {
+                continue;
+            };
+            let Some(new_idx) = gk.site_of_stmt[new_stmt.index()] else {
+                continue;
+            };
+            site_map[old_idx] = Some(new_idx);
+            let v = prog.defs(new_stmt).expect("def site maps to def site");
+            dirty_old_site[old_idx] = dirty_vars.contains(&v);
+        }
+        let affected: Option<Vec<bool>> =
+            dirty_from.map(|v| jumpslice_graph::reachable_from(cfg.graph(), v));
+        let in_region = |node: NodeId| affected.as_ref().is_none_or(|a| a[node.index()]);
+
+        let mut seeded_bits = 0u64;
+        let masked_identity = site_map
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.is_none() || *m == Some(i));
+        if masked_identity {
+            // Every surviving site keeps its index (edits at the end of the
+            // program), so the translation is a word-parallel masked union
+            // instead of a per-bit loop.
+            let old_nsites = old.def_sites.len();
+            let mut clean = BitSet::new(old_nsites);
+            let mut safe = BitSet::new(old_nsites);
+            for (i, m) in site_map.iter().enumerate() {
+                if m.is_some() {
+                    clean.insert(i);
+                    if !dirty_old_site[i] {
+                        safe.insert(i);
+                    }
+                }
+            }
+            for (old_stmt_idx, &new_stmt) in fwd.iter().enumerate() {
+                let Some(new_stmt) = new_stmt else { continue };
+                let old_node = old_cfg.node(StmtId::from_index(old_stmt_idx));
+                let new_node = cfg.node(new_stmt);
+                let mask = if in_region(new_node) { &safe } else { &clean };
+                in_sets[new_node.index()].union_masked(&old.in_sets[old_node.index()], mask);
+            }
+            seeded_bits = in_sets.iter().map(|s| s.len() as u64).sum();
+        } else {
+            for (old_stmt_idx, &new_stmt) in fwd.iter().enumerate() {
+                let Some(new_stmt) = new_stmt else { continue };
+                let old_node = old_cfg.node(StmtId::from_index(old_stmt_idx));
+                let new_node = cfg.node(new_stmt);
+                let dirty_here = in_region(new_node);
+                let target = &mut in_sets[new_node.index()];
+                for old_bit in old.in_sets[old_node.index()].iter() {
+                    if dirty_here && dirty_old_site[old_bit] {
+                        continue;
+                    }
+                    if let Some(new_bit) = site_map[old_bit] {
+                        target.insert(new_bit);
+                        seeded_bits += 1;
+                    }
+                }
+            }
+        }
+
+        jumpslice_obs::record(|| jumpslice_obs::Event::Count {
+            name: "reaching.seeded_bits",
+            value: seeded_bits,
+        });
+        let (rd, mut in_changed) = Self::solve_tracked(cfg, gk, in_sets, "reaching.seeded_passes");
+        let mut has_old = vec![false; n];
+        for &new_stmt in fwd.iter().flatten() {
+            has_old[cfg.node(new_stmt).index()] = true;
+        }
+        for (i, flag) in in_changed.iter_mut().enumerate() {
+            *flag |= !has_old[i];
+        }
+        (rd, in_changed)
+    }
+
+    /// Chaotic iteration to the least fixpoint from `in_sets` (which must
+    /// be at or below it). Out-sets are derived from the seed via the
+    /// transfer function, preserving the invariant.
+    fn solve(cfg: &Cfg, gk: GenKill, in_sets: Vec<BitSet>, counter: &'static str) -> ReachingDefs {
+        Self::solve_tracked(cfg, gk, in_sets, counter).0
+    }
+
+    /// [`ReachingDefs::solve`], additionally reporting per node whether its
+    /// IN set at the fixpoint differs from the seed it started from.
+    fn solve_tracked(
+        cfg: &Cfg,
+        gk: GenKill,
+        mut in_sets: Vec<BitSet>,
+        counter: &'static str,
+    ) -> (ReachingDefs, Vec<bool>) {
+        let GenKill {
+            vars,
+            def_sites,
+            gen,
+            kill,
+            ..
+        } = gk;
         // Worklist in reverse postorder from entry for fast convergence.
+        // Nodes unreachable from entry are excluded, and must keep empty
+        // sets — deriving `out = gen` for them would let dead definitions
+        // leak into reachable fall-through successors.
         let order = jumpslice_graph::reverse_postorder(cfg.graph(), cfg.entry());
+        let n = cfg.graph().len();
+        let nsites = def_sites.len();
+        let mut live_node = vec![false; n];
+        for &node in &order {
+            live_node[node.index()] = true;
+        }
+        let mut in_changed = vec![false; n];
+        let mut out_sets = Vec::with_capacity(n);
+        for i in 0..n {
+            if !live_node[i] {
+                if !in_sets[i].is_empty() {
+                    in_changed[i] = true;
+                }
+                in_sets[i].clear();
+                out_sets.push(BitSet::new(nsites));
+                continue;
+            }
+            let mut out = in_sets[i].clone();
+            out.subtract(&kill[i]);
+            out.union_with(&gen[i]);
+            out_sets.push(out);
+        }
         let mut changed = true;
         let mut passes = 0u64;
         while changed {
@@ -123,6 +332,9 @@ impl ReachingDefs {
                 new_out.subtract(&kill[i]);
                 new_out.union_with(&gen[i]);
                 if new_in != in_sets[i] || new_out != out_sets[i] {
+                    if new_in != in_sets[i] {
+                        in_changed[i] = true;
+                    }
                     in_sets[i] = new_in;
                     out_sets[i] = new_out;
                     changed = true;
@@ -131,14 +343,17 @@ impl ReachingDefs {
         }
 
         jumpslice_obs::record(|| jumpslice_obs::Event::Count {
-            name: "reaching.fixpoint_passes",
+            name: counter,
             value: passes,
         });
-        ReachingDefs {
-            def_sites,
-            in_sets,
-            vars,
-        }
+        (
+            ReachingDefs {
+                def_sites,
+                in_sets,
+                vars,
+            },
+            in_changed,
+        )
     }
 
     /// The variable table used by this analysis.
@@ -218,6 +433,137 @@ impl DataDeps {
     /// Total number of edges.
     pub fn num_edges(&self) -> usize {
         self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// Rebuilds the edge set for an edited program from these (old) edges
+    /// plus a warm reaching solution, recomputing incoming edges only for
+    /// statements whose reaching facts could have changed. Returns the new
+    /// edges and the number of statements actually repointed.
+    ///
+    /// `fwd`, `in_changed`, `dirty_vars`, and `dirty_from` must be the
+    /// statement map, the flags reported by
+    /// [`ReachingDefs::compute_seeded_tracked`], and the same dirty
+    /// variables and region origin that call was given.
+    ///
+    /// A surviving statement keeps its translated old edges when its node
+    /// is unflagged, it uses no dirty variable (checked only at nodes
+    /// reachable from `dirty_from` — elsewhere the seed kept every dirty
+    /// bit), and none of its old deps was deleted. Those three conditions
+    /// cover every way an edge can appear or vanish: a new reaching
+    /// definition flips the node's IN set (flagged), a definition of a
+    /// dirty variable may have been silently dropped from the seed (dirty
+    /// use in region), and a deleted definition leaves its dependents' IN
+    /// sets untouched when nothing replaces it (deleted dep).
+    #[allow(clippy::too_many_arguments)]
+    pub fn patch_seeded(
+        &self,
+        prog: &Program,
+        cfg: &Cfg,
+        rd: &ReachingDefs,
+        fwd: &[Option<StmtId>],
+        in_changed: &[bool],
+        dirty_vars: &[Name],
+        dirty_from: Option<NodeId>,
+    ) -> (DataDeps, usize) {
+        let n = prog.len();
+        let affected: Option<Vec<bool>> =
+            dirty_from.map(|v| jumpslice_graph::reachable_from(cfg.graph(), v));
+        let mut deps: Vec<Vec<StmtId>> = vec![Vec::new(); n];
+        let mut carried = vec![false; n];
+        'old: for (old_idx, &new_id) in fwd.iter().enumerate() {
+            let Some(u) = new_id else { continue };
+            let node = cfg.node(u);
+            let dirty_here = affected.as_ref().is_none_or(|a| a[node.index()]);
+            if in_changed[node.index()]
+                || (dirty_here && prog.uses(u).iter().any(|v| dirty_vars.contains(v)))
+            {
+                continue;
+            }
+            let old_deps = &self.deps[StmtId::from_index(old_idx).index()];
+            let mut translated = Vec::with_capacity(old_deps.len());
+            for &d in old_deps {
+                match fwd.get(d.index()).copied().flatten() {
+                    Some(nd) => translated.push(nd),
+                    None => continue 'old, // a dep was deleted: repoint
+                }
+            }
+            translated.sort();
+            translated.dedup();
+            deps[u.index()] = translated;
+            carried[u.index()] = true;
+        }
+
+        let mut repointed = 0;
+        for u in prog.stmt_ids() {
+            if carried[u.index()] {
+                continue;
+            }
+            let used = prog.uses(u);
+            if used.is_empty() {
+                continue;
+            }
+            repointed += 1;
+            let mut fresh = Vec::new();
+            for d in rd.reaching_in(cfg.node(u)) {
+                let v = prog.defs(d).expect("def site");
+                if used.contains(&v) {
+                    fresh.push(d);
+                }
+            }
+            fresh.sort();
+            fresh.dedup();
+            deps[u.index()] = fresh;
+        }
+
+        let mut dependents: Vec<Vec<StmtId>> = vec![Vec::new(); n];
+        for (u, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                dependents[d.index()].push(StmtId::from_index(u));
+            }
+        }
+        for v in dependents.iter_mut() {
+            v.sort();
+            v.dedup();
+        }
+        (DataDeps { deps, dependents }, repointed)
+    }
+
+    /// Recomputes the *incoming* edges of `u` from `rd` and replaces the
+    /// stored ones, fixing the inverse index. This is the data-dependence
+    /// patch for an edit that changes only the uses of one statement (an
+    /// expression replacement): every other statement's edges are untouched.
+    /// Returns the number of edges now pointing into `u`.
+    pub fn repoint_uses(
+        &mut self,
+        prog: &Program,
+        cfg: &Cfg,
+        rd: &ReachingDefs,
+        u: StmtId,
+    ) -> usize {
+        for &d in &self.deps[u.index()] {
+            self.dependents[d.index()].retain(|&x| x != u);
+        }
+        let used = prog.uses(u);
+        let mut new_deps = Vec::new();
+        if !used.is_empty() {
+            for d in rd.reaching_in(cfg.node(u)) {
+                let v = prog.defs(d).expect("def site");
+                if used.contains(&v) {
+                    new_deps.push(d);
+                }
+            }
+        }
+        new_deps.sort();
+        new_deps.dedup();
+        for &d in &new_deps {
+            let inv = &mut self.dependents[d.index()];
+            inv.push(u);
+            inv.sort();
+            inv.dedup();
+        }
+        let n = new_deps.len();
+        self.deps[u.index()] = new_deps;
+        n
     }
 }
 
@@ -331,6 +677,160 @@ mod tests {
         assert!(!vt.is_empty());
         let x = p.name("x").unwrap();
         assert_eq!(vt.var(vt.index_of(x).unwrap()), x);
+    }
+
+    #[test]
+    fn seeded_identity_map_matches_cold_solve() {
+        let src = "x = 0; i = 0;
+                   while (i < 9) {
+                     if (i % 2 == 0) { x = x + i; } else { read(x); }
+                     i = i + 1;
+                   }
+                   write(x); write(i);";
+        let p = parse(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let cold = ReachingDefs::compute(&p, &cfg);
+        let fwd: Vec<Option<StmtId>> = p.stmt_ids().map(Some).collect();
+        let (warm, in_changed) =
+            ReachingDefs::compute_seeded_tracked(&p, &cfg, &cfg, &cold, &fwd, &[], None);
+        // An identity edit seeds the exact fixpoint: no statement node may
+        // be reported as changed.
+        for s in p.stmt_ids() {
+            assert!(!in_changed[cfg.node(s).index()], "{s:?} spuriously dirty");
+        }
+        for node in (0..cfg.graph().len()).map(jumpslice_graph::NodeId::new) {
+            let a: Vec<StmtId> = cold.reaching_in(node).collect();
+            let b: Vec<StmtId> = warm.reaching_in(node).collect();
+            assert_eq!(a, b, "node {node:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_solve_after_simulated_delete() {
+        // Delete the killing redefinition `x = 2`; the surviving def must
+        // reach the write even though the old solution said it was killed.
+        let old = parse("x = 1; x = 2; write(x);").unwrap();
+        let new = parse("x = 1; write(x);").unwrap();
+        let old_cfg = Cfg::build(&old);
+        let new_cfg = Cfg::build(&new);
+        let old_rd = ReachingDefs::compute(&old, &old_cfg);
+        // A deletion needs no dirty variables: the deleted site drops out of
+        // the translation, and surviving reaches only grow.
+        let fwd = vec![Some(new.at_line(1)), None, Some(new.at_line(2))];
+        let warm = ReachingDefs::compute_seeded(&new, &new_cfg, &old_cfg, &old_rd, &fwd, &[], None);
+        let dd = DataDeps::from_reaching(&new, &new_cfg, &warm);
+        let lines: Vec<usize> = dd
+            .deps(new.at_line(2))
+            .iter()
+            .map(|&s| new.line_of(s))
+            .collect();
+        assert_eq!(lines, vec![1]);
+    }
+
+    /// Simulates the session's seeded path end to end — tracked re-solve
+    /// plus data-dependence patch — and checks the patch against a cold
+    /// rebuild, for both a deletion and an insertion.
+    #[test]
+    fn patch_seeded_matches_cold_rebuild() {
+        // Delete the killing redefinition `x = 2` (line 2 of `old`).
+        let old = parse("x = 1; x = 2; y = 3; write(x); write(y);").unwrap();
+        let new = parse("x = 1; y = 3; write(x); write(y);").unwrap();
+        let old_cfg = Cfg::build(&old);
+        let new_cfg = Cfg::build(&new);
+        let old_rd = ReachingDefs::compute(&old, &old_cfg);
+        let old_dd = DataDeps::from_reaching(&old, &old_cfg, &old_rd);
+        let fwd = vec![
+            Some(new.at_line(1)),
+            None,
+            Some(new.at_line(2)),
+            Some(new.at_line(3)),
+            Some(new.at_line(4)),
+        ];
+        let (rd, in_changed) = ReachingDefs::compute_seeded_tracked(
+            &new,
+            &new_cfg,
+            &old_cfg,
+            &old_rd,
+            &fwd,
+            &[],
+            None,
+        );
+        let (patched, repointed) =
+            old_dd.patch_seeded(&new, &new_cfg, &rd, &fwd, &in_changed, &[], None);
+        let fresh = DataDeps::from_reaching(&new, &new_cfg, &rd);
+        for s in new.stmt_ids() {
+            assert_eq!(patched.deps(s), fresh.deps(s), "deps of {s:?}");
+            assert_eq!(
+                patched.dependents(s),
+                fresh.dependents(s),
+                "dependents of {s:?}"
+            );
+        }
+        // write(x) lost its dep on the deleted def and must repoint;
+        // write(y) is untouched and must be carried.
+        assert!(repointed >= 1, "the deleted def's dependent repoints");
+        assert!(repointed < 4, "clean statements are carried, not repointed");
+
+        // Insert `x = 9` between the two writes: kills reach only forward.
+        let before = parse("x = 1; write(x); write(x);").unwrap();
+        let after = parse("x = 1; write(x); x = 9; write(x);").unwrap();
+        let bcfg = Cfg::build(&before);
+        let acfg = Cfg::build(&after);
+        let brd = ReachingDefs::compute(&before, &bcfg);
+        let bdd = DataDeps::from_reaching(&before, &bcfg, &brd);
+        let fwd = vec![
+            Some(after.at_line(1)),
+            Some(after.at_line(2)),
+            Some(after.at_line(4)),
+        ];
+        let dirty = vec![after.name("x").unwrap()];
+        let from = Some(acfg.node(after.at_line(3)));
+        let (rd, in_changed) =
+            ReachingDefs::compute_seeded_tracked(&after, &acfg, &bcfg, &brd, &fwd, &dirty, from);
+        let (patched, repointed) =
+            bdd.patch_seeded(&after, &acfg, &rd, &fwd, &in_changed, &dirty, from);
+        let fresh = DataDeps::from_reaching(&after, &acfg, &rd);
+        for s in after.stmt_ids() {
+            assert_eq!(patched.deps(s), fresh.deps(s), "deps of {s:?}");
+            assert_eq!(
+                patched.dependents(s),
+                fresh.dependents(s),
+                "dependents of {s:?}"
+            );
+        }
+        // The first write(x) sits before the insertion point — outside the
+        // dirty region — so despite using the dirty variable it is carried;
+        // only the second write (whose IN set the new def flipped) repoints.
+        assert_eq!(repointed, 1, "exactly the downstream use repoints");
+        assert_eq!(
+            fresh.deps(after.at_line(2)),
+            &[after.at_line(1)],
+            "sanity: first write still sees the original def"
+        );
+        assert_eq!(
+            fresh.deps(after.at_line(4)),
+            &[after.at_line(3)],
+            "sanity: second write sees only the inserted def"
+        );
+    }
+
+    #[test]
+    fn repoint_uses_patches_both_directions() {
+        // Rewriting `write(y)` to read x instead of y.
+        let before = parse("x = 1; y = 2; write(y);").unwrap();
+        let after = parse("x = 1; y = 2; write(x);").unwrap();
+        let cfg = Cfg::build(&after);
+        let rd = ReachingDefs::compute(&after, &cfg);
+        // Start from the stale edges of the *old* expression.
+        let mut dd = DataDeps::compute(&before, &Cfg::build(&before));
+        let w = after.at_line(3);
+        let n = dd.repoint_uses(&after, &cfg, &rd, w);
+        assert_eq!(n, 1);
+        let fresh = DataDeps::from_reaching(&after, &cfg, &rd);
+        for s in after.stmt_ids() {
+            assert_eq!(dd.deps(s), fresh.deps(s), "deps of {s:?}");
+            assert_eq!(dd.dependents(s), fresh.dependents(s), "dependents of {s:?}");
+        }
     }
 
     #[test]

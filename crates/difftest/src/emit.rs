@@ -59,6 +59,9 @@ pub fn regression_test(
         escape(program),
     );
     let body = match (kind, algo_path(algo)) {
+        (FindingKind::Dynamic, _) => {
+            "    let stat = conventional_slice(&a, &crit);\n    for input in Input::family(8) {\n        let d = jumpslice_dynslice::dynamic_slice(\n            &p,\n            &input,\n            &jumpslice_dynslice::DynCriterion::last(crit.stmt),\n        );\n        if d.criterion_found {\n            assert!(d.stmts.is_subset(&stat.stmts));\n        }\n    }\n".to_owned()
+        }
         (FindingKind::Lattice, _) => {
             // algo is "sub⊆sup"; split it back apart.
             let mut parts = algo.split('⊆');

@@ -25,7 +25,8 @@ use crate::registry::{Algo, RelKind, Relation, Scope, ALGOS, RELATIONS};
 use crate::shrink::{is_valid_candidate, shrink};
 use crate::{emit, registry};
 use jumpslice_core::{is_structured, Analysis, BatchSlicer, Criterion, Slice};
-use jumpslice_interp::{check_projection, Input, ProjectionError};
+use jumpslice_dynslice::{dynamic_slice_of_trace, DynCriterion};
+use jumpslice_interp::{check_projection, run, Input, ProjectionError};
 use jumpslice_lang::{print_program, Program, StmtId, StmtKind};
 use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -169,6 +170,9 @@ pub enum FindingKind {
     Panic,
     /// A pinned subset/equality relation between two slicers failed.
     Lattice,
+    /// A dynamic slice escaped the conventional static slice of the same
+    /// criterion (the classic containment theorem).
+    Dynamic,
 }
 
 impl FindingKind {
@@ -179,6 +183,7 @@ impl FindingKind {
             FindingKind::Stuck => "stuck",
             FindingKind::Panic => "panic",
             FindingKind::Lattice => "lattice",
+            FindingKind::Dynamic => "dynamic",
         }
     }
 }
@@ -231,6 +236,9 @@ pub struct DiffReport {
     pub expected_failures: usize,
     /// Lattice relation instances checked.
     pub lattice_checks: usize,
+    /// (criterion, input) dynamic-containment checks (dynamic slice ⊆
+    /// conventional static slice) executed.
+    pub dynamic_checks: usize,
     /// Confirmed findings (expected ones included when recording them).
     pub findings: Vec<Finding>,
 }
@@ -262,7 +270,7 @@ pub fn scope_of(p: &Program, a: &Analysis<'_>) -> Scope {
 
 /// Live `write` statements usable as criteria, at most `max`, evenly
 /// spread over the program.
-fn pick_criteria(p: &Program, a: &Analysis<'_>, max: usize) -> Vec<StmtId> {
+pub(crate) fn pick_criteria(p: &Program, a: &Analysis<'_>, max: usize) -> Vec<StmtId> {
     let writes: Vec<StmtId> = p
         .stmt_ids()
         .filter(|&s| matches!(p.stmt(s).kind, StmtKind::Write { .. }) && a.is_live(s))
@@ -290,6 +298,8 @@ enum Probe {
     Lattice { rel: Relation },
     /// `algo` panics while slicing.
     Panic { algo: &'static Algo },
+    /// A dynamic slice escapes the conventional static slice.
+    Dynamic,
 }
 
 /// A probe hit: criterion line plus failure description.
@@ -385,6 +395,31 @@ impl Probe {
                             line: Some(p.line_of(c)),
                             detail: format!("{} panicked at line {}", algo.name, p.line_of(c)),
                         });
+                    }
+                }
+                None
+            }
+            Probe::Dynamic => {
+                let conv = registry::algo("conventional").expect("registered");
+                for input in &inputs {
+                    let traj = run(p, input);
+                    for &c in &criteria {
+                        let d = dynamic_slice_of_trace(&a, &traj, &DynCriterion::last(c));
+                        if !d.criterion_found {
+                            continue;
+                        }
+                        let s = (conv.f)(&a, &Criterion::at_stmt(c));
+                        if !d.stmts.is_subset(&s.stmts) {
+                            return Some(Hit {
+                                line: Some(p.line_of(c)),
+                                detail: format!(
+                                    "dynamic slice ⊄ conventional at line {} ({} vs {} stmts)",
+                                    p.line_of(c),
+                                    d.stmts.len(),
+                                    s.len()
+                                ),
+                            });
+                        }
                     }
                 }
                 None
@@ -575,6 +610,40 @@ pub fn run_difftest_with(cfg: &DiffConfig, mut progress: impl FnMut(&DiffReport)
                             false,
                         ));
                         break;
+                    }
+                }
+            }
+
+            // Property 3: dynamic containment. Every dynamic slice sits
+            // inside the conventional static slice of its criterion — and
+            // hence, by the lattice relations above, inside every
+            // jump-repaired slice.
+            let conv_i = ALGOS
+                .iter()
+                .position(|a| a.name == "conventional")
+                .expect("registered");
+            if let Some(conv) = &slices[conv_i] {
+                'dynamic: for input in &inputs {
+                    let traj = run(&p, input);
+                    for (i, &c) in criteria_stmts.iter().enumerate() {
+                        let d = dynamic_slice_of_trace(&a, &traj, &DynCriterion::last(c));
+                        if !d.criterion_found {
+                            continue;
+                        }
+                        report.dynamic_checks += 1;
+                        if !d.stmts.is_subset(&conv[i].stmts) {
+                            report.findings.push(build_finding(
+                                &p,
+                                &Probe::Dynamic,
+                                cfg,
+                                seed,
+                                family,
+                                "dynamic⊆conventional".to_owned(),
+                                FindingKind::Dynamic,
+                                false,
+                            ));
+                            break 'dynamic;
+                        }
                     }
                 }
             }

@@ -5,11 +5,16 @@
 //! This crate industrializes that check. Seeded generators
 //! ([`jumpslice_progen`]) produce jump-heavy programs; every registered
 //! slicer ([`registry::ALGOS`]) sweeps a family of criteria through the
-//! warm batch engine; and three properties are verified per (program,
+//! warm batch engine; and four properties are verified per (program,
 //! criterion, algorithm): projection-oracle correctness, the pinned
-//! subset/equality lattice between algorithms, and freedom from panics.
+//! subset/equality lattice between algorithms, containment of dynamic
+//! slices in the conventional static slice, and freedom from panics.
 //! Failures are greedily minimized ([`shrink`]) and rendered as
-//! ready-to-commit regression tests ([`emit`]).
+//! ready-to-commit regression tests ([`emit`]). A second mode
+//! ([`run_incrtest`]) fuzzes the incremental edit-and-reslice engine:
+//! random edit scripts over the same program families, with every slicer's
+//! session result checked for identity against a from-scratch analysis
+//! after every step, and failing scripts minimized ([`shrink_script`]).
 //!
 //! In the tradition of differential testing of program analyzers (Chalupa's
 //! cross-checked control-dependence algorithms; SymPas's
@@ -35,12 +40,16 @@
 
 pub mod emit;
 mod harness;
+mod incr;
 pub mod registry;
 mod rewrite;
 mod shrink;
 
 pub use harness::{
     run_difftest, run_difftest_with, scope_of, DiffConfig, DiffReport, Family, Finding, FindingKind,
+};
+pub use incr::{
+    run_incrtest, run_incrtest_with, shrink_script, IncrConfig, IncrFinding, IncrReport,
 };
 pub use registry::{Algo, RelKind, Relation, Scope, ALGOS, RELATIONS};
 pub use rewrite::{expr_size, replace_expr};

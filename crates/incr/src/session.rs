@@ -1,0 +1,552 @@
+//! The edit-and-reslice session.
+//!
+//! An [`EditSession`] owns a program together with the analysis artifacts
+//! computed for it so far, applies edits from the edit language, and keeps
+//! whatever the edit left valid instead of recomputing it. Three paths,
+//! from cheapest to priciest:
+//!
+//! * **Expression patch** — a [`Edit::ReplaceExpr`] changes the *uses* of
+//!   one statement and nothing else: ids, flowgraph shape, definitions,
+//!   postdominators, control dependence, the LST, and the entire
+//!   reaching-definitions solution all survive. Only the PDG's data edges
+//!   into the edited statement are repointed, in place.
+//! * **Seeded re-solve** — inserting or deleting one simple, unlabeled,
+//!   non-jump statement shifts ids and splices the flowgraph, so the
+//!   structural artifacts are rebuilt (cheap, linear); the expensive
+//!   reaching-definitions fixpoint is instead *re-solved from a seed*
+//!   translated out of the old solution across the statement map (word
+//!   parallel when ids only shift at the end), and the PDG's data half is
+//!   *patched*: only statements whose reaching facts the solve actually
+//!   moved are repointed.
+//! * **Full rebuild** — anything that changes jump structure (toggles,
+//!   edits to labeled or compound or jump statements) falls back to
+//!   recomputing everything. The fallback is counted, so tests can assert
+//!   exactly when the fast paths were taken.
+//!
+//! The invariant behind all three: after every `apply`, slicing through
+//! the session is **identical** to slicing a freshly analyzed copy of the
+//! edited program. `difftest --mode incr` fuzzes exactly this.
+
+use crate::apply::{apply_edit, Applied};
+use crate::edit::{Edit, EditError};
+use jumpslice_cfg::Cfg;
+use jumpslice_core::{Analysis, AnalysisSeed, BatchSlicer, Criterion, Slice, SliceFn};
+use jumpslice_dataflow::ReachingDefs;
+use jumpslice_lang::{Name, Program, StmtId};
+use jumpslice_obs as obs;
+use jumpslice_pdg::{ControlDeps, Pdg};
+
+/// Which invalidation path an accepted edit took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyPath {
+    /// Everything reused; PDG data edges of one statement repointed.
+    ExprPatch,
+    /// Structural artifacts rebuilt; reaching definitions re-solved from a
+    /// seed; PDG derived from the warm solution.
+    SeededResolve,
+    /// Explicit fallback: every artifact recomputed lazily from scratch.
+    FullRebuild,
+}
+
+/// Per-session counters, one per [`ApplyPath`] plus rejections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrStats {
+    /// Accepted edits, total.
+    pub edits: usize,
+    /// Edits that took [`ApplyPath::ExprPatch`].
+    pub expr_patches: usize,
+    /// Edits that took [`ApplyPath::SeededResolve`].
+    pub seeded_resolves: usize,
+    /// Edits that fell back to [`ApplyPath::FullRebuild`].
+    pub full_rebuilds: usize,
+    /// Edits rejected with an [`EditError`] (session state unchanged).
+    pub rejected: usize,
+}
+
+/// What one accepted edit did, as reported by [`EditSession::apply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EditOutcome {
+    /// The invalidation path taken.
+    pub path: ApplyPath,
+    /// Statements whose cached dataflow facts had to be recomputed: the
+    /// edit site for an expression patch, the edit site plus every
+    /// definition of an inserted definition's variable for a seeded
+    /// re-solve (deletions dirty no variable), and the whole program for a
+    /// full rebuild.
+    pub dirty_stmts: usize,
+    /// Analysis phases carried over from before the edit (of the four lazy
+    /// ones: reaching defs, PDG, postdominators, LST). Phases never forced
+    /// before the edit are not counted — there was nothing to reuse.
+    pub reused_phases: usize,
+    /// New id of the statement the edit produced or modified (`None` for a
+    /// deletion).
+    pub touched: Option<StmtId>,
+}
+
+/// An editable program with warm, selectively-invalidated analyses.
+#[derive(Debug)]
+pub struct EditSession {
+    prog: Program,
+    /// Artifacts valid for `prog`. Held detached so the session can own
+    /// both the program and its analyses without a self-borrow.
+    seed: AnalysisSeed,
+    stats: IncrStats,
+}
+
+impl EditSession {
+    /// Opens a session on `prog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Analysis::new`] if some statement cannot reach the
+    /// exit.
+    pub fn new(prog: Program) -> EditSession {
+        let cfg = Cfg::build(&prog);
+        assert!(
+            cfg.all_reach_exit(),
+            "program has statements that cannot reach the exit; postdominators are undefined"
+        );
+        EditSession {
+            prog,
+            seed: AnalysisSeed {
+                cfg: Some(cfg),
+                ..AnalysisSeed::default()
+            },
+            stats: IncrStats::default(),
+        }
+    }
+
+    /// The current program.
+    pub fn prog(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Path and rejection counters since the session opened.
+    pub fn stats(&self) -> IncrStats {
+        self.stats
+    }
+
+    /// Runs `f` against an [`Analysis`] of the current program, pre-filled
+    /// with every artifact that survived the edits so far. Artifacts `f`
+    /// forces are harvested back into the session, so later calls (and
+    /// later edits) reuse them.
+    pub fn with_analysis<R>(&mut self, f: impl FnOnce(&Analysis<'_>) -> R) -> R {
+        let seed = std::mem::take(&mut self.seed);
+        let a = Analysis::with_seed(&self.prog, seed);
+        let r = f(&a);
+        self.seed = a.into_seed();
+        r
+    }
+
+    /// Answers a batch of criteria with `algo`, reusing surviving state.
+    /// The analysis is warmed first so the batch engine shares fully
+    /// materialized artifacts.
+    pub fn slice_batch(&mut self, algo: SliceFn, criteria: &[Criterion]) -> Vec<Slice> {
+        self.with_analysis(|a| {
+            a.warm();
+            BatchSlicer::new(a).slice_all(algo, criteria)
+        })
+    }
+
+    /// Applies one edit, selectively invalidating cached analyses.
+    ///
+    /// # Errors
+    ///
+    /// A rejected edit (unresolvable path, invalid or unanalyzable result)
+    /// returns an [`EditError`] and leaves the session untouched.
+    pub fn apply(&mut self, edit: &Edit) -> Result<EditOutcome, EditError> {
+        let applied = match apply_edit(&self.prog, edit) {
+            Ok(a) => a,
+            Err(e) => {
+                self.stats.rejected += 1;
+                return Err(e);
+            }
+        };
+        let new_cfg = Cfg::build(&applied.prog);
+        if !new_cfg.all_reach_exit() {
+            self.stats.rejected += 1;
+            return Err(EditError::Unanalyzable);
+        }
+
+        let outcome = match self.classify(edit, &applied) {
+            ApplyPath::ExprPatch => self.patch_expr(applied, new_cfg),
+            ApplyPath::SeededResolve => self.seeded_resolve(edit, applied, new_cfg),
+            ApplyPath::FullRebuild => self.full_rebuild(applied, new_cfg),
+        };
+
+        self.stats.edits += 1;
+        match outcome.path {
+            ApplyPath::ExprPatch => self.stats.expr_patches += 1,
+            ApplyPath::SeededResolve => self.stats.seeded_resolves += 1,
+            ApplyPath::FullRebuild => self.stats.full_rebuilds += 1,
+        }
+        obs::record(|| obs::Event::Count {
+            name: "incr.dirty_stmts",
+            value: outcome.dirty_stmts as u64,
+        });
+        obs::record(|| obs::Event::Count {
+            name: "incr.reused_phases",
+            value: outcome.reused_phases as u64,
+        });
+        obs::record(|| obs::Event::Count {
+            name: match outcome.path {
+                ApplyPath::FullRebuild => "incr.fallback",
+                _ => "incr.fast_path",
+            },
+            value: 1,
+        });
+        Ok(outcome)
+    }
+
+    /// Picks the invalidation path for an edit that already applied
+    /// cleanly.
+    fn classify(&self, edit: &Edit, applied: &Applied) -> ApplyPath {
+        match edit {
+            Edit::ReplaceExpr { .. } if applied.map.is_identity() => ApplyPath::ExprPatch,
+            // Identity can only fail for ReplaceExpr if the program did not
+            // originate from the builder's emit order; fall back safely.
+            Edit::ReplaceExpr { .. } => ApplyPath::FullRebuild,
+            Edit::InsertStmt { .. } => ApplyPath::SeededResolve,
+            Edit::DeleteStmt { at } => {
+                // Fast path only for a simple, unlabeled, non-jump victim:
+                // those leave label structure and jump topology alone.
+                match at.resolve(&self.prog) {
+                    Some(t) => {
+                        let s = self.prog.stmt(t);
+                        if !s.kind.is_compound() && !s.kind.is_jump() && s.labels.is_empty() {
+                            ApplyPath::SeededResolve
+                        } else {
+                            ApplyPath::FullRebuild
+                        }
+                    }
+                    None => ApplyPath::FullRebuild,
+                }
+            }
+            Edit::ToggleJump { .. } => ApplyPath::FullRebuild,
+        }
+    }
+
+    /// [`ApplyPath::ExprPatch`]: ids are stable, so every artifact survives
+    /// verbatim; only the PDG data edges into the edited statement change.
+    fn patch_expr(&mut self, applied: Applied, new_cfg: Cfg) -> EditOutcome {
+        let Applied { prog, touched, .. } = applied;
+        let target = touched.expect("replace always touches a statement");
+        let mut seed = std::mem::take(&mut self.seed);
+        let reused = seed.reused_phases();
+        match (&mut seed.pdg, &seed.reaching) {
+            (Some(pdg), Some(rd)) => {
+                pdg.repoint_data_uses(&prog, &new_cfg, rd, target);
+            }
+            (pdg @ Some(_), None) => {
+                // A PDG without its reaching solution cannot be patched;
+                // drop it and let it rebuild lazily. Unreachable through
+                // this crate (forcing the PDG forces reaching), but a
+                // hand-built seed could get here.
+                *pdg = None;
+            }
+            (None, _) => {}
+        }
+        seed.cfg = Some(new_cfg);
+        self.prog = prog;
+        self.seed = seed;
+        EditOutcome {
+            path: ApplyPath::ExprPatch,
+            dirty_stmts: 1,
+            reused_phases: reused,
+            touched: Some(target),
+        }
+    }
+
+    /// [`ApplyPath::SeededResolve`]: rebuild the structural artifacts,
+    /// warm-start the reaching-definitions fixpoint from the old solution,
+    /// and derive the PDG from it.
+    fn seeded_resolve(&mut self, edit: &Edit, applied: Applied, new_cfg: Cfg) -> EditOutcome {
+        let Applied { prog, map, touched } = applied;
+        let old_seed = std::mem::take(&mut self.seed);
+        let old_cfg = old_seed.cfg.unwrap_or_else(|| Cfg::build(&self.prog));
+
+        // The dirty variable: the definition an *insertion* added. A
+        // deletion dirties nothing — removing a definition removes kills,
+        // so every surviving definition's reach only grows and the old
+        // solution stays a sound seed (the deleted site itself drops out
+        // of the translation). Write/skip insertions define nothing.
+        let dirty: Vec<Name> = match edit {
+            Edit::InsertStmt { stmt, .. } => stmt
+                .defined_var()
+                .and_then(|v| prog.name(v))
+                .into_iter()
+                .collect(),
+            _ => Vec::new(),
+        };
+        // An inserted definition kills only along paths through itself, so
+        // seeding (and dependence patching) treat as dirty only the region
+        // reachable from the insertion point.
+        let dirty_from = match edit {
+            Edit::InsertStmt { .. } => touched.map(|t| new_cfg.node(t)),
+            _ => None,
+        };
+        let dirty_sites = prog
+            .stmt_ids()
+            .filter(|&s| prog.defs(s).is_some_and(|v| dirty.contains(&v)))
+            .count();
+
+        let mut reused = 0;
+        let mut in_changed = None;
+        let reaching = old_seed.reaching.map(|old_rd| {
+            reused += 1;
+            let (rd, changed) = ReachingDefs::compute_seeded_tracked(
+                &prog,
+                &new_cfg,
+                &old_cfg,
+                &old_rd,
+                map.fwd(),
+                &dirty,
+                dirty_from,
+            );
+            in_changed = Some(changed);
+            rd
+        });
+        // With a warm reaching solution in hand, the PDG's data half is
+        // *patched*: only statements whose reaching facts moved are
+        // repointed, everything else keeps its translated edges. The
+        // splice changed the flowgraph, so postdominators and control
+        // dependence are rebuilt; the tree is built once here and shared
+        // between the control dependence walk and the analysis cache.
+        let (pdg, pdom) = match (&reaching, old_seed.pdg) {
+            (Some(rd), Some(old_pdg)) => {
+                reused += 1;
+                let (data, repointed) = old_pdg.data().patch_seeded(
+                    &prog,
+                    &new_cfg,
+                    rd,
+                    map.fwd(),
+                    in_changed.as_ref().expect("tracked alongside reaching"),
+                    &dirty,
+                    dirty_from,
+                );
+                obs::record(|| obs::Event::Count {
+                    name: "incr.data_deps_repointed",
+                    value: repointed as u64,
+                });
+                let pdom = new_cfg.postdominators();
+                let control = ControlDeps::compute_with_pdom(&prog, &new_cfg, &pdom);
+                (Some(Pdg::from_parts(data, control)), Some(pdom))
+            }
+            _ => (None, None),
+        };
+
+        self.prog = prog;
+        self.seed = AnalysisSeed {
+            cfg: Some(new_cfg),
+            pdom,
+            lst: None, // lexical positions shifted: recompute lazily
+            pdg,
+            reaching,
+        };
+        EditOutcome {
+            path: ApplyPath::SeededResolve,
+            dirty_stmts: 1 + dirty_sites,
+            reused_phases: reused,
+            touched,
+        }
+    }
+
+    /// [`ApplyPath::FullRebuild`]: the counted fallback.
+    fn full_rebuild(&mut self, applied: Applied, new_cfg: Cfg) -> EditOutcome {
+        let dirty = applied.prog.len();
+        self.prog = applied.prog;
+        self.seed = AnalysisSeed {
+            cfg: Some(new_cfg),
+            ..AnalysisSeed::default()
+        };
+        EditOutcome {
+            path: ApplyPath::FullRebuild,
+            dirty_stmts: dirty,
+            reused_phases: 0,
+            touched: applied.touched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{EditExpr, JumpKind, NewStmt};
+    use crate::gen::random_edit;
+    use jumpslice_core::{agrawal_slice, conventional_slice};
+    use jumpslice_lang::{parse, print_program, StmtPath};
+    use jumpslice_progen::{gen_structured, gen_unstructured, GenConfig};
+    use jumpslice_testkit::Rng;
+
+    /// Incremental-vs-scratch identity over every statement criterion, for
+    /// the conventional and jump-repaired slicers.
+    fn assert_matches_scratch(session: &mut EditSession) {
+        let prog = session.prog().clone();
+        let scratch = Analysis::new(&prog);
+        session.with_analysis(|a| {
+            for s in prog.stmt_ids() {
+                let c = Criterion::at_stmt(s);
+                assert_eq!(
+                    conventional_slice(a, &c).stmts,
+                    conventional_slice(&scratch, &c).stmts,
+                    "conventional at {s:?} of\n{}",
+                    print_program(&prog),
+                );
+                assert_eq!(
+                    agrawal_slice(a, &c).stmts,
+                    agrawal_slice(&scratch, &c).stmts,
+                    "agrawal at {s:?} of\n{}",
+                    print_program(&prog),
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn expr_patch_reuses_everything_and_matches_scratch() {
+        let p =
+            parse("read(c); x = c + 1; if (x > 0) { y = x; } else { y = 2; } write(y);").unwrap();
+        let mut s = EditSession::new(p);
+        s.with_analysis(|a| a.warm());
+        let out = s
+            .apply(&Edit::ReplaceExpr {
+                at: StmtPath::root(1),
+                with: EditExpr::Num(5),
+            })
+            .unwrap();
+        assert_eq!(out.path, ApplyPath::ExprPatch);
+        assert_eq!(out.dirty_stmts, 1);
+        assert_eq!(out.reused_phases, 4, "all four lazy artifacts survive");
+        // The seeded analysis must not recompute anything.
+        let stats = s.with_analysis(|a| {
+            a.warm();
+            a.stats()
+        });
+        assert_eq!(stats.reaching_defs, 0);
+        assert_eq!(stats.pdg_builds, 0);
+        assert_eq!(stats.pdom_builds, 0);
+        assert_eq!(stats.lst_builds, 0);
+        assert_matches_scratch(&mut s);
+    }
+
+    #[test]
+    fn insert_and_delete_take_the_seeded_path() {
+        let p = parse("x = 1; while (x < 9) { x = x + 2; } write(x);").unwrap();
+        let mut s = EditSession::new(p);
+        s.with_analysis(|a| a.warm());
+
+        let out = s
+            .apply(&Edit::InsertStmt {
+                at: StmtPath::root(1),
+                stmt: NewStmt::Assign {
+                    var: "x".into(),
+                    rhs: EditExpr::Num(0),
+                },
+            })
+            .unwrap();
+        assert_eq!(out.path, ApplyPath::SeededResolve);
+        assert!(out.reused_phases >= 1, "reaching was warm-started");
+        assert_matches_scratch(&mut s);
+
+        // Delete the statement we just inserted.
+        let out = s
+            .apply(&Edit::DeleteStmt {
+                at: StmtPath::root(1),
+            })
+            .unwrap();
+        assert_eq!(out.path, ApplyPath::SeededResolve);
+        assert_matches_scratch(&mut s);
+        assert_eq!(s.stats().seeded_resolves, 2);
+        assert_eq!(s.stats().full_rebuilds, 0);
+    }
+
+    #[test]
+    fn toggle_falls_back_and_matches_scratch() {
+        let p = parse("x = 1; while (x < 9) { x = x + 2; y = x; } write(y);").unwrap();
+        let mut s = EditSession::new(p);
+        s.with_analysis(|a| a.warm());
+        let out = s
+            .apply(&Edit::ToggleJump {
+                at: StmtPath::root(1).child(jumpslice_lang::BlockSel::Body, 1),
+                jump: JumpKind::Break,
+            })
+            .unwrap();
+        assert_eq!(out.path, ApplyPath::FullRebuild);
+        assert_eq!(out.reused_phases, 0);
+        assert_eq!(s.stats().full_rebuilds, 1);
+        assert_matches_scratch(&mut s);
+    }
+
+    #[test]
+    fn rejected_edits_leave_the_session_untouched() {
+        let p = parse("x = 1; write(x);").unwrap();
+        let mut s = EditSession::new(p);
+        s.with_analysis(|a| a.warm());
+        let before = print_program(s.prog());
+
+        // break outside any loop: validation failure.
+        let err = s
+            .apply(&Edit::ToggleJump {
+                at: StmtPath::root(0),
+                jump: JumpKind::Break,
+            })
+            .unwrap_err();
+        assert!(matches!(err, EditError::Invalid(_)));
+        // Unresolvable path.
+        let err = s
+            .apply(&Edit::DeleteStmt {
+                at: StmtPath::root(9),
+            })
+            .unwrap_err();
+        assert_eq!(err, EditError::PathNotFound);
+        assert_eq!(print_program(s.prog()), before);
+        assert_eq!(s.stats().rejected, 2);
+        assert_eq!(s.stats().edits, 0);
+        // And the session still answers correctly.
+        assert_matches_scratch(&mut s);
+    }
+
+    #[test]
+    fn stranding_edit_is_rejected_as_unanalyzable() {
+        let p = parse("L: x = x + 1; if (x < 9) goto L; write(x);").unwrap();
+        let mut s = EditSession::new(p);
+        // Turning the write into `goto L` leaves no path to the exit.
+        let err = s
+            .apply(&Edit::ToggleJump {
+                at: StmtPath::root(2),
+                jump: JumpKind::Goto("L".into()),
+            })
+            .unwrap_err();
+        assert_eq!(err, EditError::Unanalyzable);
+        assert_matches_scratch(&mut s);
+    }
+
+    #[test]
+    fn random_edit_scripts_match_scratch() {
+        jumpslice_testkit::check(12, |rng| {
+            let seed = rng.gen_range(0u64..500);
+            let structured = rng.gen_bool(0.5);
+            let cfg = GenConfig {
+                jump_density: if structured { 0.0 } else { 0.25 },
+                ..GenConfig::sized(seed, 20)
+            };
+            let p = if structured {
+                gen_structured(&cfg)
+            } else {
+                gen_unstructured(&cfg)
+            };
+            let mut session = EditSession::new(p);
+            let mut edit_rng = Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+            for _ in 0..6 {
+                let edit = random_edit(&mut edit_rng, session.prog());
+                let _ = session.apply(&edit);
+                assert_matches_scratch(&mut session);
+            }
+            assert_eq!(
+                session.stats().edits + session.stats().rejected,
+                6,
+                "every edit accounted for"
+            );
+        });
+    }
+}

@@ -385,6 +385,18 @@ impl Program {
         self.label_targets.get(l.0 as usize).copied().flatten()
     }
 
+    /// Number of distinct interned names (variables and functions).
+    pub fn num_names(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterator over all interned names, in interning order. Rebuilders
+    /// that must keep [`Name`] values stable re-intern these first, in
+    /// order, before emitting any statement.
+    pub fn all_names(&self) -> impl Iterator<Item = Name> + '_ {
+        (0..self.names.len() as u32).map(Name)
+    }
+
     /// Number of distinct labels.
     pub fn num_labels(&self) -> usize {
         self.labels.len()

@@ -39,6 +39,7 @@ mod error;
 mod intern;
 mod lexer;
 mod parser;
+mod path;
 mod print;
 mod structure;
 mod validate;
@@ -50,5 +51,6 @@ pub use builder::{ProgramBuilder, SwitchArms};
 pub use error::{Error, ErrorKind};
 pub use lexer::{Lexer, Span, Token, TokenKind};
 pub use parser::parse;
+pub use path::{path_of, BlockSel, PathStep, StmtPath};
 pub use print::{print_program, print_slice, print_with_options, PrintOptions};
 pub use structure::Structure;

@@ -33,7 +33,7 @@
 #![warn(missing_docs)]
 
 use jumpslice_cfg::Cfg;
-use jumpslice_dataflow::{DataDeps, StmtSet};
+use jumpslice_dataflow::{DataDeps, ReachingDefs, StmtSet};
 use jumpslice_graph::{DiGraph, DomTree, NodeId};
 use jumpslice_lang::{Program, StmtId};
 
@@ -65,6 +65,24 @@ impl ControlDeps {
     /// edges still participate, as Ball–Horwitz require.
     pub fn compute_from_graph(prog: &Program, cfg: &Cfg, graph: &DiGraph) -> ControlDeps {
         let pdom = DomTree::iterative(&graph.reversed(), cfg.exit());
+        Self::from_graph_and_pdom(prog, cfg, graph, &pdom)
+    }
+
+    /// Computes control dependence over the standard flowgraph reusing an
+    /// already-built postdominator tree (which must be
+    /// [`Cfg::postdominators`] of `cfg`). The incremental session uses this
+    /// to build the tree once and share it between control dependence and
+    /// the analysis cache.
+    pub fn compute_with_pdom(prog: &Program, cfg: &Cfg, pdom: &DomTree) -> ControlDeps {
+        Self::from_graph_and_pdom(prog, cfg, cfg.graph(), pdom)
+    }
+
+    fn from_graph_and_pdom(
+        prog: &Program,
+        cfg: &Cfg,
+        graph: &DiGraph,
+        pdom: &DomTree,
+    ) -> ControlDeps {
         let live = jumpslice_graph::reachable_from(graph, cfg.entry());
         let mut deps = vec![Vec::new(); prog.len()];
         let mut dependents = vec![Vec::new(); prog.len()];
@@ -246,6 +264,27 @@ impl Pdg {
     /// The data-dependence half.
     pub fn data(&self) -> &DataDeps {
         &self.data
+    }
+
+    /// Patches the data half in place after an edit that changed only the
+    /// *uses* of statement `u` (an expression replacement under an
+    /// unchanged flowgraph shape): recomputes `u`'s incoming data edges
+    /// from `rd` and leaves every control edge and every other statement's
+    /// data edges untouched. Returns the number of data edges now entering
+    /// `u`.
+    pub fn repoint_data_uses(
+        &mut self,
+        prog: &Program,
+        cfg: &Cfg,
+        rd: &ReachingDefs,
+        u: StmtId,
+    ) -> usize {
+        let n = self.data.repoint_uses(prog, cfg, rd, u);
+        jumpslice_obs::record(|| jumpslice_obs::Event::Count {
+            name: "pdg.patched_data_edges",
+            value: n as u64,
+        });
+        n
     }
 
     /// The control-dependence half.

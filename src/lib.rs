@@ -81,6 +81,9 @@ pub use jumpslice_progen as progen;
 /// Dynamic slicing over execution trajectories.
 pub use jumpslice_dynslice as dynslice;
 
+/// Incremental edit-and-reslice sessions.
+pub use jumpslice_incr as incr;
+
 /// Differential fuzzing of the slicers against the projection oracle.
 pub use jumpslice_difftest as difftest;
 
@@ -98,8 +101,13 @@ pub mod prelude {
         SliceFn, Why,
     };
     pub use jumpslice_dataflow::StmtSet;
-    pub use jumpslice_difftest::{run_difftest, DiffConfig, DiffReport};
+    pub use jumpslice_difftest::{
+        run_difftest, run_incrtest, DiffConfig, DiffReport, IncrConfig, IncrReport,
+    };
     pub use jumpslice_dynslice::{dynamic_slice, dynamic_slice_of_trace, DynCriterion};
+    pub use jumpslice_incr::{
+        apply_edit, ApplyPath, Edit, EditExpr, EditSession, JumpKind, NewStmt,
+    };
     pub use jumpslice_interp::{
         check_projection, run, run_masked, ExecError, Input, ProjectionError, ProjectionReport,
     };

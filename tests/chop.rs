@@ -1,0 +1,128 @@
+//! Forward slices and chops: lattice containments on generated corpora
+//! plus a pinned paper-figure case.
+//!
+//! The load-bearing invariant is the definitional one: a chop from
+//! `source` to `sink` never strays outside the backward slice of the sink
+//! or the forward slice of the source, and the executable variant stays
+//! inside the jump-repaired (Figure 7) backward slice while containing
+//! the plain chop.
+
+use jumpslice::prelude::*;
+use jumpslice_core::corpus;
+use jumpslice_lang::StmtId;
+
+/// Statement pairs worth chopping: every definition or read as a source,
+/// the last write as the sink.
+fn pairs(p: &Program) -> Vec<(StmtId, StmtId)> {
+    let sink = p
+        .stmt_ids()
+        .filter(|&s| p.uses(s).len() == 1 && p.defs(s).is_none() && !p.stmt(s).kind.is_jump())
+        .last();
+    let Some(sink) = sink else { return Vec::new() };
+    p.stmt_ids()
+        .filter(|&s| p.defs(s).is_some())
+        .take(12)
+        .map(|src| (src, sink))
+        .collect()
+}
+
+fn assert_chop_containments(p: &Program, label: &str) {
+    let a = Analysis::new(p);
+    for (source, sink) in pairs(p) {
+        let fwd = forward_slice(&a, source);
+        let bwd = conventional_slice(&a, &Criterion::at_stmt(sink));
+        let c = chop(&a, source, sink);
+        let ce = chop_executable(&a, source, sink);
+        let repaired = agrawal_slice(&a, &Criterion::at_stmt(sink));
+
+        for s in c.stmts.iter() {
+            assert!(
+                fwd.stmts.contains(s),
+                "{label}: chop strays outside forward({source:?})"
+            );
+            assert!(
+                bwd.stmts.contains(s),
+                "{label}: chop strays outside backward({sink:?})"
+            );
+            assert!(
+                ce.stmts.contains(s),
+                "{label}: executable chop must contain the plain chop"
+            );
+        }
+        for s in ce.stmts.iter() {
+            assert!(
+                repaired.stmts.contains(s),
+                "{label}: executable chop strays outside the repaired backward slice"
+            );
+        }
+        // Endpoint membership is symmetric: the source joins the chop
+        // exactly when it feeds the sink, the sink exactly when it is fed.
+        assert_eq!(
+            c.stmts.contains(source),
+            bwd.stmts.contains(source),
+            "{label}: source membership"
+        );
+        assert_eq!(
+            c.stmts.contains(sink),
+            fwd.stmts.contains(sink),
+            "{label}: sink membership"
+        );
+    }
+}
+
+#[test]
+fn chop_containments_on_paper_corpus() {
+    for (name, p, _) in corpus::all() {
+        assert_chop_containments(&p, name);
+    }
+}
+
+#[test]
+fn chop_containments_on_generated_families() {
+    for seed in 0..30u64 {
+        let structured = gen_structured(&GenConfig::sized(seed, 25));
+        assert_chop_containments(&structured, "structured");
+        let cfg = GenConfig {
+            jump_density: 0.3,
+            ..GenConfig::sized(seed, 25)
+        };
+        assert_chop_containments(&gen_unstructured(&cfg), "unstructured");
+    }
+}
+
+/// Figure 1-a, pinned: how does `read(x)` influence `write(positives)`?
+/// The sum-accumulation lines must fall out of the chop even though they
+/// are influenced by the source, because they never feed the sink.
+#[test]
+fn paper_figure_chop_read_to_positives() {
+    let p = corpus::fig1();
+    let a = Analysis::new(&p);
+    let source = p.at_line(4); // read(x)
+    let sink = p.at_line(12); // write(positives)
+
+    // read(x) feeds positives only through the sign test guarding the
+    // increment; the loop predicate tests eof(), which x never feeds, so
+    // the while head stays out of the *plain* chop.
+    let c = chop(&a, source, sink);
+    assert_eq!(c.lines(&p), vec![4, 5, 7, 12]);
+
+    // The executable variant keeps the loop predicate (repair keeps
+    // predicates so the result still replays), but still drops the sum
+    // arithmetic and the dead initializer.
+    let ce = chop_executable(&a, source, sink);
+    let lines = ce.lines(&p);
+    for must in [3, 4, 5, 7, 12] {
+        assert!(lines.contains(&must), "executable chop lost line {must}");
+    }
+    for sum_line in [1, 6, 9, 10, 11] {
+        assert!(
+            !lines.contains(&sum_line),
+            "sum accumulation (line {sum_line}) cannot reach write(positives)"
+        );
+    }
+
+    // And the forward slice of the source alone reaches both writes.
+    let f = forward_slice(&a, source);
+    assert!(f.stmts.contains(p.at_line(11)));
+    assert!(f.stmts.contains(p.at_line(12)));
+}

@@ -26,6 +26,57 @@ fn fixed_seed_differential_run_is_clean() {
     );
     assert!(report.programs > 0 && report.verified > 0);
     assert!(report.lattice_checks > 0);
+    assert!(
+        report.dynamic_checks > 0,
+        "dynamic containment (dynamic ⊆ conventional) must be fuzzed too"
+    );
+}
+
+/// Dynamic-containment witness, shrunk from the fuzzer's Property-3 sweep
+/// to the smallest program where the containment is *strict*: a two-armed
+/// branch of which any one input executes exactly one arm. The dynamic
+/// slice keeps only the executed arm; the conventional static slice must
+/// keep both; and the dynamic slice must never stray outside it.
+#[test]
+fn difftest_dynamic_strictly_inside_conventional() {
+    let p = parse(
+        "read(x);
+         if (x > 0) {
+           y = 1;
+         } else {
+           y = 2;
+         }
+         write(y);",
+    )
+    .unwrap();
+    let a = Analysis::new(&p);
+    let sink = p.at_line(5); // write(y)
+    let stat = conventional_slice(&a, &Criterion::at_stmt(sink));
+    assert!(
+        stat.contains(p.at_line(3)) && stat.contains(p.at_line(4)),
+        "statically, both arms can define y: {}",
+        stat.render(&p)
+    );
+
+    for input in Input::family(8) {
+        let d = dynamic_slice(&p, &input, &DynCriterion::last(sink));
+        assert!(d.criterion_found, "write(y) always executes");
+        // Containment: every dynamically relevant statement is statically
+        // relevant (the property the fuzzer checks on random programs).
+        for s in d.stmts.iter() {
+            assert!(
+                stat.contains(s),
+                "dynamic slice strays outside conventional at {s:?}"
+            );
+        }
+        // Strictness: exactly one arm executed, so exactly one is kept.
+        let arms = [p.at_line(3), p.at_line(4)]
+            .into_iter()
+            .filter(|&s| d.stmts.contains(s))
+            .count();
+        assert_eq!(arms, 1, "one concrete run takes one arm");
+        assert!(d.stmts.len() < stat.stmts.len());
+    }
 }
 
 // ---------------------------------------------------------------------------
