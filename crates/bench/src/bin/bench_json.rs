@@ -8,6 +8,9 @@
 //! * the batch sweep (120 criteria per program): a naive per-criterion
 //!   `Analysis::new` loop vs `BatchSlicer` over one warm shared analysis,
 //!   sequentially and at available parallelism;
+//! * the sparse sweep: the change-driven Figure-7 kernel behind
+//!   `agrawal_slice` vs the retained dense round-based reference loop,
+//!   both over the same warm analysis and criterion pool;
 //! * the incremental sweep: one edit followed by a re-slice of a criterion
 //!   pool, through a warm [`jumpslice_incr::EditSession`] (expression patch
 //!   and seeded re-solve paths) vs edit-then-`Analysis::new` from scratch.
@@ -20,7 +23,8 @@
 use jumpslice_bench::harness::Runner;
 use jumpslice_bench::{criterion_pool, sized_structured, sized_unstructured};
 use jumpslice_core::{
-    agrawal_slice, conservative_slice, conventional_slice, Analysis, BatchSlicer, Criterion,
+    agrawal_slice, agrawal_slice_reference, conservative_slice, conventional_slice, Analysis,
+    BatchSlicer, Criterion,
 };
 use jumpslice_incr::{apply_edit, Edit, EditExpr, EditSession, NewStmt};
 use jumpslice_lang::{path_of, StmtKind, StmtPath};
@@ -33,6 +37,10 @@ const BATCH: usize = 120;
 /// not like a batch audit, so the measurement isolates edit-to-answer
 /// latency instead of drowning it in slice evaluation common to both arms.
 const INCR_CRITERIA: usize = 4;
+/// Criteria per program in the sparse-vs-dense sweep. Enough to amortize
+/// the one-time chain-index build into the sparse arm without making the
+/// dense reference arm dominate the whole benchmark run.
+const SPARSE_CRITERIA: usize = 32;
 
 struct BatchRow {
     family: &'static str,
@@ -40,7 +48,19 @@ struct BatchRow {
     criteria: usize,
     cold_ns: f64,
     warm_seq_ns: f64,
-    warm_threads_ns: f64,
+    /// `None` on single-core containers, where the threaded arm would just
+    /// re-measure the sequential one; the JSON key is omitted with it.
+    warm_threads_ns: Option<f64>,
+    /// Worker threads the batch engine actually used (clamped to the batch).
+    threads_used: usize,
+}
+
+struct SparseRow {
+    family: &'static str,
+    stmts: usize,
+    criteria: usize,
+    dense_ns: f64,
+    sparse_ns: f64,
 }
 
 struct IncrRow {
@@ -137,10 +157,18 @@ fn main() {
                     )
                 },
             );
-            let warm_threads_ns = r.bench(
-                &format!("json/batch/{family}/{n}/shared-analysis-threads"),
-                || black_box(BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria)),
-            );
+            // On a single-core container the threaded arm is the sequential
+            // arm with extra scaffolding; skip it and omit its JSON key.
+            let (warm_threads_ns, threads_used) = if threads > 1 {
+                let (_, stats) = BatchSlicer::new(&a).slice_all_stats(agrawal_slice, &criteria);
+                let ns = r.bench(
+                    &format!("json/batch/{family}/{n}/shared-analysis-threads"),
+                    || black_box(BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria)),
+                );
+                (Some(ns), stats.threads)
+            } else {
+                (None, 1)
+            };
             rows.push(BatchRow {
                 family,
                 stmts: n,
@@ -148,6 +176,51 @@ fn main() {
                 cold_ns,
                 warm_seq_ns,
                 warm_threads_ns,
+                threads_used,
+            });
+        }
+    }
+
+    // The sparse sweep: the change-driven Figure-7 kernel (the `agrawal_slice`
+    // dispatch target) against the retained dense round-based reference loop,
+    // both over the same warm analysis and criterion pool.
+    let mut sparse_rows: Vec<SparseRow> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        for size in [100usize, 1000, 5000] {
+            let p = make(size);
+            let a = Analysis::new(&p);
+            a.warm();
+            let criteria = criterion_pool(&p, &a, SPARSE_CRITERIA);
+            let n = p.len();
+            let dense_ns = r.bench(&format!("json/sparse/{family}/{n}/dense-reference"), || {
+                let mut total = 0usize;
+                for c in &criteria {
+                    total += agrawal_slice_reference(black_box(&a), c).len();
+                }
+                black_box(total)
+            });
+            let sparse_ns = r.bench(&format!("json/sparse/{family}/{n}/sparse-kernel"), || {
+                let mut total = 0usize;
+                for c in &criteria {
+                    total += agrawal_slice(black_box(&a), c).len();
+                }
+                black_box(total)
+            });
+            sparse_rows.push(SparseRow {
+                family,
+                stmts: n,
+                criteria: criteria.len(),
+                dense_ns,
+                sparse_ns,
             });
         }
     }
@@ -324,11 +397,13 @@ fn main() {
     out.push_str("  \"batch_sweeps\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        let speedup = row.cold_ns / row.warm_threads_ns;
+        let best_warm = row.warm_threads_ns.unwrap_or(row.warm_seq_ns);
+        let speedup = row.cold_ns / best_warm;
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
         let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
         let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
+        let _ = writeln!(out, "      \"batch_threads_used\": {},", row.threads_used);
         let _ = writeln!(
             out,
             "      \"sequential_per_criterion_analysis_ns\": {:.1},",
@@ -339,15 +414,27 @@ fn main() {
             "      \"batch_shared_analysis_sequential_ns\": {:.1},",
             row.warm_seq_ns
         );
-        let _ = writeln!(
-            out,
-            "      \"batch_shared_analysis_threads_ns\": {:.1},",
-            row.warm_threads_ns
-        );
+        if let Some(ns) = row.warm_threads_ns {
+            let _ = writeln!(out, "      \"batch_shared_analysis_threads_ns\": {ns:.1},");
+        }
         let _ = writeln!(
             out,
             "      \"speedup_batch_vs_per_criterion_analysis\": {speedup:.2}"
         );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sparse_sweeps\": [\n");
+    for (i, row) in sparse_rows.iter().enumerate() {
+        let comma = if i + 1 == sparse_rows.len() { "" } else { "," };
+        let speedup = row.dense_ns / row.sparse_ns;
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
+        let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
+        let _ = writeln!(out, "      \"dense_reference_ns\": {:.1},", row.dense_ns);
+        let _ = writeln!(out, "      \"sparse_kernel_ns\": {:.1},", row.sparse_ns);
+        let _ = writeln!(out, "      \"speedup_sparse_vs_dense\": {speedup:.2}");
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ],\n");
@@ -389,11 +476,21 @@ fn main() {
     println!("\nwrote BENCH_slicing.json");
     for row in &rows {
         println!(
-            "  {:<12} {:>5} stmts x {} criteria: {:.2}x batch speedup vs per-criterion analysis",
+            "  {:<12} {:>5} stmts x {} criteria: {:.2}x batch speedup vs per-criterion analysis ({} thread(s))",
             row.family,
             row.stmts,
             row.criteria,
-            row.cold_ns / row.warm_threads_ns
+            row.cold_ns / row.warm_threads_ns.unwrap_or(row.warm_seq_ns),
+            row.threads_used
+        );
+    }
+    for row in &sparse_rows {
+        println!(
+            "  {:<12} {:>5} stmts x {} criteria: {:.2}x sparse-kernel speedup vs dense reference",
+            row.family,
+            row.stmts,
+            row.criteria,
+            row.dense_ns / row.sparse_ns
         );
     }
     for row in &incr_rows {

@@ -10,10 +10,12 @@
 //! difftest --seeds 200 --size 40   # a longer hunt
 //! difftest --family unstructured --record-expected
 //! difftest --mode incr --seeds 170 # incremental-vs-scratch equivalence
+//! difftest --mode sparse --seeds 100 # sparse-vs-dense Figure-7 equality
 //! ```
 
 use jumpslice_difftest::{
-    run_difftest_with, run_incrtest_with, DiffConfig, Family, Finding, IncrConfig,
+    run_difftest_with, run_incrtest_with, run_sparsetest_with, DiffConfig, Family, Finding,
+    IncrConfig, SparseConfig,
 };
 use std::path::{Path, PathBuf};
 
@@ -21,6 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: difftest [options]
   --mode NAME          diff (default) | incr (incremental-vs-scratch equality)
+                       | sparse (sparse-vs-dense Figure-7 kernel equality)
   --smoke              fixed-seed smoke configuration (CI)
   --seeds N            number of seeds (default 25; one program per family each)
   --start N            first seed (default 0)
@@ -57,11 +60,19 @@ fn write_finding(dir: &Path, idx: usize, f: &Finding) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Flags shared between the two modes, plus the incr-only step count.
+/// Which harness a run drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Diff,
+    Incr,
+    Sparse,
+}
+
+/// Flags shared between the modes, plus the incr-only step count.
 struct Cli {
     cfg: DiffConfig,
     out_dir: Option<PathBuf>,
-    incr: bool,
+    mode: Mode,
     smoke: bool,
     steps: usize,
 }
@@ -69,7 +80,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cfg = DiffConfig::default();
     let mut out_dir = None;
-    let mut incr = false;
+    let mut mode = Mode::Diff;
     let mut smoke = false;
     let mut steps = IncrConfig::default().edits_per_script;
     let mut args = std::env::args().skip(1);
@@ -82,8 +93,9 @@ fn parse_args() -> Cli {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--mode" => match args.next().as_deref() {
-                Some("diff") => incr = false,
-                Some("incr") => incr = true,
+                Some("diff") => mode = Mode::Diff,
+                Some("incr") => mode = Mode::Incr,
+                Some("sparse") => mode = Mode::Sparse,
                 other => {
                     eprintln!("unknown mode `{}`", other.unwrap_or_default());
                     usage()
@@ -133,7 +145,7 @@ fn parse_args() -> Cli {
     Cli {
         cfg,
         out_dir,
-        incr,
+        mode,
         smoke,
         steps,
     }
@@ -205,10 +217,69 @@ fn run_incr_mode(cli: &Cli) -> ! {
     std::process::exit(0)
 }
 
+/// Runs the sparse-vs-dense Figure-7 equality mode and exits.
+fn run_sparse_mode(cli: &Cli) -> ! {
+    let mut scfg = if cli.smoke {
+        SparseConfig::smoke()
+    } else {
+        SparseConfig::default()
+    };
+    // Shared flags carry over; --smoke keeps its own seed count.
+    if !cli.smoke {
+        scfg.seeds = cli.cfg.seeds;
+        scfg.target_stmts = cli.cfg.target_stmts;
+    }
+    scfg.start_seed = cli.cfg.start_seed;
+    scfg.family = cli.cfg.family;
+    scfg.jump_density = cli.cfg.jump_density;
+    scfg.max_criteria = cli.cfg.max_criteria;
+    scfg.shrink = cli.cfg.shrink;
+    scfg.max_findings = cli.cfg.max_findings;
+
+    let mut last = 0usize;
+    let report = run_sparsetest_with(&scfg, |r| {
+        if r.programs / 50 > last {
+            last = r.programs / 50;
+            eprintln!(
+                "  …{} programs, {} criteria, {} comparisons, {} findings",
+                r.programs,
+                r.criteria,
+                r.comparisons,
+                r.findings.len()
+            );
+        }
+    });
+
+    println!(
+        "difftest --mode sparse: {} programs · {} criteria · {} equality comparisons",
+        report.programs, report.criteria, report.comparisons
+    );
+    for f in &report.findings {
+        println!(
+            "\n[FINDING] sparse ≠ dense (seed {}, {} family)",
+            f.seed,
+            f.family.name()
+        );
+        println!("  {}", f.detail);
+        println!("--- shrunk program ---");
+        for l in f.program.lines() {
+            println!("  {l}");
+        }
+    }
+    if !report.findings.is_empty() {
+        eprintln!("\n{} sparse-kernel mismatch(es)", report.findings.len());
+        std::process::exit(1);
+    }
+    println!("\nno sparse-kernel mismatches");
+    std::process::exit(0)
+}
+
 fn main() {
     let cli = parse_args();
-    if cli.incr {
-        run_incr_mode(&cli);
+    match cli.mode {
+        Mode::Incr => run_incr_mode(&cli),
+        Mode::Sparse => run_sparse_mode(&cli),
+        Mode::Diff => {}
     }
     let Cli { cfg, out_dir, .. } = cli;
     // Panics are a *verdict* here (caught, attributed, reported); keep the

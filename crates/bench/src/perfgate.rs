@@ -2,7 +2,8 @@
 //! `BENCH_slicing.json` against the committed baseline and fails on
 //! wall-clock regressions beyond a tolerance band.
 //!
-//! The `batch_sweeps` and `incr_sweeps` sections are compared —
+//! The `batch_sweeps`, `incr_sweeps`, and `sparse_sweeps` sections are
+//! compared —
 //! single-slice latencies at figure scale are nanosecond-noisy, while the
 //! sweeps integrate enough work (a full criterion pool per measurement) to
 //! be stable across runs on the same machine. Rows are matched by
@@ -25,6 +26,10 @@ const GATED_METRICS: &[&str] = &[
 /// the naive strategy the edit session exists to beat, so it is not gated.
 const INCR_GATED_METRICS: &[&str] = &["incremental_ns"];
 
+/// Metrics compared per sparse-sweep row. `dense_reference_ns` measures the
+/// retired dense loop kept only as a differential oracle, so it is not gated.
+const SPARSE_GATED_METRICS: &[&str] = &["sparse_kernel_ns"];
+
 /// One comparable section of `BENCH_slicing.json`.
 struct Section {
     name: &'static str,
@@ -43,6 +48,11 @@ const SECTIONS: &[Section] = &[
     Section {
         name: "incr_sweeps",
         metrics: INCR_GATED_METRICS,
+        required: false,
+    },
+    Section {
+        name: "sparse_sweeps",
+        metrics: SPARSE_GATED_METRICS,
         required: false,
     },
 ];
@@ -295,6 +305,83 @@ mod tests {
             report.missing,
             vec!["structured/replace-expr-954".to_owned()]
         );
+    }
+
+    fn doc_with_sparse(sparse: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "batch_shared_analysis_sequential_ns": 1e6}}
+            ],
+            "sparse_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "dense_reference_ns": 1e6,
+                  "sparse_kernel_ns": {sparse}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn sparse_rows_are_gated_and_dense_reference_is_not() {
+        let base = doc_with_sparse(1e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 2, "one batch metric + one sparse metric");
+
+        let slow = compare(&base, &doc_with_sparse(3e5), 0.25).unwrap();
+        assert_eq!(slow.regressions.len(), 1);
+        assert_eq!(slow.regressions[0].metric, "sparse_kernel_ns");
+        assert_eq!(slow.regressions[0].family, "structured");
+    }
+
+    #[test]
+    fn baseline_without_sparse_section_skips_it() {
+        let report = compare(&doc(1e6, 5e5), &doc_with_sparse(1e5), 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        // The sequential batch metric compares; the threads metric is absent
+        // from the sparse doc's batch row and the sparse section has no
+        // baseline counterpart, so neither contributes.
+        assert_eq!(report.compared, 1);
+    }
+
+    /// A batch row as a single-core `bench_json` run writes it: no
+    /// `batch_shared_analysis_threads_ns` key at all.
+    fn doc_single_core(seq: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "batch_threads_used": 1,
+                  "batch_shared_analysis_sequential_ns": {seq}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn absent_threads_metric_is_tolerated_on_either_side() {
+        // A single-core run omits `batch_shared_analysis_threads_ns`; the
+        // gate compares the remaining metrics instead of failing.
+        let multicore = doc(1e6, 5e5);
+        let singlecore = doc_single_core(1e6);
+        let report = compare(&multicore, &singlecore, 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        assert_eq!(report.compared, 1, "only the sequential metric matches up");
+        let report = compare(&singlecore, &multicore, 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn injected_slowdown_trips_sparse_metrics_too() {
+        let base = doc_with_sparse(1e5);
+        let mut cur = base.clone();
+        inject_slowdown(&mut cur, 2.0);
+        let report = compare(&base, &cur, 0.25).unwrap();
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.metric == "sparse_kernel_ns"));
     }
 
     #[test]

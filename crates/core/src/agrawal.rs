@@ -53,11 +53,51 @@ pub fn agrawal_slice_with_order(
     figure7(a, crit, jump_order, None)
 }
 
-/// The single Figure-7 implementation behind both the plain slicers and the
+/// The dense round-based Figure-7 loop, kept verbatim as the differential
+/// baseline for the sparse kernel (`sparse::figure7_sparse`), which must be
+/// bit-identical to it. Driven by the pdom preorder, like
+/// [`agrawal_slice`].
+///
+/// # Examples
+///
+/// ```
+/// use jumpslice_core::{corpus, Analysis, Criterion};
+/// use jumpslice_core::{agrawal_slice, agrawal_slice_reference};
+/// let p = corpus::fig3();
+/// let a = Analysis::new(&p);
+/// let crit = Criterion::at_stmt(p.at_line(15));
+/// assert_eq!(agrawal_slice(&a, &crit), agrawal_slice_reference(&a, &crit));
+/// ```
+pub fn agrawal_slice_reference(a: &Analysis<'_>, crit: &Criterion) -> Slice {
+    let order = a.jumps_in_pdom_preorder();
+    figure7_reference(a, crit, &order, None)
+}
+
+/// The single Figure-7 entry point behind both the plain slicers and the
 /// traced [`crate::agrawal_slice_traced`]: one code path, so a provenance
 /// record can never diverge from the slice it explains. `rec`, when present,
 /// is told why each statement entered the slice.
+///
+/// Dispatches to the sparse change-driven kernel whenever the chain index
+/// can honor `jump_order` (always, for the orders this crate produces);
+/// falls back to the dense [`figure7_reference`] loop otherwise. The two
+/// are bit-identical — slices, traversal counts, emitted events, recorded
+/// provenance — which the differential harness's `sparse` mode enforces.
 pub(crate) fn figure7(
+    a: &Analysis<'_>,
+    crit: &Criterion,
+    jump_order: &[StmtId],
+    rec: Option<&mut Recorder>,
+) -> Slice {
+    if crate::sparse::covers(a, jump_order) {
+        crate::sparse::figure7_sparse(a, crit, jump_order, rec)
+    } else {
+        figure7_reference(a, crit, jump_order, rec)
+    }
+}
+
+/// The dense loop itself: re-tests every out-of-slice jump each round.
+pub(crate) fn figure7_reference(
     a: &Analysis<'_>,
     crit: &Criterion,
     jump_order: &[StmtId],

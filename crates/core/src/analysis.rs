@@ -1,5 +1,6 @@
 //! One-stop bundle of the structures the slicing algorithms consume.
 
+use crate::sparse::ChainIndex;
 use crate::{LexSuccTree, SlicePoint};
 use jumpslice_cfg::Cfg;
 use jumpslice_dataflow::{DataDeps, ReachingDefs, StmtSet};
@@ -26,6 +27,8 @@ pub struct AnalysisStats {
     pub pdom_builds: usize,
     /// Times the lexical successor tree was built.
     pub lst_builds: usize,
+    /// Times the sparse kernel's jump-chain index was built.
+    pub chain_index_builds: usize,
 }
 
 /// Owned analysis artifacts detached from any program borrow.
@@ -53,11 +56,15 @@ pub struct AnalysisSeed {
     pub lst: Option<LexSuccTree>,
     /// The reaching-definitions solution.
     pub reaching: Option<ReachingDefs>,
+    /// The sparse kernel's chain index (opaque; valid only while the jump
+    /// structure, postdominators, and lexical successor tree are unchanged).
+    pub chain_index: Option<ChainIndex>,
 }
 
 impl AnalysisSeed {
     /// How many of the four lazy artifacts are present (the flowgraph is
-    /// not counted — it is always built eagerly anyway).
+    /// not counted — it is always built eagerly anyway; the chain index is
+    /// not counted either, being derived entirely from the others).
     pub fn reused_phases(&self) -> usize {
         usize::from(self.pdom.is_some())
             + usize::from(self.pdg.is_some())
@@ -102,10 +109,15 @@ pub struct Analysis<'p> {
     pdg: OnceLock<Pdg>,
     lst: OnceLock<LexSuccTree>,
     reaching: OnceLock<ReachingDefs>,
+    chain_index: OnceLock<ChainIndex>,
+    /// Per-do-while body sets (`dowhile_bodies[d]` = statements lexically
+    /// inside the do-while `d`), built on first hazard probe.
+    dowhile_bodies: OnceLock<Vec<StmtSet>>,
     n_reaching: AtomicUsize,
     n_pdg: AtomicUsize,
     n_pdom: AtomicUsize,
     n_lst: AtomicUsize,
+    n_chain: AtomicUsize,
 }
 
 impl<'p> Analysis<'p> {
@@ -154,10 +166,13 @@ impl<'p> Analysis<'p> {
             pdg: OnceLock::new(),
             lst: OnceLock::new(),
             reaching: OnceLock::new(),
+            chain_index: OnceLock::new(),
+            dowhile_bodies: OnceLock::new(),
             n_reaching: AtomicUsize::new(0),
             n_pdg: AtomicUsize::new(0),
             n_pdom: AtomicUsize::new(0),
             n_lst: AtomicUsize::new(0),
+            n_chain: AtomicUsize::new(0),
         };
         if let Some(x) = seed.pdom {
             let _ = a.pdom.set(x);
@@ -170,6 +185,9 @@ impl<'p> Analysis<'p> {
         }
         if let Some(x) = seed.reaching {
             let _ = a.reaching.set(x);
+        }
+        if let Some(x) = seed.chain_index {
+            let _ = a.chain_index.set(x);
         }
         a
     }
@@ -184,6 +202,7 @@ impl<'p> Analysis<'p> {
             pdg: self.pdg.into_inner(),
             lst: self.lst.into_inner(),
             reaching: self.reaching.into_inner(),
+            chain_index: self.chain_index.into_inner(),
         }
     }
 
@@ -247,6 +266,39 @@ impl<'p> Analysis<'p> {
         })
     }
 
+    /// The sparse Figure-7 kernel's flattened jump-chain index (computed on
+    /// first use; forces the postdominator tree, and — when the program has
+    /// any live unconditional jump — the lexical successor tree).
+    pub(crate) fn chain_index(&self) -> &ChainIndex {
+        self.cache_probe(obs::Artifact::ChainIndex, self.chain_index.get().is_some());
+        self.chain_index.get_or_init(|| {
+            self.n_chain.fetch_add(1, Ordering::Relaxed);
+            ChainIndex::build(self)
+        })
+    }
+
+    /// The set of statements lexically inside do-while `d` (empty for any
+    /// other statement). Built once for all do-whiles on first use.
+    pub(crate) fn dowhile_body(&self, d: StmtId) -> &StmtSet {
+        let bodies = self.dowhile_bodies.get_or_init(|| {
+            let n = self.prog.len();
+            let mut out = vec![StmtSet::with_capacity(0); n];
+            // One ancestor walk per statement instead of one full program
+            // scan per do-while.
+            for s in self.prog.stmt_ids() {
+                let mut cur = self.structure.parent(s);
+                while let Some(t) = cur {
+                    if matches!(self.prog.stmt(t).kind, StmtKind::DoWhile { .. }) {
+                        out[t.index()].insert(s);
+                    }
+                    cur = self.structure.parent(t);
+                }
+            }
+            out
+        });
+        &bodies[d.index()]
+    }
+
     /// Emits one cache hit/miss event for an artifact accessor. `hit` is
     /// sampled *before* `get_or_init` runs, so the request that triggers the
     /// computation reports a miss.
@@ -263,6 +315,7 @@ impl<'p> Analysis<'p> {
             pdg_builds: self.n_pdg.load(Ordering::Relaxed),
             pdom_builds: self.n_pdom.load(Ordering::Relaxed),
             lst_builds: self.n_lst.load(Ordering::Relaxed),
+            chain_index_builds: self.n_chain.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +325,7 @@ impl<'p> Analysis<'p> {
     /// merely wasteful).
     pub fn warm(&self) {
         let _ = (self.reaching(), self.pdg(), self.pdom(), self.lst());
+        let _ = self.chain_index();
     }
 
     /// Whether `s` is a jump statement (including the fused conditional
@@ -355,7 +409,7 @@ impl<'p> Analysis<'p> {
             // from outside enters its body, which is harmless.
             if matches!(self.prog.stmt(t).kind, StmtKind::DoWhile { .. })
                 && self.structure.contains(t, prev)
-                && slice.iter().any(|s| self.structure.contains(t, s))
+                && self.dowhile_body(t).intersects(slice)
             {
                 return true;
             }
@@ -503,9 +557,78 @@ mod tests {
                 pdg_builds: 1,
                 pdom_builds: 1,
                 lst_builds: 1,
+                chain_index_builds: 0,
             },
             "each artifact computed exactly once"
         );
+        for _ in 0..5 {
+            let _ = a.chain_index();
+        }
+        assert_eq!(a.stats().chain_index_builds, 1);
+    }
+
+    #[test]
+    fn dowhile_body_sets_match_structure_contains() {
+        let p = parse(
+            "read(x);
+             do { x = x + 1; do { y = 2; } while (y); } while (x < 3);
+             write(x);",
+        )
+        .unwrap();
+        let a = Analysis::new(&p);
+        for t in p.stmt_ids() {
+            let body = a.dowhile_body(t);
+            for s in p.stmt_ids() {
+                assert_eq!(
+                    body.contains(s),
+                    matches!(p.stmt(t).kind, StmtKind::DoWhile { .. })
+                        && a.structure().contains(t, s),
+                    "body set of line {} at line {}",
+                    p.line_of(t),
+                    p.line_of(s)
+                );
+            }
+        }
+    }
+
+    /// The satellite fix pinned: the hazard guard answers through the
+    /// precomputed body bitset exactly as the old O(|slice|) scan did, on
+    /// every slice state of a program where the hazard genuinely fires
+    /// (break inside a do-while, body statements sliced, loop head not).
+    #[test]
+    fn dowhile_hazard_matches_linear_scan() {
+        let p = parse("read(x); do { x = x + 1; if (c) break; y = 2; } while (x < 10); write(y);")
+            .unwrap();
+        let a = Analysis::new(&p);
+        let brk = p.at_line(5);
+        let old_scan = |j: StmtId, slice: &StmtSet| -> bool {
+            let mut prev = j;
+            for t in a.lst().successors(j) {
+                if slice.contains(t) {
+                    return false;
+                }
+                if matches!(p.stmt(t).kind, StmtKind::DoWhile { .. })
+                    && a.structure().contains(t, prev)
+                    && slice.iter().any(|s| a.structure().contains(t, s))
+                {
+                    return true;
+                }
+                prev = t;
+            }
+            false
+        };
+        let n = p.len();
+        let mut fired = false;
+        for mask in 0u32..(1 << n) {
+            let slice: StmtSet = p
+                .stmt_ids()
+                .filter(|s| mask & (1 << s.index()) != 0)
+                .collect();
+            let got = a.dowhile_hazard(brk, &slice);
+            assert_eq!(got, old_scan(brk, &slice), "slice mask {mask:#b}");
+            fired |= got;
+        }
+        assert!(fired, "the hazard case is actually exercised");
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! [`Analysis`] now caches each of those lazily and is `Sync`, so a batch
 //! costs one analysis plus per-criterion closure work, and the closures are
 //! independent: [`BatchSlicer`] runs them on a scoped thread pool with a
-//! shared immutable [`Analysis`] and an atomic work index. Each worker
-//! allocates its own slice bitsets, so there is no cross-thread contention
-//! beyond the work counter.
+//! shared immutable [`Analysis`] and an atomic work index. The sparse
+//! Figure-7 kernel's chain index rides the same cache: `warm()` (which the
+//! pool calls before spawning workers) forces it once, and every worker
+//! probes the one shared copy, while each worker's per-slice scratch
+//! (worklists, delta buffers, jump ranks) lives in a thread-local pool so
+//! steady-state admissions allocate nothing. Each worker allocates its own
+//! slice bitsets, so there is no cross-thread contention beyond the work
+//! counter.
 //!
 //! Results come back in criterion order and are bit-for-bit identical to a
 //! sequential loop (each slicer is a pure function of the analysis and its
@@ -372,6 +377,22 @@ mod tests {
             .with_threads(8)
             .slice_all(conventional_slice, &criteria);
         assert_eq!(one, many);
+    }
+
+    #[test]
+    fn threaded_batch_builds_the_chain_index_exactly_once() {
+        let p = corpus::fig10();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let _ = BatchSlicer::new(&a)
+            .with_threads(4)
+            .slice_all(agrawal_slice, &criteria);
+        let _ = BatchSlicer::new(&a)
+            .with_threads(4)
+            .slice_all(agrawal_slice, &criteria);
+        // Every worker of both runs probed the one shared index that
+        // `warm()` forced up front.
+        assert_eq!(a.stats().chain_index_builds, 1);
     }
 
     #[test]

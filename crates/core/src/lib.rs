@@ -68,10 +68,11 @@ mod labels;
 mod lexsucc;
 mod provenance;
 mod slice;
+mod sparse;
 mod structured;
 pub mod synthesize;
 
-pub use agrawal::{agrawal_slice, agrawal_slice_with_order};
+pub use agrawal::{agrawal_slice, agrawal_slice_reference, agrawal_slice_with_order};
 pub use analysis::{Analysis, AnalysisSeed, AnalysisStats};
 pub use batch::{BatchPanic, BatchRunStats, BatchSlicer, SliceFn};
 pub use chop::{chop, chop_executable, forward_slice};
@@ -79,6 +80,7 @@ pub use conservative::conservative_slice;
 pub use conventional::{conventional_slice, Criterion};
 pub use labels::reassociate_labels;
 pub use lexsucc::LexSuccTree;
-pub use provenance::{agrawal_slice_traced, Provenance, Why};
+pub use provenance::{agrawal_slice_traced, agrawal_slice_traced_reference, Provenance, Why};
 pub use slice::{Slice, SlicePoint};
+pub use sparse::ChainIndex;
 pub use structured::{has_pdom_lexsucc_pair, is_structured, structured_slice};

@@ -205,7 +205,7 @@ impl Recorder {
         };
         let mut slice = StmtSet::with_capacity(a.prog().len());
         let seeds: Vec<(StmtId, Why)> = crit.seeds(a).into_iter().map(|s| (s, root)).collect();
-        self.closure_into(a, seeds, &mut slice);
+        self.closure_into(a, seeds, &mut slice, None);
         slice
     }
 
@@ -221,18 +221,44 @@ impl Recorder {
         via_hazard: bool,
         slice: &mut StmtSet,
     ) {
+        self.jump_closure_delta(a, j, round, npd, nls, via_hazard, slice, None);
+    }
+
+    /// [`Recorder::jump_closure`] that additionally appends every newly
+    /// inserted statement to `delta` — the traced twin of
+    /// `Pdg::backward_closure_delta`, feeding the sparse kernel's dirty-jump
+    /// index.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn jump_closure_delta(
+        &mut self,
+        a: &Analysis<'_>,
+        j: StmtId,
+        round: u32,
+        npd: SlicePoint,
+        nls: SlicePoint,
+        via_hazard: bool,
+        slice: &mut StmtSet,
+        delta: Option<&mut Vec<StmtId>>,
+    ) {
         let why = Why::Jump {
             round,
             npd,
             nls,
             via_hazard,
         };
-        self.closure_into(a, vec![(j, why)], slice);
+        self.closure_into(a, vec![(j, why)], slice, delta);
     }
 
     /// Mirror of `Pdg::backward_closure_into` carrying a `Why` per worklist
     /// entry. Statements already in `slice` keep their original reason.
-    fn closure_into(&mut self, a: &Analysis<'_>, seeds: Vec<(StmtId, Why)>, slice: &mut StmtSet) {
+    /// `delta`, when present, receives every newly inserted statement.
+    fn closure_into(
+        &mut self,
+        a: &Analysis<'_>,
+        seeds: Vec<(StmtId, Why)>,
+        slice: &mut StmtSet,
+        mut delta: Option<&mut Vec<StmtId>>,
+    ) {
         let pdg = a.pdg();
         let mut work = seeds;
         while let Some((s, why)) = work.pop() {
@@ -240,6 +266,9 @@ impl Recorder {
                 continue;
             }
             self.why[s.index()] = Some(why);
+            if let Some(d) = delta.as_deref_mut() {
+                d.push(s);
+            }
             work.extend(pdg.data().deps(s).iter().map(|&d| (d, Why::Data { to: s })));
             work.extend(
                 pdg.control()
@@ -266,6 +295,18 @@ pub fn agrawal_slice_traced(a: &Analysis<'_>, crit: &Criterion) -> (Slice, Prove
     let order = a.jumps_in_pdom_preorder();
     let mut rec = Recorder::new(a.prog().len());
     let slice = crate::agrawal::figure7(a, crit, &order, Some(&mut rec));
+    let prov = rec.finish(crit);
+    (slice, prov)
+}
+
+/// [`agrawal_slice_traced`] through the dense round-based loop
+/// ([`crate::agrawal_slice_reference`]) instead of the sparse kernel. The
+/// differential harness's `sparse` mode holds the two traced slicers
+/// against each other statement-by-statement.
+pub fn agrawal_slice_traced_reference(a: &Analysis<'_>, crit: &Criterion) -> (Slice, Provenance) {
+    let order = a.jumps_in_pdom_preorder();
+    let mut rec = Recorder::new(a.prog().len());
+    let slice = crate::agrawal::figure7_reference(a, crit, &order, Some(&mut rec));
     let prov = rec.finish(crit);
     (slice, prov)
 }

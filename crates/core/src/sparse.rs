@@ -1,0 +1,875 @@
+//! The sparse, change-driven Figure-7 kernel.
+//!
+//! The dense loop in `agrawal::figure7_reference` re-tests *every*
+//! out-of-slice jump on *every* round, and each test walks the
+//! postdominator tree and the lexical successor tree node by node —
+//! O(rounds × jumps × tree-depth) of pointer chasing. But a jump's test is
+//! a pure function of `chain ∩ slice`, where `chain` is the fixed set of
+//! statements on its pdom-ancestor and LST-successor paths (plus, for the
+//! do-while guard, the bodies of the do-whiles those paths cross). The
+//! slice only grows, so a jump whose chain the latest admissions did not
+//! touch would answer exactly as it did last time — necessarily "no", or
+//! it would already be in the slice.
+//!
+//! This module exploits that in two layers:
+//!
+//! * [`ChainIndex`] captures each live unconditional jump's two chains as
+//!   per-statement parent arrays (chains share suffixes in both trees)
+//!   plus per-chain span-trimmed masks, so "nearest pdom/lexical successor
+//!   *in the slice*" becomes a word-parallel `mask ∩ slice` probe (usually
+//!   answering `None` immediately) followed by a short parent-array walk;
+//!   and it inverts the chains into `affected`: statement → the jumps
+//!   whose test that statement can change.
+//! * [`figure7_sparse`] replays the reference loop's rounds, but each round
+//!   only re-tests the *dirty* jumps — those whose chains intersect the
+//!   delta of statements admitted since their last test — in the same
+//!   visit-order rank. Deltas flow out of the dependence closures
+//!   (`Pdg::backward_closure_delta`), and a dirty jump discovered at a rank
+//!   the current round already passed is deferred to the next round,
+//!   exactly when the dense loop would re-test it. Admission order, rounds,
+//!   emitted events, provenance, `traversals`: all bit-identical.
+//!
+//! Complexity: O(admissions × affected-jumps) probe work instead of
+//! O(rounds × jumps × depth); the confirming final round costs only the
+//! (empty) worklist check instead of a full traversal.
+
+use crate::provenance::Recorder;
+use crate::{reassociate_labels, Analysis, Criterion, Slice};
+use jumpslice_dataflow::{BitSet, StmtSet};
+use jumpslice_lang::{StmtId, StmtKind};
+use jumpslice_obs as obs;
+use std::cell::RefCell;
+
+/// Sentinel for "statement is not an indexed jump" in [`ChainIndex`].
+const NO_CHAIN: u32 = u32::MAX;
+
+/// Sentinel for "the chain ends here (exit)" in the parent arrays.
+const NO_STMT: u32 = u32::MAX;
+
+/// A span-trimmed statement mask: `words[i]` covers statement indices
+/// `(off + i) * 64 ..`, with leading and trailing zero words dropped.
+/// Chains occupy a contiguous tail of the program on goto-heavy inputs, so
+/// probing a full-width [`StmtSet`] would wade through the zero prefix on
+/// every test; trimming makes the common dense-slice probe O(1).
+#[derive(Clone, Debug, Default)]
+struct Mask {
+    off: usize,
+    words: Vec<u64>,
+}
+
+impl Mask {
+    fn from_set(set: &StmtSet) -> Mask {
+        let w = set.words();
+        let Some(first) = w.iter().position(|&x| x != 0) else {
+            return Mask::default();
+        };
+        let last = w.iter().rposition(|&x| x != 0).expect("some word is set");
+        Mask {
+            off: first,
+            words: w[first..=last].to_vec(),
+        }
+    }
+
+    /// Whether the mask shares a statement with `slice`, scanning only the
+    /// mask's own span.
+    fn intersects(&self, slice: &StmtSet) -> bool {
+        match slice.words().get(self.off..) {
+            Some(sw) => self.words.iter().zip(sw).any(|(a, b)| a & b != 0),
+            None => false,
+        }
+    }
+}
+
+/// Flattened per-jump chain data, built once per program and cached on
+/// [`Analysis`] (see `Analysis::chain_index`).
+///
+/// Opaque outside this crate: it appears in [`crate::AnalysisSeed`] so the
+/// incremental edit session can carry it across edits that leave the jump
+/// structure, postdominators, and lexical successor tree intact, but its
+/// contents are an implementation detail of the sparse kernel.
+#[derive(Clone, Debug)]
+pub struct ChainIndex {
+    /// The indexed jumps — every live unconditional jump, in pdom preorder.
+    /// A chain id is an index into this (and every per-chain) vector.
+    jumps: Vec<StmtId>,
+    /// Statement index → chain id ([`NO_CHAIN`] for non-jumps).
+    chain_of: Vec<u32>,
+    /// Statement index → the next statement-bearing proper pdom ancestor
+    /// ([`NO_STMT`] = the exit). Chains share suffixes in the pdom tree, so
+    /// one parent array replaces per-jump chain vectors: a chain is the
+    /// walk `pnext[j]`, `pnext[pnext[j]]`, … Filled only along the paths
+    /// from indexed jumps; untouched entries stay [`NO_STMT`], which a walk
+    /// reads as "exit" and never follows further.
+    pnext: Vec<u32>,
+    /// Statement index → the immediate lexical successor ([`NO_STMT`] =
+    /// the exit); the LST's own parent pointers, re-indexed by statement.
+    lnext: Vec<u32>,
+    /// Per chain: the pdom-chain statements as a mask for the word-parallel
+    /// "does the slice touch this chain at all?" probe.
+    pdom_masks: Vec<Mask>,
+    /// Per chain: the lexical-successor chain as a mask.
+    lst_masks: Vec<Mask>,
+    /// Statement index → the nearest statement at-or-after it on the
+    /// lexical-successor chain whose outgoing edge enters a do-while *from
+    /// inside its body* (the hazard guard's candidate shape — a static
+    /// property of the edge), or [`NO_STMT`]. Chains share suffixes, so one
+    /// skip pointer per statement replaces a candidate list per chain.
+    hz_skip: Vec<u32>,
+    /// Statement index → the body index of that candidate edge's do-while
+    /// (meaningful only where `hz_skip[s] == s`).
+    hz_body: Vec<u32>,
+    /// The do-while body sets the hazard candidates refer to.
+    bodies: Vec<Mask>,
+    /// Per chain: everything that can change the jump's test — both chains
+    /// plus the candidate bodies — as one mask, for the O(span words) "does
+    /// this slice touch the jump at all?" seed probe.
+    touch_masks: Vec<Mask>,
+    /// Statement index → the chain ids whose jump test can change when this
+    /// statement enters the slice (`touch_masks` inverted), as a bitset over
+    /// chain ids so delta dirtying is a word-parallel union.
+    affected: Vec<BitSet>,
+}
+
+impl ChainIndex {
+    /// Builds the index; forces the postdominator tree and (when the
+    /// program has any indexed jump) the lexical successor tree.
+    pub(crate) fn build(a: &Analysis<'_>) -> ChainIndex {
+        let _t = obs::phase(obs::Phase::ChainIndexBuild);
+        let prog = a.prog();
+        let n = prog.len();
+        let jumps = a.jumps_in_pdom_preorder();
+
+        let mut chain_of = vec![NO_CHAIN; n];
+        let mut pdom_masks = Vec::with_capacity(jumps.len());
+        let mut lst_masks = Vec::with_capacity(jumps.len());
+        let mut touch_masks = Vec::with_capacity(jumps.len());
+        // Full-width body sets kept through the build for the touch unions;
+        // only the trimmed masks survive into the index.
+        let mut body_sets: Vec<StmtSet> = Vec::new();
+        let mut body_of: Vec<u32> = vec![NO_CHAIN; n];
+        let mut pnext = vec![NO_STMT; n];
+        let mut lnext = vec![NO_STMT; n];
+        let mut hz_skip = vec![NO_STMT; n];
+        let mut hz_body = vec![NO_CHAIN; n];
+        let mut chain_stmts = 0u64;
+
+        if jumps.is_empty() {
+            // Never force the pdom tree or the LST for a jump-free program.
+            return ChainIndex {
+                jumps,
+                chain_of,
+                pnext,
+                lnext,
+                pdom_masks,
+                lst_masks,
+                hz_skip,
+                hz_body,
+                bodies: Vec::new(),
+                touch_masks,
+                affected: Vec::new(),
+            };
+        }
+
+        let cfg = a.cfg();
+        let pdom = a.pdom();
+        let lst = a.lst();
+
+        // Parent arrays. The LST hands its parent pointers over directly;
+        // pdom chains are filled by walking up from each jump, stopping as
+        // soon as the walk enters territory an earlier jump already mapped
+        // (chains in a tree share suffixes), so the total is O(distinct
+        // chain statements), not O(sum of chain lengths).
+        for s in prog.stmt_ids() {
+            lnext[s.index()] = match lst.immediate(s) {
+                Some(t) => t.index() as u32,
+                None => NO_STMT,
+            };
+        }
+        for &j in jumps.iter() {
+            let mut prev = j;
+            for anc in pdom.ancestors(cfg.node(j)) {
+                if anc == cfg.exit() {
+                    break;
+                }
+                let Some(t) = cfg.stmt(anc) else { continue };
+                pnext[prev.index()] = t.index() as u32;
+                prev = t;
+                if pnext[prev.index()] != NO_STMT {
+                    break;
+                }
+            }
+        }
+
+        // Chain masks by memoized suffix-sharing DP: the mask of a
+        // statement is its parent's mask plus the parent — one word-parallel
+        // copy per distinct chain statement instead of per-element inserts
+        // per jump.
+        let mut pmask_memo: Vec<Option<StmtSet>> = vec![None; n];
+        let mut lmask_memo: Vec<Option<StmtSet>> = vec![None; n];
+        // Hazard DP over the LST: whether a chain step enters a do-while
+        // from inside its body depends only on the edge, and every statement
+        // has exactly one outgoing chain edge, so candidacy is a
+        // per-statement fact. `hz_skip[s]` skips to the nearest candidate
+        // at-or-after `s` — suffix-shared across chains with no list copies.
+        let mut hz_done = vec![false; n];
+        let mut path: Vec<StmtId> = Vec::new();
+        let mut touch_sets: Vec<StmtSet> = Vec::with_capacity(jumps.len());
+
+        for (c, &j) in jumps.iter().enumerate() {
+            chain_of[j.index()] = c as u32;
+
+            chain_mask(j, &pnext, &mut pmask_memo, &mut path, n);
+            chain_mask(j, &lnext, &mut lmask_memo, &mut path, n);
+
+            // Hazard skip pointers, deepest unresolved statement first.
+            path.clear();
+            let mut cur = j;
+            while !hz_done[cur.index()] {
+                path.push(cur);
+                let t = lnext[cur.index()];
+                if t == NO_STMT {
+                    break;
+                }
+                cur = StmtId::from_index(t as usize);
+            }
+            while let Some(u) = path.pop() {
+                let t = lnext[u.index()];
+                hz_skip[u.index()] = if t == NO_STMT {
+                    NO_STMT
+                } else {
+                    let t = StmtId::from_index(t as usize);
+                    if matches!(prog.stmt(t).kind, StmtKind::DoWhile { .. })
+                        && a.dowhile_body(t).contains(u)
+                    {
+                        hz_body[u.index()] = if body_of[t.index()] == NO_CHAIN {
+                            let idx = body_sets.len() as u32;
+                            body_of[t.index()] = idx;
+                            body_sets.push(a.dowhile_body(t).clone());
+                            idx
+                        } else {
+                            body_of[t.index()]
+                        };
+                        u.index() as u32
+                    } else {
+                        hz_skip[t.index()]
+                    }
+                };
+                hz_done[u.index()] = true;
+            }
+
+            let pm = pmask_memo[j.index()].as_ref().expect("just ensured");
+            let lm = lmask_memo[j.index()].as_ref().expect("just ensured");
+            chain_stmts += (pm.len() + lm.len()) as u64;
+
+            let mut touch = pm.clone();
+            touch.union_with(lm);
+            let mut v = hz_skip[j.index()];
+            while v != NO_STMT {
+                touch.union_with(&body_sets[hz_body[v as usize] as usize]);
+                v = hz_skip[lnext[v as usize] as usize];
+            }
+            touch_masks.push(Mask::from_set(&touch));
+            touch_sets.push(touch);
+            pdom_masks.push(Mask::from_set(pm));
+            lst_masks.push(Mask::from_set(lm));
+        }
+        let bodies = body_sets.iter().map(Mask::from_set).collect();
+
+        // `affected` is the touch matrix transposed (statement → chains),
+        // produced 64×64 bit-block at a time instead of bit-by-bit.
+        let chain_words = jumps.len().div_ceil(64);
+        let stmt_words = n.div_ceil(64);
+        let mut aff_words: Vec<Vec<u64>> = vec![vec![0; chain_words]; n];
+        let mut block = [0u64; 64];
+        for cb in 0..chain_words {
+            for w in 0..stmt_words {
+                block.fill(0);
+                let mut any = false;
+                for (r, set) in touch_sets[cb * 64..].iter().take(64).enumerate() {
+                    let v = set.words().get(w).copied().unwrap_or(0);
+                    block[r] = v;
+                    any |= v != 0;
+                }
+                if !any {
+                    continue;
+                }
+                // transpose64 works in MSB-first row order; bracketing it
+                // with row reversals yields the LSB-first transpose
+                // (bit b of row r → bit r of row b).
+                block.reverse();
+                transpose64(&mut block);
+                block.reverse();
+                for (b, &v) in block.iter().enumerate() {
+                    if v != 0 {
+                        aff_words[w * 64 + b][cb] = v;
+                    }
+                }
+            }
+        }
+        let affected: Vec<BitSet> = aff_words
+            .into_iter()
+            .map(|ws| BitSet::from_words(jumps.len(), ws))
+            .collect();
+
+        obs::record(|| obs::Event::Count {
+            name: "sparse.chains",
+            value: jumps.len() as u64,
+        });
+        obs::record(|| obs::Event::Count {
+            name: "sparse.chain_stmts",
+            value: chain_stmts,
+        });
+
+        ChainIndex {
+            jumps,
+            chain_of,
+            pnext,
+            lnext,
+            pdom_masks,
+            lst_masks,
+            hz_skip,
+            hz_body,
+            bodies,
+            touch_masks,
+            affected,
+        }
+    }
+
+    /// The chain id of jump `j`, or `None` if `j` is not indexed.
+    fn chain(&self, j: StmtId) -> Option<usize> {
+        match self.chain_of.get(j.index()) {
+            Some(&c) if c != NO_CHAIN => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    /// `Analysis::nearest_pdom_in`, answered by a parent-array walk gated
+    /// on the chain mask.
+    fn nearest_pdom_in(&self, c: usize, slice: &StmtSet) -> Option<StmtId> {
+        nearest_in(self.jumps[c], &self.pnext, &self.pdom_masks[c], slice)
+    }
+
+    /// `Analysis::nearest_lexsucc_in`, answered the same way over the LST
+    /// parent array.
+    fn nearest_lexsucc_in(&self, c: usize, slice: &StmtSet) -> Option<StmtId> {
+        nearest_in(self.jumps[c], &self.lnext, &self.lst_masks[c], slice)
+    }
+
+    /// `Analysis::dowhile_hazard`, answered from the precomputed skip
+    /// pointers and body bitsets. Walks chain statements up to the last
+    /// candidate do-while, bailing on the first one already in the slice.
+    fn hazard(&self, c: usize, slice: &StmtSet) -> bool {
+        let mut v = self.hz_skip[self.jumps[c].index()];
+        if v == NO_STMT {
+            return false;
+        }
+        let mut s = self.lnext[self.jumps[c].index()];
+        loop {
+            // The candidate do-while is `lnext[v]`; every chain statement up
+            // to and including it gets the membership check first, in order.
+            let d = self.lnext[v as usize];
+            loop {
+                let t = StmtId::from_index(s as usize);
+                if slice.contains(t) {
+                    return false;
+                }
+                let at_dowhile = s == d;
+                s = self.lnext[s as usize];
+                if at_dowhile {
+                    break;
+                }
+            }
+            if self.bodies[self.hz_body[v as usize] as usize].intersects(slice) {
+                return true;
+            }
+            v = self.hz_skip[d as usize];
+            if v == NO_STMT {
+                return false;
+            }
+        }
+    }
+}
+
+/// First statement on `j`'s `next`-chain that is in `slice`, gated by a
+/// word-parallel mask probe. `None` means the walk would fall through to
+/// the exit.
+fn nearest_in(j: StmtId, next: &[u32], mask: &Mask, slice: &StmtSet) -> Option<StmtId> {
+    if !mask.intersects(slice) {
+        return None;
+    }
+    let mut s = next[j.index()];
+    while s != NO_STMT {
+        let t = StmtId::from_index(s as usize);
+        if slice.contains(t) {
+            return Some(t);
+        }
+        s = next[s as usize];
+    }
+    None
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3): afterwards
+/// bit `r` of `a[b]` is what bit `b` of `a[r]` was.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j] >> j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Ensures `memo[s]` holds the set of statements on the `next`-chain
+/// strictly after `s`, resolving every statement on the path below the
+/// first already-resolved one — a suffix-sharing DP where each distinct
+/// chain statement costs one word-parallel copy of its parent's mask
+/// instead of a per-jump element walk.
+fn chain_mask(
+    s: StmtId,
+    next: &[u32],
+    memo: &mut [Option<StmtSet>],
+    path: &mut Vec<StmtId>,
+    n: usize,
+) {
+    path.clear();
+    let mut cur = s;
+    while memo[cur.index()].is_none() {
+        path.push(cur);
+        let t = next[cur.index()];
+        if t == NO_STMT {
+            break;
+        }
+        cur = StmtId::from_index(t as usize);
+    }
+    while let Some(u) = path.pop() {
+        let t = next[u.index()];
+        let set = if t == NO_STMT {
+            StmtSet::with_capacity(n)
+        } else {
+            let t = StmtId::from_index(t as usize);
+            let mut set = memo[t.index()].as_ref().expect("resolved before u").clone();
+            set.insert(t);
+            set
+        };
+        memo[u.index()] = Some(set);
+    }
+}
+
+/// Per-thread reusable buffers: the closure work/delta vectors and the
+/// dirty-rank worklists. Pooled so the batch engine's workers run the whole
+/// fixpoint allocation-free after the first criterion.
+struct Scratch {
+    work: Vec<StmtId>,
+    delta: Vec<StmtId>,
+    rank_of: Vec<u32>,
+    cur: BitSet,
+    next: BitSet,
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch {
+            work: Vec::new(),
+            delta: Vec::new(),
+            rank_of: Vec::new(),
+            cur: BitSet::new(0),
+            next: BitSet::new(0),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Whether [`figure7_sparse`] can honor `jump_order` exactly: every entry
+/// must be an indexed jump and appear only once. Both jump orders the crate
+/// produces qualify; a hand-rolled order falls back to the dense loop.
+pub(crate) fn covers(a: &Analysis<'_>, jump_order: &[StmtId]) -> bool {
+    if jump_order.is_empty() {
+        return true;
+    }
+    let ci = a.chain_index();
+    if jump_order == ci.jumps {
+        // The standard pdom-preorder driver: no per-slice bookkeeping.
+        return true;
+    }
+    let mut seen = BitSet::new(ci.jumps.len());
+    jump_order
+        .iter()
+        .all(|&j| ci.chain(j).is_some_and(|c| seen.insert(c)))
+}
+
+/// The sparse Figure-7 kernel. Produces bit-identical results — slice,
+/// `traversals`, `moved_labels`, emitted events, recorded provenance — to
+/// `agrawal::figure7_reference` on the same inputs; the differential
+/// harness's `sparse` mode and `tests/equivalence.rs` hold the two against
+/// each other. Callers must check [`covers`] first.
+pub(crate) fn figure7_sparse(
+    a: &Analysis<'_>,
+    crit: &Criterion,
+    jump_order: &[StmtId],
+    mut rec: Option<&mut Recorder>,
+) -> Slice {
+    let scratch = SCRATCH.with(|s| s.take());
+    let Scratch {
+        mut work,
+        mut delta,
+        mut rank_of,
+        mut cur,
+        mut next,
+    } = scratch;
+
+    let mut stmts = {
+        let _t = obs::phase(obs::Phase::ConventionalClosure);
+        match rec.as_deref_mut() {
+            Some(r) => r.seed_closure(a, crit),
+            None => {
+                let mut s = StmtSet::with_capacity(a.prog().len());
+                a.pdg()
+                    .backward_closure_into_with_scratch(crit.seeds(a), &mut s, &mut work);
+                s
+            }
+        }
+    };
+
+    let mut traversals = 0usize;
+    let mut round: u32 = 0;
+    let mut retests = 0u64;
+    let mut dirty_marks = 0u64;
+
+    if jump_order.is_empty() {
+        // No candidates: only the confirming round runs, as in the dense
+        // loop (and without ever building the chain index).
+        round += 1;
+        {
+            let _t = obs::phase_round(obs::Phase::FixpointRound, round);
+        }
+        obs::record(|| obs::Event::Round {
+            algo: "fig7",
+            round,
+            admitted: 0,
+        });
+    } else {
+        let ci = a.chain_index();
+
+        // The standard driver passes the index's own pdom preorder, making
+        // rank ≡ chain id; only an exotic caller-supplied order (e.g. LST
+        // preorder) pays for the per-statement rank table.
+        let identity = jump_order == ci.jumps;
+        if !identity {
+            // Visit-order rank per statement; NO_CHAIN = jump outside
+            // `jump_order` (possible when the caller passes a subset — such
+            // jumps are never tested, exactly as in the dense loop).
+            rank_of.clear();
+            rank_of.resize(a.prog().len(), NO_CHAIN);
+            for (rk, &j) in jump_order.iter().enumerate() {
+                rank_of[j.index()] = rk as u32;
+            }
+        }
+
+        if cur.capacity() < jump_order.len() {
+            cur = BitSet::new(jump_order.len());
+            next = BitSet::new(jump_order.len());
+        } else {
+            // Both drained empty when the previous fixpoint converged; clear
+            // anyway in case a panic unwound mid-round.
+            cur.clear();
+            next.clear();
+        }
+
+        // Seed dirtying: the whole conventional closure is one delta against
+        // the empty slice. Probing each jump's touch mask against it costs
+        // O(jumps × words) — iterating the closure through `affected` would
+        // be O(|closure| × jumps) on goto-dense programs, whose chains span
+        // most of the program.
+        for (rk, &j) in jump_order.iter().enumerate() {
+            if stmts.contains(j) {
+                continue;
+            }
+            let c = ci.chain(j).expect("covers() checked");
+            if ci.touch_masks[c].intersects(&stmts) {
+                dirty_marks += u64::from(next.insert(rk));
+            }
+        }
+
+        loop {
+            round += 1;
+            let mut admitted: u32 = 0;
+            {
+                let _t = obs::phase_round(obs::Phase::FixpointRound, round);
+                std::mem::swap(&mut cur, &mut next);
+                let mut pos = 0usize;
+                while let Some(rk) = cur.next_at_or_after(pos) {
+                    cur.remove(rk);
+                    pos = rk;
+                    let j = jump_order[rk];
+                    if stmts.contains(j) {
+                        continue;
+                    }
+                    retests += 1;
+                    let c = ci.chain(j).expect("covers() checked");
+                    let npd = ci.nearest_pdom_in(c, &stmts);
+                    let nls = ci.nearest_lexsucc_in(c, &stmts);
+                    let disagree = npd != nls;
+                    if disagree || ci.hazard(c, &stmts) {
+                        obs::record(|| obs::Event::JumpAdmitted {
+                            algo: "fig7",
+                            line: a.prog().line_of(j) as u32,
+                            round,
+                            reason: if disagree {
+                                obs::AdmitReason::PdomLexsuccDisagree {
+                                    npd_line: npd.map(|s| a.prog().line_of(s) as u32),
+                                    nls_line: nls.map(|s| a.prog().line_of(s) as u32),
+                                }
+                            } else {
+                                obs::AdmitReason::DoWhileHazard
+                            },
+                        });
+                        delta.clear();
+                        match rec.as_deref_mut() {
+                            Some(r) => r.jump_closure_delta(
+                                a,
+                                j,
+                                round,
+                                npd,
+                                nls,
+                                !disagree,
+                                &mut stmts,
+                                Some(&mut delta),
+                            ),
+                            None => a.pdg().backward_closure_delta(
+                                [j],
+                                &mut stmts,
+                                &mut work,
+                                &mut delta,
+                            ),
+                        }
+                        admitted += 1;
+                        // Dirty every jump whose chain the delta touched. A
+                        // rank the current round has not reached yet is
+                        // tested this round (as the dense loop would);
+                        // anything at or before the cursor waits for the
+                        // next round (ditto).
+                        if identity {
+                            // Rank ≡ chain id, so each delta statement's
+                            // affected set splits into the two worklists with
+                            // four masked word-ops. Already-admitted jumps
+                            // may be enqueued; the drain skips them.
+                            let before = cur.len() + next.len();
+                            for &s in &delta {
+                                let m = &ci.affected[s.index()];
+                                cur.union_range(m, rk + 1, ci.jumps.len());
+                                next.union_range(m, 0, rk + 1);
+                            }
+                            dirty_marks += (cur.len() + next.len() - before) as u64;
+                        } else {
+                            for &s in &delta {
+                                for c2 in ci.affected[s.index()].iter() {
+                                    let j2 = ci.jumps[c2];
+                                    let r2 = rank_of[j2.index()];
+                                    if r2 == NO_CHAIN || stmts.contains(j2) {
+                                        continue;
+                                    }
+                                    let r2 = r2 as usize;
+                                    dirty_marks += u64::from(if r2 > rk {
+                                        cur.insert(r2)
+                                    } else {
+                                        next.insert(r2)
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            obs::record(|| obs::Event::Round {
+                algo: "fig7",
+                round,
+                admitted,
+            });
+            if admitted == 0 {
+                break;
+            }
+            traversals += 1;
+        }
+    }
+
+    obs::record(|| obs::Event::Count {
+        name: "sparse.retests",
+        value: retests,
+    });
+    obs::record(|| obs::Event::Count {
+        name: "sparse.dirty_marks",
+        value: dirty_marks,
+    });
+
+    let moved_labels = {
+        let _t = obs::phase(obs::Phase::LabelReassoc);
+        reassociate_labels(a, &stmts)
+    };
+
+    SCRATCH.with(|s| {
+        *s.borrow_mut() = Scratch {
+            work,
+            delta,
+            rank_of,
+            cur,
+            next,
+        }
+    });
+
+    Slice {
+        stmts,
+        moved_labels,
+        traversals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agrawal::figure7_reference;
+    use crate::{agrawal_slice, agrawal_slice_reference, corpus};
+    use jumpslice_lang::parse;
+
+    /// Chain probes answer exactly like the tree walks they replace, at
+    /// every slice state reachable by growing the slice one statement at a
+    /// time in id order.
+    #[test]
+    fn chain_probes_match_tree_walks() {
+        for p in [
+            corpus::fig3(),
+            corpus::fig5(),
+            corpus::fig8(),
+            corpus::fig10(),
+            corpus::fig14(),
+            corpus::fig16(),
+        ] {
+            let a = Analysis::new(&p);
+            let ci = a.chain_index();
+            let mut slice = StmtSet::with_capacity(p.len());
+            for grow in std::iter::once(None).chain(p.stmt_ids().map(Some)) {
+                if let Some(s) = grow {
+                    slice.insert(s);
+                }
+                for &j in &ci.jumps {
+                    let c = ci.chain(j).unwrap();
+                    assert_eq!(ci.nearest_pdom_in(c, &slice), a.nearest_pdom_in(j, &slice));
+                    assert_eq!(
+                        ci.nearest_lexsucc_in(c, &slice),
+                        a.nearest_lexsucc_in(j, &slice)
+                    );
+                    assert_eq!(ci.hazard(c, &slice), a.dowhile_hazard(j, &slice));
+                }
+            }
+        }
+    }
+
+    /// The do-while guard fires identically through the candidate/body
+    /// probe, on every slice state of a program where it genuinely fires
+    /// (break inside a do-while whose body holds slice statements).
+    #[test]
+    fn hazard_probe_on_dowhile_program() {
+        let p = parse("read(x); do { x = x + 1; if (c) break; y = 2; } while (x < 10); write(y);")
+            .unwrap();
+        let a = Analysis::new(&p);
+        let ci = a.chain_index();
+        let brk = p.at_line(5);
+        let c = ci.chain(brk).expect("break is indexed");
+        let n = p.len();
+        let mut fired = false;
+        for mask in 0u32..(1 << n) {
+            let slice: StmtSet = p
+                .stmt_ids()
+                .filter(|s| mask & (1 << s.index()) != 0)
+                .collect();
+            let got = ci.hazard(c, &slice);
+            assert_eq!(got, a.dowhile_hazard(brk, &slice), "slice mask {mask:#b}");
+            fired |= got;
+        }
+        assert!(fired, "the hazard case is actually exercised");
+    }
+
+    /// The transposed `affected` inversion agrees with the touch masks it
+    /// was derived from, on a program with more than 64 chains (so the
+    /// block transpose crosses a chain-word boundary).
+    #[test]
+    fn affected_inversion_matches_touch_masks_past_64_chains() {
+        let mut src = String::from("read(x);\n");
+        for k in 0..70 {
+            src.push_str(&format!("goto L{k};\nL{k}: x = x + {k};\n"));
+        }
+        src.push_str("write(x);");
+        let p = parse(&src).unwrap();
+        let a = Analysis::new(&p);
+        let ci = a.chain_index();
+        assert!(ci.jumps.len() > 64, "need a second chain word");
+        for s in p.stmt_ids() {
+            let single: StmtSet = [s].into_iter().collect();
+            for c in 0..ci.jumps.len() {
+                assert_eq!(
+                    ci.affected[s.index()].contains(c),
+                    ci.touch_masks[c].intersects(&single),
+                    "stmt {s:?} chain {c}"
+                );
+            }
+        }
+    }
+
+    /// Sparse == dense on the paper corpus, through the internal entry
+    /// points (the public ones are held together by tests/equivalence.rs).
+    #[test]
+    fn kernel_matches_reference_on_corpus() {
+        for (p, line) in [
+            (corpus::fig1(), 12),
+            (corpus::fig3(), 15),
+            (corpus::fig5(), 14),
+            (corpus::fig8(), 15),
+            (corpus::fig10(), 9),
+            (corpus::fig16(), 10),
+        ] {
+            let a = Analysis::new(&p);
+            let crit = Criterion::at_stmt(p.at_line(line));
+            let sparse = agrawal_slice(&a, &crit);
+            let dense = agrawal_slice_reference(&a, &crit);
+            assert_eq!(sparse, dense, "line {line}");
+        }
+    }
+
+    /// An LST-preorder driver goes through the sparse kernel too and still
+    /// matches the dense loop under the same order.
+    #[test]
+    fn kernel_matches_reference_under_lst_order() {
+        let p = corpus::fig8();
+        let a = Analysis::new(&p);
+        let order = a.jumps_in_lst_preorder();
+        assert!(covers(&a, &order));
+        let crit = Criterion::at_stmt(p.at_line(15));
+        let sparse = figure7_sparse(&a, &crit, &order, None);
+        let dense = figure7_reference(&a, &crit, &order, None);
+        assert_eq!(sparse, dense);
+    }
+
+    /// Orders the index cannot honor (duplicates) are detected, not
+    /// silently mis-handled.
+    #[test]
+    fn covers_rejects_duplicates_and_unknown_jumps() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let order = a.jumps_in_pdom_preorder();
+        assert!(covers(&a, &order));
+        let mut dup = order.clone();
+        dup.push(order[0]);
+        assert!(!covers(&a, &dup));
+        let not_a_jump = vec![p.at_line(1)];
+        assert!(!covers(&a, &not_a_jump));
+    }
+}

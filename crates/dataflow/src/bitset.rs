@@ -32,6 +32,21 @@ impl BitSet {
         self.capacity
     }
 
+    /// Builds a set over `0..capacity` directly from backing words in the
+    /// [`BitSet::words`] layout. The vector is resized to fit and bits at
+    /// or past `capacity` are cleared — word-parallel constructors (e.g. a
+    /// bit-matrix transpose) can hand over whole words without edge-masking
+    /// themselves.
+    pub fn from_words(capacity: usize, mut words: Vec<u64>) -> BitSet {
+        words.resize(capacity.div_ceil(64), 0);
+        if capacity % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= !0u64 >> (64 - capacity % 64);
+            }
+        }
+        BitSet { words, capacity }
+    }
+
     /// Inserts `v`; returns `true` if it was newly inserted.
     ///
     /// # Panics
@@ -85,6 +100,56 @@ impl BitSet {
         }
     }
 
+    /// Whether the two sets share any element, word-parallel. Capacities
+    /// may differ; bits past the shorter operand are treated as absent.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Unions `other`'s elements in `[start, end)` into `self`,
+    /// word-parallel with masked boundary words. Positions past either
+    /// capacity contribute nothing.
+    pub fn union_range(&mut self, other: &BitSet, start: usize, end: usize) {
+        let end = end.min(self.capacity).min(other.capacity);
+        if start >= end {
+            return;
+        }
+        let w0 = start / 64;
+        let w1 = (end - 1) / 64;
+        let lo = !0u64 << (start % 64);
+        let hi = !0u64 >> (63 - (end - 1) % 64);
+        if w0 == w1 {
+            self.words[w0] |= other.words[w0] & lo & hi;
+            return;
+        }
+        self.words[w0] |= other.words[w0] & lo;
+        for w in w0 + 1..w1 {
+            self.words[w] |= other.words[w];
+        }
+        self.words[w1] |= other.words[w1] & hi;
+    }
+
+    /// The smallest element `>= v`, or `None` if there is none. A linear
+    /// word scan with a masked first word — the cursor primitive behind
+    /// ordered worklist draining.
+    pub fn next_at_or_after(&self, v: usize) -> Option<usize> {
+        if v >= self.capacity {
+            return None;
+        }
+        let mut wi = v / 64;
+        let mut w = self.words[wi] & (!0u64 << (v % 64));
+        loop {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            w = self.words[wi];
+        }
+    }
+
     /// Removes every element of `other` from `self`.
     pub fn subtract(&mut self, other: &BitSet) {
         debug_assert_eq!(self.capacity, other.capacity);
@@ -106,6 +171,14 @@ impl BitSet {
     /// Removes all elements.
     pub fn clear(&mut self) {
         self.words.fill(0);
+    }
+
+    /// The backing 64-bit words, least-significant block first: bit `b` of
+    /// `words()[w]` is element `w * 64 + b`. For word-parallel operators
+    /// that need an offset view (e.g. probing a span-trimmed mask against a
+    /// full-width set).
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates the elements in ascending order.
@@ -213,6 +286,95 @@ mod tests {
         assert!(!s.is_empty());
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersects_is_any_overlap() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(70);
+        assert!(!a.intersects(&b));
+        a.insert(129);
+        b.insert(65);
+        assert!(!a.intersects(&b), "no shared element, no overlap");
+        a.insert(65);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a), "symmetric across capacities");
+    }
+
+    #[test]
+    fn from_words_resizes_and_clears_past_capacity() {
+        let s = BitSet::from_words(70, vec![0b1010, !0u64]);
+        assert_eq!(s.capacity(), 70);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![1, 3, 64, 65, 66, 67, 68, 69]
+        );
+        // Too few words: padded with zeros.
+        let s = BitSet::from_words(130, vec![1]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0]);
+        assert!(!s.contains(129));
+        // Too many words: truncated.
+        let s = BitSet::from_words(64, vec![2, !0u64, !0u64]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn union_range_masks_boundary_words() {
+        let mut src = BitSet::new(200);
+        for v in [0, 63, 64, 65, 127, 128, 199] {
+            src.insert(v);
+        }
+        // Same-word range.
+        let mut t = BitSet::new(200);
+        t.union_range(&src, 63, 64);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![63]);
+        // Cross-word range with both boundaries masked.
+        let mut t = BitSet::new(200);
+        t.union_range(&src, 64, 199);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![64, 65, 127, 128]);
+        // Full range == union_with.
+        let mut t = BitSet::new(200);
+        t.union_range(&src, 0, 200);
+        assert_eq!(t, src);
+        // Empty and out-of-capacity ranges are no-ops.
+        let mut t = BitSet::new(200);
+        t.union_range(&src, 10, 10);
+        t.union_range(&src, 300, 400);
+        assert!(t.is_empty());
+        // End past the shorter capacity is clamped.
+        let mut narrow = BitSet::new(66);
+        narrow.union_range(&src, 0, 500);
+        assert_eq!(narrow.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65]);
+    }
+
+    #[test]
+    fn union_range_matches_filtered_insert_exhaustively() {
+        let mut src = BitSet::new(130);
+        for v in [0, 1, 5, 63, 64, 100, 129] {
+            src.insert(v);
+        }
+        for start in 0..=130 {
+            for end in start..=130 {
+                let mut got = BitSet::new(130);
+                got.union_range(&src, start, end);
+                let want: Vec<usize> = src.iter().filter(|&v| v >= start && v < end).collect();
+                assert_eq!(got.iter().collect::<Vec<_>>(), want, "[{start},{end})");
+            }
+        }
+    }
+
+    #[test]
+    fn next_at_or_after_scans_forward() {
+        let mut s = BitSet::new(200);
+        for v in [3, 64, 130] {
+            s.insert(v);
+        }
+        assert_eq!(s.next_at_or_after(0), Some(3));
+        assert_eq!(s.next_at_or_after(3), Some(3), "inclusive lower bound");
+        assert_eq!(s.next_at_or_after(4), Some(64));
+        assert_eq!(s.next_at_or_after(65), Some(130));
+        assert_eq!(s.next_at_or_after(131), None);
+        assert_eq!(s.next_at_or_after(1000), None, "past capacity");
     }
 
     #[test]

@@ -110,6 +110,18 @@ impl StmtSet {
         changed
     }
 
+    /// Whether the two sets share any statement — a word-parallel probe,
+    /// not an element loop. Capacities may differ.
+    pub fn intersects(&self, other: &StmtSet) -> bool {
+        self.bits.intersects(&other.bits)
+    }
+
+    /// The backing 64-bit words (see [`BitSet::words`]): bit `b` of
+    /// `words()[w]` is the statement with index `w * 64 + b`.
+    pub fn words(&self) -> &[u64] {
+        self.bits.words()
+    }
+
     /// Whether every element of `self` is in `other`.
     pub fn is_subset(&self, other: &StmtSet) -> bool {
         self.iter().all(|s| other.contains(s))
@@ -231,6 +243,18 @@ mod tests {
         let i = a.intersection(&b);
         assert_eq!(i.iter().map(|x| x.index()).collect::<Vec<_>>(), vec![2, 3]);
         assert!(i.is_subset(&a) && i.is_subset(&b));
+    }
+
+    #[test]
+    fn intersects_across_capacities() {
+        let mut a = StmtSet::with_capacity(1000);
+        let mut b = StmtSet::new();
+        assert!(!a.intersects(&b));
+        a.insert(id(900));
+        b.insert(id(7));
+        assert!(!a.intersects(&b));
+        a.insert(id(7));
+        assert!(a.intersects(&b) && b.intersects(&a));
     }
 
     #[test]

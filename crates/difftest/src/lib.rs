@@ -15,6 +15,10 @@
 //! random edit scripts over the same program families, with every slicer's
 //! session result checked for identity against a from-scratch analysis
 //! after every step, and failing scripts minimized ([`shrink_script`]).
+//! A third mode ([`run_sparsetest`]) pits the sparse change-driven
+//! Figure-7 kernel against the retained dense reference loop, demanding
+//! identical slices, traversal counts, moved labels, and traced
+//! provenance on every generated program.
 //!
 //! In the tradition of differential testing of program analyzers (Chalupa's
 //! cross-checked control-dependence algorithms; SymPas's
@@ -44,6 +48,7 @@ mod incr;
 pub mod registry;
 mod rewrite;
 mod shrink;
+mod sparse;
 
 pub use harness::{
     run_difftest, run_difftest_with, scope_of, DiffConfig, DiffReport, Family, Finding, FindingKind,
@@ -54,3 +59,4 @@ pub use incr::{
 pub use registry::{Algo, RelKind, Relation, Scope, ALGOS, RELATIONS};
 pub use rewrite::{expr_size, replace_expr};
 pub use shrink::{is_valid_candidate, shrink};
+pub use sparse::{run_sparsetest, run_sparsetest_with, SparseConfig, SparseFinding, SparseReport};

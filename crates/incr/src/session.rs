@@ -342,6 +342,8 @@ impl EditSession {
             lst: None, // lexical positions shifted: recompute lazily
             pdg,
             reaching,
+            // The chain index embeds LST chains, so it shifted too.
+            chain_index: None,
         };
         EditOutcome {
             path: ApplyPath::SeededResolve,

@@ -141,7 +141,14 @@ impl Structure {
 
     /// Whether `anc` lexically contains `id` (strictly).
     pub fn contains(&self, anc: StmtId, id: StmtId) -> bool {
-        self.ancestors(id).contains(&anc)
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
     }
 }
 

@@ -53,6 +53,8 @@ pub enum Artifact {
     Pdom,
     /// The lexical successor tree.
     Lst,
+    /// The flattened jump-chain index driving the sparse Figure-7 kernel.
+    ChainIndex,
 }
 
 impl Artifact {
@@ -63,6 +65,7 @@ impl Artifact {
             Artifact::Pdg => "pdg",
             Artifact::Pdom => "pdom",
             Artifact::Lst => "lst",
+            Artifact::ChainIndex => "chain_index",
         }
     }
 
@@ -73,6 +76,7 @@ impl Artifact {
             Artifact::Pdg,
             Artifact::Pdom,
             Artifact::Lst,
+            Artifact::ChainIndex,
         ]
         .into_iter()
         .find(|a| a.name() == s)
@@ -90,6 +94,9 @@ pub enum Phase {
     Postdominators,
     /// Lexical-successor-tree construction.
     LstBuild,
+    /// Jump-chain index construction (flattened pdom/LST chains + masks
+    /// for the sparse Figure-7 kernel).
+    ChainIndexBuild,
     /// The conventional backward dependence closure (§2).
     ConventionalClosure,
     /// One round of the Figure-7 fixpoint (one full traversal of the jump
@@ -109,6 +116,7 @@ impl Phase {
             Phase::PdgBuild => "pdg_build",
             Phase::Postdominators => "postdominators",
             Phase::LstBuild => "lst_build",
+            Phase::ChainIndexBuild => "chain_index_build",
             Phase::ConventionalClosure => "conventional_closure",
             Phase::FixpointRound => "fixpoint_round",
             Phase::LabelReassoc => "label_reassoc",
@@ -123,6 +131,7 @@ impl Phase {
             Phase::PdgBuild,
             Phase::Postdominators,
             Phase::LstBuild,
+            Phase::ChainIndexBuild,
             Phase::ConventionalClosure,
             Phase::FixpointRound,
             Phase::LabelReassoc,
@@ -508,6 +517,10 @@ const KNOWN_COUNTS: &[&str] = &[
     "batch.queue_wait_ns",
     "batch.busy_ns",
     "batch.wall_ns",
+    "sparse.chains",
+    "sparse.chain_stmts",
+    "sparse.retests",
+    "sparse.dirty_marks",
     "edges",
 ];
 

@@ -322,11 +322,50 @@ impl Pdg {
         seeds: impl IntoIterator<Item = StmtId>,
         slice: &mut StmtSet,
     ) {
-        let mut work: Vec<StmtId> = seeds.into_iter().collect();
+        let mut work = Vec::new();
+        self.backward_closure_into_with_scratch(seeds, slice, &mut work);
+    }
+
+    /// [`Pdg::backward_closure_into`] reusing a caller-provided work vector,
+    /// so hot loops that run one closure per jump admission (the Figure-7
+    /// fixpoint, the batch engine's workers) stop allocating a fresh
+    /// `Vec` each time. `work` is cleared on entry; its contents on return
+    /// are unspecified.
+    pub fn backward_closure_into_with_scratch(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+        work: &mut Vec<StmtId>,
+    ) {
+        work.clear();
+        work.extend(seeds);
         while let Some(s) = work.pop() {
             if !slice.insert(s) {
                 continue;
             }
+            work.extend(self.data.deps(s).iter().copied());
+            work.extend(self.control.deps(s).iter().copied());
+        }
+    }
+
+    /// [`Pdg::backward_closure_into_with_scratch`] that additionally appends
+    /// every *newly inserted* statement to `delta` (which is **not**
+    /// cleared). The sparse Figure-7 kernel feeds the delta to its dirty-jump
+    /// index so only tests whose inputs changed are re-run.
+    pub fn backward_closure_delta(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+        work: &mut Vec<StmtId>,
+        delta: &mut Vec<StmtId>,
+    ) {
+        work.clear();
+        work.extend(seeds);
+        while let Some(s) = work.pop() {
+            if !slice.insert(s) {
+                continue;
+            }
+            delta.push(s);
             work.extend(self.data.deps(s).iter().copied());
             work.extend(self.control.deps(s).iter().copied());
         }
@@ -548,6 +587,34 @@ mod tests {
         let mut lines: Vec<usize> = slice.iter().map(|s| p.line_of(s)).collect();
         lines.sort_unstable();
         assert_eq!(lines, vec![2, 3, 4, 5, 7, 12]);
+    }
+
+    #[test]
+    fn scratch_and_delta_closures_match_the_plain_one() {
+        let p = parse("read(c); while (c) { read(x); y = x; } write(y);").unwrap();
+        let cfg = Cfg::build(&p);
+        let pdg = Pdg::build(&p, &cfg);
+        let plain = pdg.backward_closure([p.at_line(5)]);
+
+        let mut work = vec![p.at_line(1); 8]; // dirty scratch must not leak in
+        let mut via_scratch = StmtSet::with_capacity(p.len());
+        pdg.backward_closure_into_with_scratch([p.at_line(5)], &mut via_scratch, &mut work);
+        assert_eq!(via_scratch, plain);
+
+        // The delta form reports exactly the newly inserted statements,
+        // layered on top of a pre-populated slice (line 1 is in the
+        // closure; pre-seeding it keeps it out of the delta).
+        let mut layered: StmtSet = [p.at_line(1)].into_iter().collect();
+        let mut delta = Vec::new();
+        pdg.backward_closure_delta([p.at_line(5)], &mut layered, &mut work, &mut delta);
+        assert_eq!(layered, plain);
+        let mut delta_set: StmtSet = delta.iter().copied().collect();
+        delta_set.insert(p.at_line(1));
+        assert_eq!(delta_set, plain, "delta == inserted statements");
+        assert!(
+            !delta.contains(&p.at_line(1)),
+            "pre-seeded stmt not re-reported"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   loop.
 
 use jumpslice::prelude::*;
-use jumpslice_core::{agrawal_slice_with_order, BatchSlicer, SliceFn};
+use jumpslice_core::{
+    agrawal_slice_reference, agrawal_slice_traced_reference, agrawal_slice_with_order, BatchSlicer,
+    SliceFn,
+};
 use jumpslice_dataflow::StmtSet;
 use jumpslice_testkit::Rng;
 use std::collections::BTreeSet;
@@ -280,6 +283,76 @@ fn bitset_engine_matches_btreeset_semantics() {
                 // Round-trip through the tree is the identity.
                 let back: StmtSet = tree.iter().copied().collect();
                 assert_eq!(back, s.stmts, "{name}: round-trip equality");
+            }
+        }
+    });
+}
+
+/// Sparse-kernel tentpole, paper corpora: the change-driven Figure-7
+/// engine behind `agrawal_slice` is bit-identical — statements,
+/// `traversals`, `moved_labels` — to the dense round-based
+/// `agrawal_slice_reference` loop on every figure program, at every
+/// reasonable criterion. Figure 14 brings a `switch`, Figure 10 the
+/// two-round fixpoint.
+#[test]
+fn sparse_equals_dense_on_paper_corpus() {
+    use jumpslice_core::corpus;
+    for p in [
+        corpus::fig3(),
+        corpus::fig5(),
+        corpus::fig8(),
+        corpus::fig10(),
+        corpus::fig14(),
+        corpus::fig16(),
+    ] {
+        let a = Analysis::new(&p);
+        for c in criteria(&p) {
+            let crit = Criterion::at_stmt(c);
+            let sparse = agrawal_slice(&a, &crit);
+            let dense = agrawal_slice_reference(&a, &crit);
+            assert_eq!(sparse, dense, "criterion line {}", p.line_of(c));
+        }
+    }
+}
+
+/// Sparse-kernel tentpole, generated programs: both progen families at
+/// jump densities 0, 0.1, and 0.3, checking full `Slice` equality plus
+/// statement-by-statement provenance agreement between the traced sparse
+/// and traced dense slicers.
+#[test]
+fn sparse_equals_dense_on_progen_families() {
+    jumpslice_testkit::check(24, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let size = rng.gen_range(15usize..50);
+        for density in [0.0, 0.1, 0.3] {
+            let cfg = GenConfig {
+                seed,
+                target_stmts: size,
+                jump_density: density,
+                ..GenConfig::default()
+            };
+            for p in [gen_structured(&cfg), gen_unstructured(&cfg)] {
+                let a = Analysis::new(&p);
+                for c in criteria(&p).into_iter().take(4) {
+                    let crit = Criterion::at_stmt(c);
+                    assert_eq!(
+                        agrawal_slice(&a, &crit),
+                        agrawal_slice_reference(&a, &crit),
+                        "density {density}, criterion line {}",
+                        p.line_of(c)
+                    );
+                    let (ts, tp) = agrawal_slice_traced(&a, &crit);
+                    let (rs, rp) = agrawal_slice_traced_reference(&a, &crit);
+                    assert_eq!(ts, rs, "traced slices agree");
+                    for s in p.stmt_ids() {
+                        assert_eq!(
+                            tp.why(s),
+                            rp.why(s),
+                            "provenance for line {} agrees",
+                            p.line_of(s)
+                        );
+                    }
+                }
             }
         }
     });

@@ -144,8 +144,11 @@ fn fig1_conventional_emits_no_jump_events() {
 }
 
 /// Each `Analysis` artifact is computed exactly once; every later request
-/// is a hit. The first Figure-7 slice on a cold analysis misses all four
-/// artifacts; an identical second slice misses none.
+/// is a hit. The first Figure-7 slice on a cold analysis misses all five
+/// artifacts (the four classic ones plus the sparse kernel's chain index,
+/// whose build forces the LST); an identical second slice misses none. The
+/// warm slice runs entirely off the chain index — it no longer touches the
+/// LST at all.
 #[test]
 fn analysis_cache_events_are_exact() {
     let p = corpus::fig3();
@@ -154,7 +157,7 @@ fn analysis_cache_events_are_exact() {
 
     let (_, first) = obs::capture(|| agrawal_slice(&a, &crit));
     let m1 = obs::Metrics::of(&first);
-    for artifact in ["reaching_defs", "pdg", "pdom", "lst"] {
+    for artifact in ["reaching_defs", "pdg", "pdom", "lst", "chain_index"] {
         assert_eq!(
             m1.cache_misses.get(artifact),
             Some(&1),
@@ -169,12 +172,40 @@ fn analysis_cache_events_are_exact() {
         "warm analysis recomputes nothing: {:?}",
         m2.cache_misses
     );
-    for artifact in ["pdg", "pdom", "lst"] {
+    for artifact in ["pdg", "pdom", "chain_index"] {
         assert!(
             m2.cache_hits.get(artifact).is_some_and(|&h| h >= 1),
             "warm analysis hits {artifact}"
         );
     }
+    assert_eq!(
+        m2.cache_hits.get("lst"),
+        None,
+        "the warm sparse kernel answers every nearest-successor query from \
+         the chain index, never walking the LST"
+    );
+}
+
+/// The sparse kernel's re-test counter on Figure 10, the two-round
+/// program: the dirty-jump worklist runs strictly fewer jump tests than
+/// the dense loop's jumps × rounds budget, and the exact count is pinned
+/// so a regression to dense re-testing is caught immediately.
+#[test]
+fn fig10_sparse_retests_stay_below_dense_budget() {
+    let p = corpus::fig10();
+    let a = Analysis::new(&p);
+    let (s, events) = obs::capture(|| agrawal_slice(&a, &Criterion::at_stmt(p.at_line(9))));
+    assert_eq!(s.traversals, 2);
+    let m = obs::Metrics::of(&events);
+    let jumps = a.jumps_in_pdom_preorder().len() as u64;
+    let rounds = rounds(&events).len() as u64;
+    let retests = m.counts["sparse.retests"];
+    assert!(
+        retests < jumps * rounds,
+        "sparse re-tests ({retests}) must undercut the dense budget \
+         ({jumps} jumps x {rounds} rounds)"
+    );
+    assert_eq!(retests, 4, "exact re-test count on Figure 10");
 }
 
 /// A real captured batch-sweep trace (phases, caches, admissions, rounds,
