@@ -181,6 +181,87 @@ fn main() {
         }
     }
 
+    // The forced-2-thread smoke sweep: `with_threads(2)` regardless of
+    // `available_parallelism`, so the scoped pool's spawn/queue/join
+    // machinery is exercised (and timed) even on the single-core containers
+    // that skip the threaded arm above. Kept out of `batch_sweeps` so its
+    // row never collides with the adaptive rows the perf gate compares.
+    let threads2_smoke = {
+        let p = sized_structured(1000);
+        let a = Analysis::new(&p);
+        a.warm();
+        let criteria = criterion_pool(&p, &a, BATCH);
+        let n = p.len();
+        let (_, stats) = BatchSlicer::new(&a)
+            .with_threads(2)
+            .slice_all_stats(agrawal_slice, &criteria);
+        assert_eq!(stats.threads, 2, "with_threads(2) must not be demoted");
+        let ns = r.bench(
+            &format!("json/batch/structured/{n}/forced-2-threads"),
+            || {
+                black_box(
+                    BatchSlicer::new(&a)
+                        .with_threads(2)
+                        .slice_all(agrawal_slice, &criteria),
+                )
+            },
+        );
+        (n, criteria.len(), ns)
+    };
+
+    // The serve sweep: in-process daemon engine throughput over a mixed
+    // request session (two cached programs, slice + stats traffic). One
+    // engine per measurement would re-pay analysis; the cache is the
+    // product, so it stays warm across iterations like a real daemon.
+    let serve_sweep = {
+        use jumpslice_serve::engine::Engine;
+        let src_a = jumpslice_lang::print_program(&sized_structured(120));
+        let src_b = jumpslice_lang::print_program(&sized_unstructured(120));
+        let engine = Engine::new(256 << 20);
+        let load = |src: &str| -> String {
+            let resp = engine.handle_line(
+                &jumpslice_obs::Json::Obj(vec![
+                    ("op".to_owned(), jumpslice_obs::Json::Str("load".to_owned())),
+                    (
+                        "source".to_owned(),
+                        jumpslice_obs::Json::Str(src.to_owned()),
+                    ),
+                ])
+                .write_compact(),
+            );
+            jumpslice_obs::Json::parse(&resp)
+                .expect("serve responses are valid JSON")
+                .get("program")
+                .and_then(jumpslice_obs::Json::as_str)
+                .expect("load succeeds on generated programs")
+                .to_owned()
+        };
+        let key_a = load(&src_a);
+        let key_b = load(&src_b);
+        let stmts_a = jumpslice_lang::parse(&src_a).expect("round-trips").len();
+        const REQUESTS: usize = 64;
+        let requests: Vec<String> = (0..REQUESTS)
+            .map(|i| match i % 8 {
+                7 => r#"{"op":"stats"}"#.to_owned(),
+                k => {
+                    let key = if k % 2 == 0 { &key_a } else { &key_b };
+                    let line = 1 + (i * 5) % stmts_a.min(100);
+                    format!(
+                        r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":{line}}}]}}"#
+                    )
+                }
+            })
+            .collect();
+        let total_ns = r.bench("json/serve/mixed/120/warm-cache", || {
+            let mut bytes = 0usize;
+            for req in &requests {
+                bytes += engine.handle_line(black_box(req)).len();
+            }
+            black_box(bytes)
+        });
+        (120usize, REQUESTS, total_ns / REQUESTS as f64)
+    };
+
     // The sparse sweep: the change-driven Figure-7 kernel (the `agrawal_slice`
     // dispatch target) against the retained dense round-based reference loop,
     // both over the same warm analysis and criterion pool.
@@ -424,6 +505,30 @@ fn main() {
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ],\n");
+    {
+        let (n, criteria, ns) = threads2_smoke;
+        out.push_str("  \"batch_threads2_smoke\": [\n");
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"structured\",");
+        let _ = writeln!(out, "      \"stmts\": {n},");
+        let _ = writeln!(out, "      \"criteria\": {criteria},");
+        let _ = writeln!(out, "      \"batch_threads_used\": 2,");
+        let _ = writeln!(out, "      \"batch_shared_analysis_threads_ns\": {ns:.1}");
+        out.push_str("    }\n");
+        out.push_str("  ],\n");
+    }
+    {
+        let (stmts, requests, ns_per_req) = serve_sweep;
+        out.push_str("  \"serve_sweeps\": [\n");
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"mixed\",");
+        let _ = writeln!(out, "      \"stmts\": {stmts},");
+        let _ = writeln!(out, "      \"requests\": {requests},");
+        let _ = writeln!(out, "      \"serve_workers_used\": 1,");
+        let _ = writeln!(out, "      \"serve_ns_per_request\": {ns_per_req:.1}");
+        out.push_str("    }\n");
+        out.push_str("  ],\n");
+    }
     out.push_str("  \"sparse_sweeps\": [\n");
     for (i, row) in sparse_rows.iter().enumerate() {
         let comma = if i + 1 == sparse_rows.len() { "" } else { "," };
@@ -502,4 +607,9 @@ fn main() {
             row.scratch_ns / row.incr_ns
         );
     }
+    println!(
+        "  serve: {:.1}us/request over a warm 2-program cache ({} mixed requests)",
+        serve_sweep.2 / 1e3,
+        serve_sweep.1
+    );
 }

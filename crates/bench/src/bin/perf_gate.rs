@@ -79,6 +79,9 @@ fn run() -> Result<bool, String> {
     for m in &report.missing {
         println!("  MISSING  {m}: baseline row absent from current measurement");
     }
+    for s in &report.skipped {
+        println!("  SKIPPED  {s}");
+    }
     for r in &report.regressions {
         println!(
             "  REGRESSED  {}-{} {}: {:.2}ms -> {:.2}ms ({:.2}x, limit {:.2}x)",

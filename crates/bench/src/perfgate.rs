@@ -30,6 +30,16 @@ const INCR_GATED_METRICS: &[&str] = &["incremental_ns"];
 /// retired dense loop kept only as a differential oracle, so it is not gated.
 const SPARSE_GATED_METRICS: &[&str] = &["sparse_kernel_ns"];
 
+/// Metrics compared per serve-sweep row (in-process daemon throughput).
+const SERVE_GATED_METRICS: &[&str] = &["serve_ns_per_request"];
+
+/// Row keys naming the worker-thread count a sweep actually ran with.
+/// Wall-clocks measured with different counts answer different questions
+/// (e.g. a 1-thread baseline machine vs a 4-thread current one), so rows
+/// whose counts differ are incomparable and skipped with a logged reason
+/// instead of being allowed to pass or fail the gate spuriously.
+const THREADS_USED_KEYS: &[&str] = &["batch_threads_used", "threads_used", "serve_workers_used"];
+
 /// One comparable section of `BENCH_slicing.json`.
 struct Section {
     name: &'static str,
@@ -53,6 +63,11 @@ const SECTIONS: &[Section] = &[
     Section {
         name: "sparse_sweeps",
         metrics: SPARSE_GATED_METRICS,
+        required: false,
+    },
+    Section {
+        name: "serve_sweeps",
+        metrics: SERVE_GATED_METRICS,
         required: false,
     },
 ];
@@ -89,6 +104,10 @@ pub struct GateReport {
     /// Baseline rows with no matching `(family, stmts)` row in the current
     /// measurement.
     pub missing: Vec<String>,
+    /// Rows skipped as incomparable (e.g. the two measurements ran with
+    /// different worker-thread counts), with the reason — surfaced in the
+    /// gate's output, not silently dropped.
+    pub skipped: Vec<String>,
 }
 
 impl GateReport {
@@ -145,6 +164,17 @@ pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateRe
                 report.missing.push(format!("{}-{}", key.0, key.1));
                 continue;
             };
+            if let Some((tk, b, c)) = THREADS_USED_KEYS.iter().find_map(|&tk| {
+                let b = base.get(tk).and_then(Json::as_num)?;
+                let c = cur.get(tk).and_then(Json::as_num)?;
+                (b != c).then_some((tk, b, c))
+            }) {
+                report.skipped.push(format!(
+                    "{}-{}: {tk} differs (baseline {}, current {}) — wall-clocks not comparable",
+                    key.0, key.1, b as u64, c as u64
+                ));
+                continue;
+            }
             for &metric in section.metrics {
                 let (Some(b), Some(c)) = (
                     base.get(metric).and_then(Json::as_num),
@@ -370,6 +400,68 @@ mod tests {
         let report = compare(&singlecore, &multicore, 0.25).unwrap();
         assert!(report.passes(), "{report:?}");
         assert_eq!(report.compared, 1);
+    }
+
+    /// A batch row stamped with the thread count it actually used.
+    fn doc_threads_used(threads: u64, seq: f64, thr: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "batch_threads_used": {threads},
+                  "batch_shared_analysis_sequential_ns": {seq},
+                  "batch_shared_analysis_threads_ns": {thr}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn mismatched_threads_used_skips_the_row_with_a_reason() {
+        // Baseline from a 4-thread machine, current from a 1-thread one: a
+        // 3x "slowdown" in the threaded metric is expected, not a
+        // regression — and a 3x speedup must not mask one either.
+        let base = doc_threads_used(4, 1e6, 3e5);
+        let cur = doc_threads_used(1, 1e6, 9e5);
+        let report = compare(&base, &cur, 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        assert_eq!(report.compared, 0, "nothing compared across the mismatch");
+        assert_eq!(report.skipped.len(), 1);
+        assert!(
+            report.skipped[0].contains("batch_threads_used differs"),
+            "{:?}",
+            report.skipped
+        );
+    }
+
+    #[test]
+    fn matching_threads_used_still_compares() {
+        let base = doc_threads_used(2, 1e6, 5e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 2);
+        assert!(report.skipped.is_empty());
+        let slow = compare(&base, &doc_threads_used(2, 3e6, 5e5), 0.25).unwrap();
+        assert!(!slow.passes(), "same thread count still gates");
+    }
+
+    #[test]
+    fn serve_rows_are_gated() {
+        let doc_serve = |ns: f64| {
+            Json::parse(&format!(
+                r#"{{"batch_sweeps": [],
+                "serve_sweeps": [
+                    {{"family": "mixed", "stmts": 120, "serve_ns_per_request": {ns}}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        let base = doc_serve(1e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 1);
+        let slow = compare(&base, &doc_serve(5e5), 0.25).unwrap();
+        assert_eq!(slow.regressions.len(), 1);
+        assert_eq!(slow.regressions[0].metric, "serve_ns_per_request");
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub(crate) fn figure7_reference(
     let mut round: u32 = 0;
     loop {
         round += 1;
+        // Cooperative deadline probe: one full traversal is the dense
+        // loop's natural unit of interruptible work.
+        crate::cancel::checkpoint();
         let mut admitted: u32 = 0;
         {
             let _t = obs::phase_round(obs::Phase::FixpointRound, round);

@@ -129,6 +129,11 @@ pub type SliceFn = fn(&Analysis<'_>, &Criterion) -> Slice;
 pub struct BatchSlicer<'a, 'p> {
     analysis: &'a Analysis<'p>,
     threads: usize,
+    /// Cooperative deadline installed on every worker for the duration of
+    /// each slicer call (`None` = run to completion). Deadlines are
+    /// thread-local, so the coordinating thread's own deadline would never
+    /// reach the scoped workers — it must travel through the slicer.
+    deadline: Option<Instant>,
 }
 
 impl<'a, 'p> BatchSlicer<'a, 'p> {
@@ -138,7 +143,11 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         let threads = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
-        BatchSlicer { analysis, threads }
+        BatchSlicer {
+            analysis,
+            threads,
+            deadline: None,
+        }
     }
 
     /// Overrides the worker-thread count (`0` is clamped to `1`). One
@@ -149,6 +158,15 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
             threads: threads.max(1),
             ..self
         }
+    }
+
+    /// Installs a cooperative deadline: every worker checks it at the
+    /// slicers' fixpoint checkpoints and before each criterion, and a blown
+    /// deadline surfaces as a [`BatchPanic`] whose message satisfies
+    /// [`crate::cancel::is_cancelled`] (use
+    /// [`try_slice_all`](BatchSlicer::try_slice_all) to catch it).
+    pub fn with_deadline(self, deadline: Option<Instant>) -> BatchSlicer<'a, 'p> {
+        BatchSlicer { deadline, ..self }
     }
 
     /// The shared analysis.
@@ -208,8 +226,17 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         let _run = obs::phase(obs::Phase::BatchRun);
         let run_start = Instant::now();
 
+        let deadline = self.deadline;
         let slice_one = |i: usize| -> Result<Slice, BatchPanic> {
-            catch_unwind(AssertUnwindSafe(|| algo(a, &criteria[i]))).map_err(|payload| BatchPanic {
+            catch_unwind(AssertUnwindSafe(|| {
+                // Install the run's deadline on whichever thread executes
+                // this criterion; the guard drops (restoring nothing) even
+                // when the checkpoint's panic unwinds past it.
+                let _g = deadline.map(crate::cancel::deadline);
+                crate::cancel::checkpoint();
+                algo(a, &criteria[i])
+            }))
+            .map_err(|payload| BatchPanic {
                 index: i,
                 criterion: criteria[i].clone(),
                 message: panic_message(payload),
@@ -402,6 +429,72 @@ mod tests {
         assert!(BatchSlicer::new(&a)
             .slice_all(agrawal_slice, &[])
             .is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let (slices, stats) = BatchSlicer::new(&a)
+            .with_threads(0)
+            .slice_all_stats(agrawal_slice, &criteria);
+        assert_eq!(stats.threads, 1, "with_threads(0) clamps to 1");
+        assert_eq!(slices.len(), criteria.len());
+    }
+
+    #[test]
+    fn more_threads_than_criteria_clamps_to_batch_size() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).take(3).collect();
+        let (slices, stats) = BatchSlicer::new(&a)
+            .with_threads(criteria.len() + 13)
+            .slice_all_stats(agrawal_slice, &criteria);
+        assert_eq!(stats.threads, criteria.len());
+        assert_eq!(stats.per_worker_slices.len(), criteria.len());
+        let sequential: Vec<Slice> = criteria.iter().map(|c| agrawal_slice(&a, c)).collect();
+        assert_eq!(slices, sequential);
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_a_classified_cancel() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        for threads in [1, 4] {
+            let err = BatchSlicer::new(&a)
+                .with_threads(threads)
+                .with_deadline(Some(std::time::Instant::now()))
+                .try_slice_all(agrawal_slice, &criteria)
+                .unwrap_err();
+            assert!(
+                crate::cancel::is_cancelled(&err.message),
+                "expired deadline classifies as cancellation, got: {}",
+                err.message
+            );
+            assert_eq!(err.index, 0, "the first criterion already trips it");
+        }
+        // The workers' thread-local deadlines died with the scoped threads
+        // (and the sequential path's guard dropped): a fresh run completes.
+        let again = BatchSlicer::new(&a)
+            .try_slice_all(agrawal_slice, &criteria)
+            .unwrap();
+        assert_eq!(again.len(), criteria.len());
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let p = corpus::fig10();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let timed = BatchSlicer::new(&a)
+            .with_threads(4)
+            .with_deadline(Some(far))
+            .slice_all(agrawal_slice, &criteria);
+        let plain = BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria);
+        assert_eq!(timed, plain);
     }
 
     #[test]

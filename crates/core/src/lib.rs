@@ -60,6 +60,7 @@ mod agrawal;
 mod analysis;
 pub mod baselines;
 mod batch;
+pub mod cancel;
 mod chop;
 mod conservative;
 mod conventional;

@@ -46,6 +46,24 @@ const NO_CHAIN: u32 = u32::MAX;
 /// Sentinel for "the chain ends here (exit)" in the parent arrays.
 const NO_STMT: u32 = u32::MAX;
 
+/// Checked narrowing for the indices the chain index stores as `u32`
+/// (statement ids in the parent arrays, chain and body ids, visit-order
+/// ranks). `u32::MAX` itself is excluded: it is the [`NO_STMT`]/
+/// [`NO_CHAIN`] sentinel, so a silent `as u32` truncation — or an exact
+/// collision with the sentinel — would corrupt the chain walks instead of
+/// failing. No real program gets near 2³²−1 statements, so this panics
+/// rather than plumbing a `Result` through the builder.
+#[inline]
+fn index_u32(i: usize, what: &str) -> u32 {
+    assert!(
+        i < NO_STMT as usize,
+        "chain index overflow: {what} {i} does not fit the u32 parent arrays \
+         (max supported: {})",
+        NO_STMT - 1
+    );
+    i as u32
+}
+
 /// A span-trimmed statement mask: `words[i]` covers statement indices
 /// `(off + i) * 64 ..`, with leading and trailing zero words dropped.
 /// Chains occupy a contiguous tail of the program on goto-heavy inputs, so
@@ -181,7 +199,7 @@ impl ChainIndex {
         // chain statements), not O(sum of chain lengths).
         for s in prog.stmt_ids() {
             lnext[s.index()] = match lst.immediate(s) {
-                Some(t) => t.index() as u32,
+                Some(t) => index_u32(t.index(), "statement index"),
                 None => NO_STMT,
             };
         }
@@ -192,7 +210,7 @@ impl ChainIndex {
                     break;
                 }
                 let Some(t) = cfg.stmt(anc) else { continue };
-                pnext[prev.index()] = t.index() as u32;
+                pnext[prev.index()] = index_u32(t.index(), "statement index");
                 prev = t;
                 if pnext[prev.index()] != NO_STMT {
                     break;
@@ -216,7 +234,7 @@ impl ChainIndex {
         let mut touch_sets: Vec<StmtSet> = Vec::with_capacity(jumps.len());
 
         for (c, &j) in jumps.iter().enumerate() {
-            chain_of[j.index()] = c as u32;
+            chain_of[j.index()] = index_u32(c, "chain id");
 
             chain_mask(j, &pnext, &mut pmask_memo, &mut path, n);
             chain_mask(j, &lnext, &mut lmask_memo, &mut path, n);
@@ -242,14 +260,14 @@ impl ChainIndex {
                         && a.dowhile_body(t).contains(u)
                     {
                         hz_body[u.index()] = if body_of[t.index()] == NO_CHAIN {
-                            let idx = body_sets.len() as u32;
+                            let idx = index_u32(body_sets.len(), "do-while body id");
                             body_of[t.index()] = idx;
                             body_sets.push(a.dowhile_body(t).clone());
                             idx
                         } else {
                             body_of[t.index()]
                         };
-                        u.index() as u32
+                        index_u32(u.index(), "statement index")
                     } else {
                         hz_skip[t.index()]
                     }
@@ -571,7 +589,7 @@ pub(crate) fn figure7_sparse(
             rank_of.clear();
             rank_of.resize(a.prog().len(), NO_CHAIN);
             for (rk, &j) in jump_order.iter().enumerate() {
-                rank_of[j.index()] = rk as u32;
+                rank_of[j.index()] = index_u32(rk, "visit-order rank");
             }
         }
 
@@ -602,12 +620,16 @@ pub(crate) fn figure7_sparse(
 
         loop {
             round += 1;
+            // Cooperative deadline probe at the round boundary; free when
+            // no deadline is installed (the default outside the daemon).
+            crate::cancel::checkpoint();
             let mut admitted: u32 = 0;
             {
                 let _t = obs::phase_round(obs::Phase::FixpointRound, round);
                 std::mem::swap(&mut cur, &mut next);
                 let mut pos = 0usize;
                 while let Some(rk) = cur.next_at_or_after(pos) {
+                    crate::cancel::checkpoint();
                     cur.remove(rk);
                     pos = rk;
                     let j = jump_order[rk];
@@ -856,6 +878,37 @@ mod tests {
         let sparse = figure7_sparse(&a, &crit, &order, None);
         let dense = figure7_reference(&a, &crit, &order, None);
         assert_eq!(sparse, dense);
+    }
+
+    /// The checked narrowing itself: in-range indices pass through, the
+    /// sentinel value and anything above it panic with the overflow
+    /// message. Exercised on the helper directly — a real ≥4B-statement
+    /// program is not constructible in a test.
+    #[test]
+    fn index_guard_accepts_the_full_sub_sentinel_range() {
+        assert_eq!(index_u32(0, "statement index"), 0);
+        assert_eq!(
+            index_u32((u32::MAX - 1) as usize, "statement index"),
+            u32::MAX - 1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chain index overflow")]
+    fn index_guard_rejects_the_sentinel_collision() {
+        // u32::MAX is exactly NO_STMT/NO_CHAIN: a cast would not even
+        // truncate here, it would silently *become* the sentinel.
+        index_u32(u32::MAX as usize, "statement index");
+    }
+
+    #[test]
+    #[should_panic(expected = "chain index overflow")]
+    fn index_guard_rejects_truncating_counts() {
+        // Only meaningful on 64-bit targets, where the cast used to wrap.
+        if usize::BITS <= 32 {
+            panic!("chain index overflow: not representable on this target");
+        }
+        index_u32(u32::MAX as usize + 1, "chain id");
     }
 
     /// Orders the index cannot honor (duplicates) are detected, not

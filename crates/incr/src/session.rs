@@ -99,21 +99,37 @@ impl EditSession {
     /// # Panics
     ///
     /// Panics like [`Analysis::new`] if some statement cannot reach the
-    /// exit.
+    /// exit. Callers handling untrusted input (the serve daemon) should use
+    /// [`try_new`](EditSession::try_new) instead.
     pub fn new(prog: Program) -> EditSession {
+        EditSession::try_new(prog).unwrap_or_else(|_| {
+            panic!(
+                "program has statements that cannot reach the exit; postdominators are undefined"
+            )
+        })
+    }
+
+    /// Opens a session on `prog`, rejecting programs no slicer is defined
+    /// for instead of panicking — the entry point for untrusted sources.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::Unanalyzable`] when some statement cannot reach the
+    /// exit (postdominators, and with them every jump-aware slicer, are
+    /// undefined for such programs).
+    pub fn try_new(prog: Program) -> Result<EditSession, EditError> {
         let cfg = Cfg::build(&prog);
-        assert!(
-            cfg.all_reach_exit(),
-            "program has statements that cannot reach the exit; postdominators are undefined"
-        );
-        EditSession {
+        if !cfg.all_reach_exit() {
+            return Err(EditError::Unanalyzable);
+        }
+        Ok(EditSession {
             prog,
             seed: AnalysisSeed {
                 cfg: Some(cfg),
                 ..AnalysisSeed::default()
             },
             stats: IncrStats::default(),
-        }
+        })
     }
 
     /// The current program.
@@ -521,6 +537,19 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, EditError::Unanalyzable);
         assert_matches_scratch(&mut s);
+    }
+
+    #[test]
+    fn try_new_rejects_unanalyzable_programs_without_panicking() {
+        // An infinite loop: the write can never reach the exit.
+        let p = parse("L: x = x + 1; goto L; write(x);").unwrap();
+        assert_eq!(
+            EditSession::try_new(p).unwrap_err(),
+            EditError::Unanalyzable
+        );
+        // And the analyzable case still opens.
+        let q = parse("x = 1; write(x);").unwrap();
+        assert!(EditSession::try_new(q).is_ok());
     }
 
     #[test]

@@ -448,11 +448,24 @@ impl Program {
     ///
     /// # Panics
     ///
-    /// Panics if `line` is 0 or past the end of the program.
+    /// Panics if `line` is 0 or past the end of the program. Callers
+    /// handling untrusted line numbers (request decoding in the serve
+    /// daemon) should use [`try_at_line`](Program::try_at_line).
     pub fn at_line(&self, line: usize) -> StmtId {
+        self.try_at_line(line)
+            .unwrap_or_else(|| panic!("line {line} out of range"))
+    }
+
+    /// The statement at a paper-style line number, or `None` when `line`
+    /// is 0 or past the end of the program — the bounds-checked form of
+    /// [`at_line`](Program::at_line).
+    pub fn try_at_line(&self, line: usize) -> Option<StmtId> {
         let order = self.lexical_order();
-        assert!(line >= 1 && line <= order.len(), "line {line} out of range");
-        order[line - 1]
+        if line >= 1 && line <= order.len() {
+            Some(order[line - 1])
+        } else {
+            None
+        }
     }
 
     /// Paper-style line number (1-based lexical position) of a statement.

@@ -114,6 +114,44 @@ impl Json {
         out
     }
 
+    /// Writes the value on a single line with no padding — the JSON-lines
+    /// form the serve daemon's wire protocol requires (one message per
+    /// line, so embedded newlines would corrupt the framing).
+    pub fn write_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact_into(&mut out);
+        out
+    }
+
+    fn write_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write_compact_into(out);
+                    out.push(':');
+                    v.write_compact_into(out);
+                }
+                out.push('}');
+            }
+            // Scalars have no internal layout: reuse the pretty writer.
+            other => other.write_into(out, 0),
+        }
+    }
+
     fn write_into(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         let pad_in = "  ".repeat(indent + 1);
@@ -383,6 +421,23 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compact_writer_is_single_line_and_round_trips() {
+        let doc = Json::parse(
+            r#"{"op": "slice", "n": 3.5, "ok": true, "v": null,
+                "items": [1, "two\nlines", {}, []]}"#,
+        )
+        .unwrap();
+        let line = doc.write_compact();
+        assert!(!line.contains('\n'), "JSONL framing: {line}");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(
+            Json::parse("[]").unwrap().write_compact(),
+            "[]",
+            "empty containers stay compact"
+        );
+    }
 
     #[test]
     fn parses_scalars() {

@@ -106,6 +106,9 @@ pub enum Phase {
     LabelReassoc,
     /// One whole batch run (`BatchSlicer::slice_all` and friends).
     BatchRun,
+    /// One request handled by the serve daemon (parse, cache probe, slice
+    /// work, response encoding).
+    ServeRequest,
 }
 
 impl Phase {
@@ -121,6 +124,7 @@ impl Phase {
             Phase::FixpointRound => "fixpoint_round",
             Phase::LabelReassoc => "label_reassoc",
             Phase::BatchRun => "batch_run",
+            Phase::ServeRequest => "serve_request",
         }
     }
 
@@ -136,6 +140,7 @@ impl Phase {
             Phase::FixpointRound,
             Phase::LabelReassoc,
             Phase::BatchRun,
+            Phase::ServeRequest,
         ]
         .into_iter()
         .find(|p| p.name() == s)
@@ -521,6 +526,11 @@ const KNOWN_COUNTS: &[&str] = &[
     "sparse.chain_stmts",
     "sparse.retests",
     "sparse.dirty_marks",
+    "serve.cache.hit",
+    "serve.cache.miss",
+    "serve.cache.evict",
+    "serve.requests",
+    "serve.degraded",
     "edges",
 ];
 

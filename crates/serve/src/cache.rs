@@ -1,0 +1,382 @@
+//! The multi-program analysis cache.
+//!
+//! The daemon's whole value is *reuse*: the first request against a
+//! program pays for parsing and the lazy analyses; every later request —
+//! including edits, which selectively invalidate — rides the warm
+//! [`EditSession`]. Entries are keyed by the content hash of the source
+//! text (see [`crate::hash`]), so identical programs loaded by different
+//! clients share one session, and an edited program *moves* to its new
+//! content key instead of duplicating.
+//!
+//! Eviction is byte-budgeted LRU: each entry carries a size estimate
+//! (source text plus the bitset-quadratic analysis artifacts), and
+//! inserting past the budget evicts least-recently-used entries — except
+//! the newest one, so a single oversized program still serves, and except
+//! checked-out entries, which a worker is actively using.
+//!
+//! Concurrency is **check-out/check-in**: a worker takes the whole entry
+//! out of the map (leaving a marker), works on it without any lock held,
+//! and checks it back in — possibly under a new key, when an edit changed
+//! the program's content. A second worker needing the same program waits
+//! on a condvar rather than spinning. Counters mirror onto the `obs` layer
+//! (`serve.cache.hit/miss/evict`) for single-threaded in-process callers
+//! with a trace sink installed; the daemon's `stats` op reads the same
+//! numbers through [`CacheStats`].
+
+use jumpslice_incr::EditSession;
+use jumpslice_obs as obs;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+/// A cached program: the warm session plus the bookkeeping the cache
+/// needs.
+#[derive(Debug)]
+pub struct Entry {
+    /// The warm edit-and-reslice session (owns the program and every
+    /// analysis artifact computed for it so far).
+    pub session: EditSession,
+    /// The source text the entry was registered under (the preimage of its
+    /// key).
+    pub source: String,
+    /// Estimated resident bytes (see [`estimate_bytes`]).
+    pub bytes: usize,
+}
+
+impl Entry {
+    /// Builds an entry, estimating its resident size.
+    pub fn new(session: EditSession, source: String) -> Entry {
+        let bytes = estimate_bytes(source.len(), session.prog().len());
+        Entry {
+            session,
+            source,
+            bytes,
+        }
+    }
+}
+
+/// Resident-size estimate for one cached program: the source text plus the
+/// analysis artifacts. The dominant warm artifacts are bitset-quadratic
+/// (reaching-defs IN sets, PDG closures scratch, chain masks ≈ n²/8 bits
+/// each), plus per-statement structures; the constants here deliberately
+/// round *up* so the budget errs toward evicting.
+pub fn estimate_bytes(source_len: usize, stmts: usize) -> usize {
+    source_len + 512 + stmts * 256 + (stmts * stmts) / 2
+}
+
+/// A snapshot of the cache's counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident (including checked-out ones).
+    pub entries: usize,
+    /// Estimated resident bytes (including checked-out entries).
+    pub bytes: usize,
+    /// Requests that found their program resident.
+    pub hits: u64,
+    /// Requests that missed (including `load`s of new programs).
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+}
+
+/// One map slot: the entry itself, or a marker that a worker has it.
+enum Slot {
+    /// Resident; `tick` is the last-touch stamp LRU eviction orders by.
+    Present { entry: Box<Entry>, tick: u64 },
+    /// A worker checked the entry out; `bytes` keeps the budget accounting
+    /// honest while it is away.
+    CheckedOut { bytes: usize },
+}
+
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    tick: u64,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+/// The shared LRU described in the module docs.
+pub struct AnalysisCache {
+    byte_budget: usize,
+    inner: Mutex<Inner>,
+    /// Signalled on every check-in and abort, waking workers queued behind
+    /// a checked-out entry.
+    returned: Condvar,
+}
+
+impl AnalysisCache {
+    /// An empty cache evicting past `byte_budget` estimated bytes.
+    pub fn new(byte_budget: usize) -> AnalysisCache {
+        AnalysisCache {
+            byte_budget,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                stats: CacheStats::default(),
+            }),
+            returned: Condvar::new(),
+        }
+    }
+
+    /// Registers `entry` under `key`. An existing resident entry for the
+    /// same content is kept (it is at least as warm) and counted as a hit;
+    /// a new registration counts as a miss and may evict others. Returns
+    /// whether the program was already resident.
+    pub fn insert(&self, key: u64, entry: Entry) -> bool {
+        let mut g = self.inner.lock().expect("cache lock");
+        g.tick += 1;
+        let tick = g.tick;
+        match g.slots.get_mut(&key) {
+            Some(Slot::Present { tick: t, .. }) => {
+                *t = tick;
+                g.stats.hits += 1;
+                obs::record(|| obs::Event::Count {
+                    name: "serve.cache.hit",
+                    value: g.stats.hits,
+                });
+                true
+            }
+            Some(Slot::CheckedOut { .. }) => {
+                // A worker is using this very program; the registration is
+                // a hit and the in-flight entry stays canonical.
+                g.stats.hits += 1;
+                obs::record(|| obs::Event::Count {
+                    name: "serve.cache.hit",
+                    value: g.stats.hits,
+                });
+                true
+            }
+            None => {
+                g.bytes += entry.bytes;
+                g.slots.insert(
+                    key,
+                    Slot::Present {
+                        entry: Box::new(entry),
+                        tick,
+                    },
+                );
+                g.stats.misses += 1;
+                obs::record(|| obs::Event::Count {
+                    name: "serve.cache.miss",
+                    value: g.stats.misses,
+                });
+                self.evict_over_budget(&mut g);
+                false
+            }
+        }
+    }
+
+    /// Takes the entry for `key` out of the map, waiting while another
+    /// worker has it. `None` means the program is not resident (never
+    /// loaded, or evicted) — counted as a miss.
+    pub fn checkout(&self, key: u64) -> Option<Entry> {
+        let mut g = self.inner.lock().expect("cache lock");
+        loop {
+            match g.slots.get(&key) {
+                Some(Slot::Present { .. }) => {
+                    g.tick += 1;
+                    let Some(Slot::Present { entry, .. }) = g.slots.remove(&key) else {
+                        unreachable!("matched Present above");
+                    };
+                    g.slots.insert(key, Slot::CheckedOut { bytes: entry.bytes });
+                    g.stats.hits += 1;
+                    obs::record(|| obs::Event::Count {
+                        name: "serve.cache.hit",
+                        value: g.stats.hits,
+                    });
+                    return Some(*entry);
+                }
+                Some(Slot::CheckedOut { .. }) => {
+                    g = self.returned.wait(g).expect("cache lock");
+                }
+                None => {
+                    g.stats.misses += 1;
+                    obs::record(|| obs::Event::Count {
+                        name: "serve.cache.miss",
+                        value: g.stats.misses,
+                    });
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Returns a checked-out entry, under `new_key` (== `old_key` unless an
+    /// edit changed the program's content). If the new key collides with a
+    /// resident entry — the edit recreated a program someone else has
+    /// loaded — the returned session wins: it is warmer.
+    pub fn checkin(&self, old_key: u64, new_key: u64, entry: Entry) {
+        let mut g = self.inner.lock().expect("cache lock");
+        if let Some(Slot::CheckedOut { bytes }) = g.slots.remove(&old_key) {
+            g.bytes = g.bytes.saturating_sub(bytes);
+        }
+        if let Some(old) = g.slots.remove(&new_key) {
+            // Collision: drop the colder twin (or a stale marker — workers
+            // waiting on it will re-probe and find the fresh entry).
+            if let Slot::Present { entry: e, .. } = old {
+                g.bytes = g.bytes.saturating_sub(e.bytes);
+            } else if let Slot::CheckedOut { bytes } = old {
+                g.bytes = g.bytes.saturating_sub(bytes);
+            }
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        g.bytes += entry.bytes;
+        g.slots.insert(
+            new_key,
+            Slot::Present {
+                entry: Box::new(entry),
+                tick,
+            },
+        );
+        self.evict_over_budget(&mut g);
+        drop(g);
+        self.returned.notify_all();
+    }
+
+    /// Drops a checked-out entry instead of returning it — the safety
+    /// valve for a request that panicked mid-use, where the session's
+    /// internal state can no longer be trusted.
+    pub fn abort_checkout(&self, key: u64) {
+        let mut g = self.inner.lock().expect("cache lock");
+        if let Some(Slot::CheckedOut { bytes }) = g.slots.remove(&key) {
+            g.bytes = g.bytes.saturating_sub(bytes);
+        }
+        drop(g);
+        self.returned.notify_all();
+    }
+
+    /// Counter and occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock().expect("cache lock");
+        CacheStats {
+            entries: g.slots.len(),
+            bytes: g.bytes,
+            ..g.stats
+        }
+    }
+
+    /// Evicts least-recently-touched resident entries until the estimate
+    /// fits the budget. Never evicts checked-out entries, and always keeps
+    /// at least one resident entry, so a single over-budget program still
+    /// serves rather than thrashing.
+    fn evict_over_budget(&self, g: &mut Inner) {
+        while g.bytes > self.byte_budget {
+            let resident = g
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Present { tick, .. } => Some((*k, *tick)),
+                    Slot::CheckedOut { .. } => None,
+                })
+                .collect::<Vec<_>>();
+            if resident.len() <= 1 {
+                break;
+            }
+            let (victim, _) = resident
+                .into_iter()
+                .min_by_key(|&(_, tick)| tick)
+                .expect("len > 1 checked");
+            if let Some(Slot::Present { entry, .. }) = g.slots.remove(&victim) {
+                g.bytes = g.bytes.saturating_sub(entry.bytes);
+                g.stats.evictions += 1;
+                obs::record(|| obs::Event::Count {
+                    name: "serve.cache.evict",
+                    value: g.stats.evictions,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::content_hash;
+    use jumpslice_lang::parse;
+
+    fn entry(src: &str) -> (u64, Entry) {
+        let p = parse(src).expect("test source parses");
+        let session = EditSession::try_new(p).expect("analyzable");
+        (content_hash(src), Entry::new(session, src.to_owned()))
+    }
+
+    #[test]
+    fn checkout_checkin_round_trip() {
+        let cache = AnalysisCache::new(usize::MAX);
+        let (k, e) = entry("x = 1; write(x);");
+        assert!(!cache.insert(k, e), "first registration is new");
+        let got = cache.checkout(k).expect("resident");
+        assert_eq!(got.source, "x = 1; write(x);");
+        cache.checkin(k, k, got);
+        assert!(cache.checkout(k).is_some(), "still resident after checkin");
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn reloading_a_resident_program_is_a_hit() {
+        let cache = AnalysisCache::new(usize::MAX);
+        let (k, e) = entry("x = 1; write(x);");
+        cache.insert(k, e);
+        let (_, e2) = entry("x = 1; write(x);");
+        assert!(cache.insert(k, e2), "second registration hits");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_but_keeps_the_newest() {
+        let (k1, e1) = entry("a = 1; write(a);");
+        let budget = e1.bytes; // room for roughly one entry
+        let cache = AnalysisCache::new(budget);
+        cache.insert(k1, e1);
+        let (k2, e2) = entry("b = 2; write(b);");
+        cache.insert(k2, e2);
+        assert!(cache.checkout(k1).is_none(), "LRU victim evicted");
+        let got = cache.checkout(k2).expect("newest survives");
+        cache.checkin(k2, k2, got);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn touching_reorders_the_lru() {
+        let (k1, e1) = entry("a = 1; write(a);");
+        let (k2, e2) = entry("b = 2; write(b);");
+        let budget = e1.bytes + e2.bytes;
+        let cache = AnalysisCache::new(budget);
+        cache.insert(k1, e1);
+        cache.insert(k2, e2);
+        // Touch k1 so k2 becomes the LRU, then overflow with a third.
+        let got = cache.checkout(k1).expect("resident");
+        cache.checkin(k1, k1, got);
+        let (k3, e3) = entry("c = 3; write(c);");
+        cache.insert(k3, e3);
+        assert!(cache.checkout(k2).is_none(), "k2 was least recent");
+        assert!(cache.checkout(k1).is_some(), "k1 was touched, survives");
+    }
+
+    #[test]
+    fn checkin_under_a_new_key_moves_the_entry() {
+        let cache = AnalysisCache::new(usize::MAX);
+        let (k, e) = entry("x = 1; write(x);");
+        cache.insert(k, e);
+        let got = cache.checkout(k).expect("resident");
+        let k2 = content_hash("x = 2; write(x);");
+        cache.checkin(k, k2, got);
+        assert!(cache.checkout(k).is_none(), "old key gone");
+        assert!(cache.checkout(k2).is_some(), "entry rides to the new key");
+    }
+
+    #[test]
+    fn abort_checkout_drops_the_entry() {
+        let cache = AnalysisCache::new(usize::MAX);
+        let (k, e) = entry("x = 1; write(x);");
+        cache.insert(k, e);
+        let _dropped = cache.checkout(k).expect("resident");
+        cache.abort_checkout(k);
+        assert!(cache.checkout(k).is_none(), "aborted entry is gone");
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+}

@@ -1,0 +1,573 @@
+//! Request execution: the bridge from protocol to slicers.
+//!
+//! One [`Engine`] owns the [`AnalysisCache`] and is shared (behind an
+//! `Arc`) by every worker thread. [`Engine::handle_line`] is the whole
+//! contract: a request line in, a response line out, **never a panic** —
+//! a last-resort `catch_unwind` turns any escaped panic into an
+//! `{"ok":false}` response and drops the (possibly poisoned) cache entry
+//! instead of the process.
+//!
+//! # Deadlines and graceful degradation
+//!
+//! A `slice` request may carry `deadline_ms`. The deadline is installed as
+//! a [`jumpslice_core::cancel`] guard through
+//! [`BatchSlicer::with_deadline`], so the Figure-7 fixpoint checks it at
+//! every round (and every sparse drain step) and aborts with the
+//! cancellation sentinel. The engine then *re-answers all criteria* with
+//! the paper's Figure-13 conservative slicer — no fixpoint, no
+//! postdominator traversal — and marks the response `"degraded": true`.
+//!
+//! The precision contract of a degraded answer is Figure 13's: on
+//! structured programs it is a superset of the precise Figure-7 slice
+//! (the §4 lattice, pinned by the difftest suite); on programs with
+//! `goto` it is the paper's "should suffice for most modern programs"
+//! approximation and may omit jumps Figure 7 would keep. Clients that
+//! cannot accept that must re-issue the request without a deadline.
+
+use crate::cache::{AnalysisCache, CacheStats, Entry};
+use crate::hash::{content_hash, key_string};
+use crate::proto::{parse_request, CritSpec, Request};
+use jumpslice_core::{
+    agrawal_slice, agrawal_slice_traced, cancel, chop, chop_executable, conservative_slice,
+    conventional_slice, structured_slice, BatchSlicer, Criterion, Slice, SliceFn,
+};
+use jumpslice_incr::{ApplyPath, EditSession};
+use jumpslice_lang::{parse, print_program, Program};
+use jumpslice_obs as obs;
+use jumpslice_obs::Json;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resolves a wire algorithm name. `fig7` is the default clients should
+/// use; the long registry names accepted by the difftest tooling work too.
+pub fn algo_by_name(name: &str) -> Option<SliceFn> {
+    match name {
+        "fig7" | "fig7-agrawal" | "agrawal" => Some(agrawal_slice),
+        "conventional" => Some(conventional_slice),
+        "fig12" | "fig12-structured" | "structured" => Some(structured_slice),
+        "fig13" | "fig13-conservative" | "conservative" => Some(conservative_slice),
+        _ => None,
+    }
+}
+
+/// Shared request executor. Cheap to share; all mutability is interior.
+pub struct Engine {
+    cache: AnalysisCache,
+    requests: AtomicU64,
+    degraded: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Engine {
+    /// An engine whose cache evicts past `cache_bytes` estimated bytes.
+    pub fn new(cache_bytes: usize) -> Engine {
+        Engine {
+            cache: AnalysisCache::new(cache_bytes),
+            requests: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a `shutdown` request has been handled.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Cache counters (also surfaced by the `stats` op).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Handles one request line, returning exactly one response line
+    /// (single-line JSON, no trailing newline). Never panics.
+    pub fn handle_line(&self, line: &str) -> String {
+        let _t = obs::phase(obs::Phase::ServeRequest);
+        let n = self.requests.fetch_add(1, Ordering::SeqCst) + 1;
+        obs::record(|| obs::Event::Count {
+            name: "serve.requests",
+            value: n,
+        });
+        let parsed = Json::parse(line);
+        let id = parsed.as_ref().ok().and_then(|j| j.get("id").cloned());
+        let body = match &parsed {
+            Err(e) => Err(format!("request is not valid JSON: {e}")),
+            Ok(j) => match parse_request(j) {
+                Err(e) => Err(e),
+                // The unwind net: a bug (or a poisoned invariant) in the
+                // slicing stack becomes a per-request error. The closure
+                // aborts its checkout on the way out, so the cache never
+                // keeps a session a panic unwound through.
+                Ok(req) => {
+                    catch_unwind(AssertUnwindSafe(|| self.execute(req))).unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_owned());
+                        Err(format!("internal error: {msg}"))
+                    })
+                }
+            },
+        };
+        let mut fields = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".to_owned(), id));
+        }
+        match body {
+            Ok(mut ok_fields) => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.append(&mut ok_fields);
+            }
+            Err(msg) => {
+                fields.push(("ok".to_owned(), Json::Bool(false)));
+                fields.push(("error".to_owned(), Json::Str(msg)));
+            }
+        }
+        Json::Obj(fields).write_compact()
+    }
+
+    fn execute(&self, req: Request) -> Result<Vec<(String, Json)>, String> {
+        match req {
+            Request::Load { source } => self.load(source),
+            Request::Slice {
+                program,
+                algo,
+                criteria,
+                deadline_ms,
+            } => self.with_entry(program, |this, entry| {
+                this.slice(entry, &algo, &criteria, deadline_ms)
+            }),
+            Request::Edit { program, edit } => {
+                // `edit` manages its own check-in: success moves the entry
+                // to the new content key.
+                let mut entry = self.checkout(program)?;
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    entry.session.apply(&edit).map_err(|e| e.to_string())
+                }));
+                match r {
+                    Ok(Ok(outcome)) => {
+                        let new_source = print_program(entry.session.prog());
+                        let new_key = content_hash(&new_source);
+                        let stmts = entry.session.prog().len();
+                        let fresh = Entry::new(entry.session, new_source);
+                        self.cache.checkin(program, new_key, fresh);
+                        Ok(vec![
+                            ("program".to_owned(), Json::Str(key_string(new_key))),
+                            (
+                                "path".to_owned(),
+                                Json::Str(
+                                    match outcome.path {
+                                        ApplyPath::ExprPatch => "expr_patch",
+                                        ApplyPath::SeededResolve => "seeded_resolve",
+                                        ApplyPath::FullRebuild => "full_rebuild",
+                                    }
+                                    .to_owned(),
+                                ),
+                            ),
+                            (
+                                "dirty_stmts".to_owned(),
+                                Json::Num(outcome.dirty_stmts as f64),
+                            ),
+                            ("stmts".to_owned(), Json::Num(stmts as f64)),
+                        ])
+                    }
+                    Ok(Err(e)) => {
+                        // Rejected edits leave the session untouched; keep it.
+                        self.cache.checkin(program, program, entry);
+                        Err(format!("edit rejected: {e}"))
+                    }
+                    Err(payload) => {
+                        self.cache.abort_checkout(program);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            Request::Chop {
+                program,
+                source_line,
+                sink_line,
+                executable,
+            } => self.with_entry(program, |_, entry| {
+                entry.session.with_analysis(|a| {
+                    let src = stmt_at(a.prog(), source_line)?;
+                    let sink = stmt_at(a.prog(), sink_line)?;
+                    let s = if executable {
+                        chop_executable(a, src, sink)
+                    } else {
+                        chop(a, src, sink)
+                    };
+                    Ok(vec![("lines".to_owned(), lines_json(&s, a.prog()))])
+                })
+            }),
+            Request::Explain { program, line } => self.with_entry(program, |_, entry| {
+                entry.session.with_analysis(|a| {
+                    let stmt = stmt_at(a.prog(), line)?;
+                    let crit = Criterion::at_stmt(stmt);
+                    let (slice, prov) = agrawal_slice_traced(a, &crit);
+                    Ok(vec![
+                        ("lines".to_owned(), lines_json(&slice, a.prog())),
+                        (
+                            "report".to_owned(),
+                            Json::Str(prov.report(a.prog(), &slice)),
+                        ),
+                    ])
+                })
+            }),
+            Request::Stats => {
+                let c = self.cache.stats();
+                Ok(vec![
+                    (
+                        "requests".to_owned(),
+                        Json::Num(self.requests.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "degraded".to_owned(),
+                        Json::Num(self.degraded.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "cache".to_owned(),
+                        Json::Obj(vec![
+                            ("entries".to_owned(), Json::Num(c.entries as f64)),
+                            ("bytes".to_owned(), Json::Num(c.bytes as f64)),
+                            ("hits".to_owned(), Json::Num(c.hits as f64)),
+                            ("misses".to_owned(), Json::Num(c.misses as f64)),
+                            ("evictions".to_owned(), Json::Num(c.evictions as f64)),
+                        ]),
+                    ),
+                ])
+            }
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok(vec![("shutting_down".to_owned(), Json::Bool(true))])
+            }
+        }
+    }
+
+    fn load(&self, source: String) -> Result<Vec<(String, Json)>, String> {
+        let key = content_hash(&source);
+        let prog = parse(&source).map_err(|e| format!("parse error: {e}"))?;
+        let stmts = prog.len();
+        let session = EditSession::try_new(prog).map_err(|e| format!("unanalyzable: {e}"))?;
+        let cached = self.cache.insert(key, Entry::new(session, source));
+        Ok(vec![
+            ("program".to_owned(), Json::Str(key_string(key))),
+            ("stmts".to_owned(), Json::Num(stmts as f64)),
+            ("cached".to_owned(), Json::Bool(cached)),
+        ])
+    }
+
+    fn checkout(&self, key: u64) -> Result<Entry, String> {
+        self.cache.checkout(key).ok_or_else(|| {
+            format!(
+                "unknown program '{}' (never loaded, or evicted — re-send 'load')",
+                key_string(key)
+            )
+        })
+    }
+
+    /// Checks the entry out, runs `f`, and checks it back in under the same
+    /// key — including when `f` errors. A panic in `f` aborts the checkout
+    /// (dropping the entry) and resumes unwinding into `handle_line`'s net.
+    fn with_entry(
+        &self,
+        key: u64,
+        f: impl FnOnce(&Engine, &mut Entry) -> Result<Vec<(String, Json)>, String>,
+    ) -> Result<Vec<(String, Json)>, String> {
+        let mut entry = self.checkout(key)?;
+        let r = catch_unwind(AssertUnwindSafe(|| f(self, &mut entry)));
+        match r {
+            Ok(result) => {
+                self.cache.checkin(key, key, entry);
+                result
+            }
+            Err(payload) => {
+                self.cache.abort_checkout(key);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    fn slice(
+        &self,
+        entry: &mut Entry,
+        algo_name: &str,
+        specs: &[CritSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<(String, Json)>, String> {
+        let algo = algo_by_name(algo_name).ok_or_else(|| {
+            format!("unknown algorithm '{algo_name}' (try fig7, conventional, fig12, fig13)")
+        })?;
+        let criteria = specs
+            .iter()
+            .map(|s| criterion(entry.session.prog(), s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let attempt = entry.session.with_analysis(|a| {
+            a.warm();
+            BatchSlicer::new(a)
+                .with_threads(1)
+                .with_deadline(deadline)
+                .try_slice_all(algo, &criteria)
+        });
+        let (slices, degraded) = match attempt {
+            Ok(slices) => (slices, false),
+            Err(bp) if cancel::is_cancelled(&bp.message) => {
+                // Deadline blown mid-slice: degrade the WHOLE batch to the
+                // Figure-13 conservative answer, without a deadline — it
+                // needs neither the fixpoint nor the pdom traversal, so it
+                // terminates promptly even on inputs fig7 struggled with.
+                let n = self.degraded.fetch_add(1, Ordering::SeqCst) + 1;
+                obs::record(|| obs::Event::Count {
+                    name: "serve.degraded",
+                    value: n,
+                });
+                let slices = entry
+                    .session
+                    .with_analysis(|a| {
+                        BatchSlicer::new(a)
+                            .with_threads(1)
+                            .try_slice_all(conservative_slice, &criteria)
+                    })
+                    .map_err(|bp| format!("degraded slicer failed: {bp}"))?;
+                (slices, true)
+            }
+            Err(bp) => return Err(format!("slicer panicked: {bp}")),
+        };
+        let prog = entry.session.prog();
+        let out = specs
+            .iter()
+            .zip(&slices)
+            .map(|(spec, s)| {
+                Json::Obj(vec![
+                    ("line".to_owned(), Json::Num(spec.line as f64)),
+                    ("lines".to_owned(), lines_json(s, prog)),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("algo".to_owned(), Json::Str(algo_name.to_owned())),
+            ("degraded".to_owned(), Json::Bool(degraded)),
+            ("slices".to_owned(), Json::Arr(out)),
+        ])
+    }
+}
+
+fn stmt_at(p: &Program, line: usize) -> Result<jumpslice_lang::StmtId, String> {
+    p.try_at_line(line).ok_or_else(|| {
+        format!(
+            "line {line} is out of range (program has {} lines)",
+            p.len()
+        )
+    })
+}
+
+fn criterion(p: &Program, spec: &CritSpec) -> Result<Criterion, String> {
+    let stmt = stmt_at(p, spec.line)?;
+    match &spec.vars {
+        None => Ok(Criterion::at_stmt(stmt)),
+        Some(names) => {
+            let vars = names
+                .iter()
+                .map(|n| {
+                    p.name(n)
+                        .ok_or_else(|| format!("variable '{n}' does not occur in the program"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Criterion::vars_at(stmt, vars))
+        }
+    }
+}
+
+fn lines_json(s: &Slice, p: &Program) -> Json {
+    Json::Arr(
+        s.lines(p)
+            .into_iter()
+            .map(|l| Json::Num(l as f64))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(resp: &str) -> Json {
+        let j = Json::parse(resp).expect("response is valid JSON");
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        j
+    }
+
+    fn err(resp: &str) -> String {
+        let j = Json::parse(resp).expect("response is valid JSON");
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+        j.get("error")
+            .and_then(Json::as_str)
+            .expect("error message")
+            .to_owned()
+    }
+
+    const FIG3A: &str = "read(x); read(y); z = x + y; write(z); write(x);";
+
+    fn load(e: &Engine, src: &str) -> String {
+        let resp = ok(&e.handle_line(
+            &Json::Obj(vec![
+                ("op".to_owned(), Json::Str("load".to_owned())),
+                ("source".to_owned(), Json::Str(src.to_owned())),
+            ])
+            .write_compact(),
+        ));
+        resp.get("program")
+            .and_then(Json::as_str)
+            .expect("key")
+            .to_owned()
+    }
+
+    #[test]
+    fn load_slice_round_trip() {
+        let e = Engine::new(usize::MAX);
+        let key = load(&e, FIG3A);
+        let resp = ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
+        )));
+        assert_eq!(resp.get("degraded").and_then(Json::as_bool), Some(false));
+        let slices = resp.get("slices").and_then(Json::as_arr).expect("slices");
+        let lines: Vec<f64> = slices[0]
+            .get("lines")
+            .and_then(Json::as_arr)
+            .expect("lines")
+            .iter()
+            .filter_map(Json::as_num)
+            .collect();
+        assert_eq!(lines, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn malformed_and_hostile_lines_error_without_panicking() {
+        let e = Engine::new(usize::MAX);
+        for line in [
+            "",
+            "not json",
+            "[1,2,3]",
+            r#"{"op":"slice","program":"0000000000000000","algo":"fig7","criteria":[{"line":1}]}"#,
+            r#"{"op":"load","source":"x = ;"}"#,
+            r#"{"op":"load","source":"L: x = 1; goto L; write(x);"}"#,
+        ] {
+            let msg = err(&e.handle_line(line));
+            assert!(!msg.is_empty(), "line {line:?} should explain itself");
+        }
+        // Out-of-range criterion on a real program.
+        let key = load(&e, FIG3A);
+        err(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":99}}]}}"#
+        )));
+        err(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"nope","criteria":[{{"line":1}}]}}"#
+        )));
+        err(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":1,"vars":["ghost"]}}]}}"#
+        )));
+    }
+
+    #[test]
+    fn id_is_echoed() {
+        let e = Engine::new(usize::MAX);
+        let resp = e.handle_line(r#"{"id":7,"op":"stats"}"#);
+        let j = ok(&resp);
+        assert_eq!(j.get("id").and_then(Json::as_num), Some(7.0));
+        assert!(
+            resp.starts_with(r#"{"id":7,"#),
+            "id leads the response: {resp}"
+        );
+    }
+
+    #[test]
+    fn an_expired_deadline_degrades_to_a_fig13_answer() {
+        let e = Engine::new(usize::MAX);
+        // Structured program (Figure 14), where fig13 ⊇ fig7 is pinned by
+        // the difftest lattice — so the degraded answer must contain the
+        // precise one.
+        let src = jumpslice_lang::print_program(&jumpslice_core::corpus::fig14());
+        let key = load(&e, &src);
+        let precise = ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":9}}]}}"#
+        )));
+        // deadline_ms: 0 is already expired when the first checkpoint runs,
+        // so degradation is deterministic.
+        let degraded = ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":9}}],"deadline_ms":0}}"#
+        )));
+        assert_eq!(degraded.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(precise.get("degraded").and_then(Json::as_bool), Some(false));
+        let lines = |j: &Json| -> Vec<i64> {
+            j.get("slices").and_then(Json::as_arr).expect("slices")[0]
+                .get("lines")
+                .and_then(Json::as_arr)
+                .expect("lines")
+                .iter()
+                .filter_map(Json::as_num)
+                .map(|n| n as i64)
+                .collect()
+        };
+        let p = lines(&precise);
+        let d = lines(&degraded);
+        assert!(
+            p.iter().all(|l| d.contains(l)),
+            "degraded {d:?} must contain precise {p:?}"
+        );
+        assert!(
+            e.cache_stats().hits >= 2,
+            "all three requests hit the cache"
+        );
+    }
+
+    #[test]
+    fn edits_move_the_program_to_its_new_content_key() {
+        let e = Engine::new(usize::MAX);
+        let key = load(&e, FIG3A);
+        let resp = ok(&e.handle_line(&format!(
+            r#"{{"op":"edit","program":"{key}","edit":{{"kind":"replace_expr","path":[["body",2]],"expr":"x * y"}}}}"#
+        )));
+        let new_key = resp
+            .get("program")
+            .and_then(Json::as_str)
+            .expect("new key")
+            .to_owned();
+        assert_ne!(new_key, key, "content changed, key changed");
+        // Old key no longer resolves; new key slices the edited program.
+        err(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
+        )));
+        ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{new_key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
+        )));
+        // A rejected edit keeps the entry and reports the reason.
+        let msg = err(&e.handle_line(&format!(
+            r#"{{"op":"edit","program":"{new_key}","edit":{{"kind":"delete","path":[["body",99]]}}}}"#
+        )));
+        assert!(msg.contains("edit rejected"), "{msg}");
+        ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{new_key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
+        )));
+    }
+
+    #[test]
+    fn chop_explain_and_stats_answer() {
+        let e = Engine::new(usize::MAX);
+        let key = load(&e, FIG3A);
+        let resp = ok(&e.handle_line(&format!(
+            r#"{{"op":"chop","program":"{key}","source_line":1,"sink_line":4}}"#
+        )));
+        assert!(resp.get("lines").and_then(Json::as_arr).is_some());
+        let resp = ok(&e.handle_line(&format!(r#"{{"op":"explain","program":"{key}","line":4}}"#)));
+        assert!(resp
+            .get("report")
+            .and_then(Json::as_str)
+            .is_some_and(|r| !r.is_empty()));
+        let resp = ok(&e.handle_line(r#"{"op":"stats"}"#));
+        let cache = resp.get("cache").expect("cache object");
+        assert!(cache.get("hits").and_then(Json::as_num).unwrap_or(0.0) >= 2.0);
+        assert_eq!(resp.get("requests").and_then(Json::as_num), Some(4.0));
+    }
+}

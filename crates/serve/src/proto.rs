@@ -1,0 +1,417 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response per line, in order. Every request is
+//! a JSON object with an `"op"` field; an optional `"id"` (any JSON value)
+//! is echoed verbatim in the response so clients can correlate. Responses
+//! always carry `"ok": true|false`; failures add `"error"` with a
+//! human-readable message and never kill the daemon.
+//!
+//! Ops:
+//!
+//! | op        | fields                                                        |
+//! |-----------|---------------------------------------------------------------|
+//! | `load`    | `source` (program text)                                       |
+//! | `slice`   | `program` (key), `algo`, `criteria`, opt. `deadline_ms`       |
+//! | `edit`    | `program` (key), `edit` (see [`parse_edit`])                  |
+//! | `chop`    | `program` (key), `source_line`, `sink_line`, opt. `executable`|
+//! | `explain` | `program` (key), `line`                                       |
+//! | `stats`   | —                                                             |
+//! | `shutdown`| —                                                             |
+//!
+//! `criteria` is an array of `{"line": N}` (slice on everything the
+//! statement uses, [`jumpslice_core::Criterion::at_stmt`] semantics when the statement
+//! writes) or `{"line": N, "vars": ["x", …]}`. `program` keys are the
+//! 16-hex-digit content hashes `load` returns.
+//!
+//! This module only *parses* requests into [`Request`]; execution lives in
+//! [`crate::engine`], and everything here is pure and panic-free on
+//! arbitrary input.
+
+use crate::hash;
+use jumpslice_incr::{Edit, EditExpr, JumpKind, NewStmt};
+use jumpslice_lang::{parse, BlockSel, StmtKind, StmtPath};
+use jumpslice_obs::Json;
+
+/// A slicing criterion as transmitted: a 1-based lexical line, plus an
+/// optional explicit variable set (by name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CritSpec {
+    /// 1-based lexical line of the criterion statement.
+    pub line: usize,
+    /// Variables of interest; `None` means "what the statement uses".
+    pub vars: Option<Vec<String>>,
+}
+
+/// A parsed, typed request.
+#[derive(Debug)]
+pub enum Request {
+    /// Register a program; responds with its content key.
+    Load {
+        /// Source text of the program.
+        source: String,
+    },
+    /// Slice a loaded program at one or more criteria.
+    Slice {
+        /// Content key from a prior `load`.
+        program: u64,
+        /// Registered algorithm name (`fig7`, `conventional`, `fig12`,
+        /// `fig13`).
+        algo: String,
+        /// Criteria to answer, in request order.
+        criteria: Vec<CritSpec>,
+        /// Soft compute budget; blowing it degrades the answer rather than
+        /// failing it (see `crate::engine`).
+        deadline_ms: Option<u64>,
+    },
+    /// Apply one edit to a loaded program; the program moves to the new
+    /// content key returned in the response.
+    Edit {
+        /// Content key from a prior `load` (or prior `edit` response).
+        program: u64,
+        /// The edit to apply.
+        edit: Edit,
+    },
+    /// Statements on some dependence path from `source_line` to
+    /// `sink_line`.
+    Chop {
+        /// Content key.
+        program: u64,
+        /// 1-based line of the chop source.
+        source_line: usize,
+        /// 1-based line of the chop sink.
+        sink_line: usize,
+        /// Restrict to executable (jump-pruned) paths.
+        executable: bool,
+    },
+    /// Provenance report for the Figure-7 slice at `line`.
+    Explain {
+        /// Content key.
+        program: u64,
+        /// 1-based line of the criterion.
+        line: usize,
+    },
+    /// Cache and request counters.
+    Stats,
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+fn field<'j>(obj: &'j Json, key: &str, op: &str) -> Result<&'j Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("op '{op}' requires field '{key}'"))
+}
+
+fn str_field(obj: &Json, key: &str, op: &str) -> Result<String, String> {
+    field(obj, key, op)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("field '{key}' must be a string"))
+}
+
+fn line_field(obj: &Json, key: &str, op: &str) -> Result<usize, String> {
+    let n = field(obj, key, op)?
+        .as_num()
+        .ok_or_else(|| format!("field '{key}' must be a number"))?;
+    if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
+        return Err(format!("field '{key}' must be a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+fn program_field(obj: &Json, op: &str) -> Result<u64, String> {
+    let key = str_field(obj, "program", op)?;
+    hash::parse_key(&key).ok_or_else(|| format!("'{key}' is not a program key (16 hex digits)"))
+}
+
+/// Parses one request line. Errors are complete sentences suitable for the
+/// response's `error` field.
+pub fn parse_request(j: &Json) -> Result<Request, String> {
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request must be an object with a string 'op' field")?;
+    match op {
+        "load" => Ok(Request::Load {
+            source: str_field(j, "source", op)?,
+        }),
+        "slice" => {
+            let criteria = field(j, "criteria", op)?
+                .as_arr()
+                .ok_or("field 'criteria' must be an array")?
+                .iter()
+                .map(|c| {
+                    let line = line_field(c, "line", op)?;
+                    let vars = match c.get("vars") {
+                        None | Some(Json::Null) => None,
+                        Some(Json::Arr(vs)) => Some(
+                            vs.iter()
+                                .map(|v| {
+                                    v.as_str()
+                                        .map(str::to_owned)
+                                        .ok_or_else(|| "'vars' entries must be strings".to_owned())
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        ),
+                        Some(_) => return Err("'vars' must be an array of strings".to_owned()),
+                    };
+                    Ok(CritSpec { line, vars })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if criteria.is_empty() {
+                return Err("'criteria' must not be empty".to_owned());
+            }
+            let deadline_ms = match j.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    let n = v.as_num().ok_or("'deadline_ms' must be a number")?;
+                    if n.fract() != 0.0 || n < 0.0 {
+                        return Err("'deadline_ms' must be a non-negative integer".to_owned());
+                    }
+                    Some(n as u64)
+                }
+            };
+            Ok(Request::Slice {
+                program: program_field(j, op)?,
+                algo: str_field(j, "algo", op)?,
+                criteria,
+                deadline_ms,
+            })
+        }
+        "edit" => Ok(Request::Edit {
+            program: program_field(j, op)?,
+            edit: parse_edit(field(j, "edit", op)?)?,
+        }),
+        "chop" => Ok(Request::Chop {
+            program: program_field(j, op)?,
+            source_line: line_field(j, "source_line", op)?,
+            sink_line: line_field(j, "sink_line", op)?,
+            executable: match j.get("executable") {
+                None | Some(Json::Null) => false,
+                Some(v) => v.as_bool().ok_or("'executable' must be a boolean")?,
+            },
+        }),
+        "explain" => Ok(Request::Explain {
+            program: program_field(j, op)?,
+            line: line_field(j, "line", op)?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Parses a structural path: an array of `[selector, index]` steps, where
+/// the selector is `"body"`, `"then"`, `"else"`, or `{"arm": N}`. The
+/// first step always selects in the program's top-level body, so its
+/// selector must be `"body"`.
+pub fn parse_path(j: &Json) -> Result<StmtPath, String> {
+    let steps = j.as_arr().ok_or("edit 'path' must be an array of steps")?;
+    let mut path: Option<StmtPath> = None;
+    for step in steps {
+        let pair = step
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or("each path step must be a [selector, index] pair")?;
+        let index = pair[1]
+            .as_num()
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .ok_or("path step index must be a non-negative integer")? as usize;
+        let sel = match &pair[0] {
+            Json::Str(s) => match s.as_str() {
+                "body" => BlockSel::Body,
+                "then" => BlockSel::Then,
+                "else" => BlockSel::Else,
+                other => return Err(format!("unknown path selector '{other}'")),
+            },
+            obj @ Json::Obj(_) => {
+                let arm = obj
+                    .get("arm")
+                    .and_then(Json::as_num)
+                    .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                    .ok_or("object path selector must be {\"arm\": N}")?;
+                BlockSel::Arm(arm as usize)
+            }
+            _ => return Err("path selector must be a string or {\"arm\": N}".to_owned()),
+        };
+        path = Some(match path {
+            None => {
+                if sel != BlockSel::Body {
+                    return Err("the first path step must select in 'body'".to_owned());
+                }
+                StmtPath::root(index)
+            }
+            Some(p) => p.child(sel, index),
+        });
+    }
+    path.ok_or_else(|| "edit 'path' must have at least one step".to_owned())
+}
+
+/// Parses an expression payload by round-tripping it through the program
+/// parser (`x = (<text>);`), so the wire syntax is exactly the language's
+/// expression syntax.
+pub fn parse_expr_text(text: &str) -> Result<EditExpr, String> {
+    let wrapped = format!("x = {text};");
+    let p = parse(&wrapped).map_err(|e| format!("cannot parse expression '{text}': {e}"))?;
+    let root = *p
+        .body()
+        .first()
+        .ok_or_else(|| format!("cannot parse expression '{text}'"))?;
+    match &p.stmt(root).kind {
+        StmtKind::Assign { rhs, .. } => Ok(EditExpr::from_expr(&p, rhs)),
+        _ => Err(format!("cannot parse expression '{text}'")),
+    }
+}
+
+/// Parses the `edit` payload of an `edit` request:
+///
+/// ```json
+/// {"kind": "replace_expr", "path": [["body",0]], "expr": "x + 1"}
+/// {"kind": "insert", "path": [["body",2]], "stmt": {"kind":"assign","var":"x","expr":"0"}}
+/// {"kind": "delete", "path": [["body",1],["then",0]]}
+/// {"kind": "toggle_jump", "path": [["body",3]], "jump": "break"}
+/// {"kind": "toggle_jump", "path": [["body",3]], "jump": {"goto": "L"}}
+/// ```
+pub fn parse_edit(j: &Json) -> Result<Edit, String> {
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("edit must be an object with a string 'kind' field")?;
+    let at = parse_path(field(j, "path", "edit")?)?;
+    match kind {
+        "replace_expr" => Ok(Edit::ReplaceExpr {
+            at,
+            with: parse_expr_text(&str_field(j, "expr", "edit")?)?,
+        }),
+        "insert" => {
+            let s = field(j, "stmt", "edit")?;
+            let skind = s
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("inserted 'stmt' must have a string 'kind'")?;
+            let stmt = match skind {
+                "assign" => NewStmt::Assign {
+                    var: str_field(s, "var", "insert")?,
+                    rhs: parse_expr_text(&str_field(s, "expr", "insert")?)?,
+                },
+                "read" => NewStmt::Read {
+                    var: str_field(s, "var", "insert")?,
+                },
+                "write" => NewStmt::Write {
+                    arg: parse_expr_text(&str_field(s, "expr", "insert")?)?,
+                },
+                "skip" => NewStmt::Skip,
+                other => return Err(format!("unknown inserted statement kind '{other}'")),
+            };
+            Ok(Edit::InsertStmt { at, stmt })
+        }
+        "delete" => Ok(Edit::DeleteStmt { at }),
+        "toggle_jump" => {
+            let jump = match field(j, "jump", "edit")? {
+                Json::Str(s) => match s.as_str() {
+                    "break" => JumpKind::Break,
+                    "continue" => JumpKind::Continue,
+                    "return" => JumpKind::Return,
+                    other => return Err(format!("unknown jump kind '{other}'")),
+                },
+                obj @ Json::Obj(_) => JumpKind::Goto(str_field(obj, "goto", "toggle_jump")?),
+                _ => return Err("'jump' must be a string or {\"goto\": label}".to_owned()),
+            };
+            Ok(Edit::ToggleJump { at, jump })
+        }
+        other => Err(format!("unknown edit kind '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(line: &str) -> Result<Request, String> {
+        parse_request(&Json::parse(line).expect("test JSON parses"))
+    }
+
+    #[test]
+    fn parses_every_op() {
+        assert!(matches!(
+            req(r#"{"op":"load","source":"x = 1;"}"#),
+            Ok(Request::Load { .. })
+        ));
+        let r = req(r#"{"op":"slice","program":"00000000000000ff","algo":"fig7",
+               "criteria":[{"line":3},{"line":1,"vars":["x"]}],"deadline_ms":50}"#);
+        match r {
+            Ok(Request::Slice {
+                program,
+                criteria,
+                deadline_ms,
+                ..
+            }) => {
+                assert_eq!(program, 0xff);
+                assert_eq!(criteria.len(), 2);
+                assert_eq!(criteria[1].vars.as_deref(), Some(&["x".to_owned()][..]));
+                assert_eq!(deadline_ms, Some(50));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(req(r#"{"op":"stats"}"#), Ok(Request::Stats)));
+        assert!(matches!(req(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown)));
+        assert!(matches!(
+            req(
+                r#"{"op":"chop","program":"0000000000000001","source_line":1,
+                   "sink_line":4,"executable":true}"#
+            ),
+            Ok(Request::Chop {
+                executable: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_requests_become_errors_not_panics() {
+        for bad in [
+            r#"{"op":"slice"}"#,
+            r#"{"op":"slice","program":"zz"}"#,
+            r#"{"op":"slice","program":"0000000000000001","algo":"fig7","criteria":[]}"#,
+            r#"{"op":"slice","program":"0000000000000001","algo":"fig7","criteria":[{"line":-1}]}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"no_op_at_all":true}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[],"expr":"x"}}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[["then",0]],"expr":"x"}}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[["body",0]],"expr":"x ="}}"#,
+        ] {
+            assert!(req(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn edit_payloads_round_trip_through_the_wire_forms() {
+        let e = parse_edit(
+            &Json::parse(
+                r#"{"kind":"replace_expr","path":[["body",1],["then",0]],"expr":"a + b * 2"}"#,
+            )
+            .unwrap(),
+        )
+        .expect("valid edit");
+        assert!(matches!(e, Edit::ReplaceExpr { .. }));
+
+        let e = parse_edit(
+            &Json::parse(r#"{"kind":"insert","path":[["body",0]],"stmt":{"kind":"assign","var":"t","expr":"0"}}"#)
+                .unwrap(),
+        )
+        .expect("valid edit");
+        assert!(matches!(e, Edit::InsertStmt { .. }));
+
+        let e = parse_edit(
+            &Json::parse(r#"{"kind":"toggle_jump","path":[["body",2]],"jump":{"goto":"L"}}"#)
+                .unwrap(),
+        )
+        .expect("valid edit");
+        assert!(matches!(
+            e,
+            Edit::ToggleJump {
+                jump: JumpKind::Goto(_),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,374 @@
+//! The daemon's concurrency shell: bounded job queue, worker pool, and the
+//! stdin/TCP front-ends.
+//!
+//! Every front-end connection is a producer: it reads one line, enqueues a
+//! `Job` with a reply channel, waits for the response, writes it back,
+//! and only then reads the next line — so responses stay in request order
+//! *per connection* while distinct connections run concurrently across the
+//! worker pool. The queue is bounded; a full queue blocks producers
+//! (back-pressure) rather than buffering without limit.
+//!
+//! Shutdown is cooperative, because the workspace forbids `unsafe` and
+//! carries no signal-handling dependency: a `shutdown` request (or stdin
+//! EOF when no TCP listener was configured) closes the queue, workers
+//! drain what was already accepted, and `run` joins them and returns.
+//! Producers that race the closing receive a `"shutting down"` error
+//! response. The TCP acceptor polls with a non-blocking listener so it can
+//! notice the flag within [`ACCEPT_POLL`].
+
+use crate::engine::Engine;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often the TCP acceptor re-checks the shutdown flag.
+pub const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// Tunables for [`run`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (min 1).
+    pub workers: usize,
+    /// Queue slots before producers block (min 1).
+    pub queue: usize,
+    /// TCP listen address (e.g. `127.0.0.1:7878`); `None` for stdin-only.
+    pub listen: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue: 64,
+            listen: None,
+        }
+    }
+}
+
+/// One request in flight: the raw line and where the response goes.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A minimal bounded MPMC queue (std has only unbounded mpsc).
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks while full; `false` if the queue closed (job not accepted).
+    fn push(&self, job: Job) -> bool {
+        let mut g = self.inner.lock().expect("queue lock");
+        while g.jobs.len() >= self.cap && !g.closed {
+            g = self.not_full.wait(g).expect("queue lock");
+        }
+        if g.closed {
+            return false;
+        }
+        g.jobs.push_back(job);
+        drop(g);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks while empty; `None` once closed *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = g.jobs.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Enqueues `line` and waits for its response. `None` means the daemon is
+/// shutting down.
+fn round_trip(queue: &JobQueue, line: String) -> Option<String> {
+    let (tx, rx) = mpsc::channel();
+    if !queue.push(Job { line, reply: tx }) {
+        return None;
+    }
+    // A worker always sends exactly one reply per popped job; a recv error
+    // can only mean the pool is tearing down.
+    rx.recv().ok()
+}
+
+/// Runs the daemon until shutdown: spawns the worker pool, serves stdin on
+/// the calling thread, and (optionally) accepts TCP connections.
+///
+/// Returns once every worker has drained. With no TCP listener, stdin EOF
+/// also shuts the daemon down — the pipe is its only client.
+pub fn run(engine: Arc<Engine>, config: &ServerConfig) -> std::io::Result<()> {
+    let queue = Arc::new(JobQueue::new(config.queue));
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for w in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn_scoped(scope, move || {
+                    while let Some(job) = queue.pop() {
+                        let resp = engine.handle_line(&job.line);
+                        // A dropped receiver (client hung up mid-request)
+                        // only wastes the answer; nothing to do about it.
+                        let _ = job.reply.send(resp);
+                        if engine.shutdown_requested() {
+                            queue.close();
+                        }
+                    }
+                })
+                .expect("spawn worker");
+        }
+
+        if let Some(addr) = &config.listen {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            eprintln!("jumpslice-serve: listening on {}", listener.local_addr()?);
+            let queue_for_accept = Arc::clone(&queue);
+            let engine_for_accept = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn_scoped(scope, move || {
+                    accept_loop(listener, queue_for_accept, engine_for_accept, scope)
+                })
+                .expect("spawn acceptor");
+        }
+
+        serve_stdin(&queue);
+        // Stdin is gone. Without TCP there can be no further requests;
+        // with TCP, the acceptor owns the daemon's lifetime and we just
+        // wait for a `shutdown` request to close the queue.
+        if config.listen.is_none() {
+            queue.close();
+        }
+        Ok(())
+    })
+}
+
+/// Runs an engine against stdin/stdout without any threads — the
+/// single-threaded fallback used by `--workers 0` and handy under test.
+pub fn run_inline(engine: &Engine) {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = engine.handle_line(&line);
+        if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
+            break;
+        }
+        if engine.shutdown_requested() {
+            break;
+        }
+    }
+}
+
+fn serve_stdin(queue: &JobQueue) {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(resp) = round_trip(queue, line) else {
+            let _ = writeln!(out, r#"{{"ok":false,"error":"shutting down"}}"#);
+            break;
+        };
+        if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+fn accept_loop<'scope>(
+    listener: TcpListener,
+    queue: Arc<JobQueue>,
+    engine: Arc<Engine>,
+    scope: &'scope std::thread::Scope<'scope, '_>,
+) {
+    loop {
+        if engine.shutdown_requested() {
+            queue.close();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name("serve-conn".to_owned())
+                    .spawn_scoped(scope, move || {
+                        let mut reader = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        });
+                        let mut stream = stream;
+                        let mut line = String::new();
+                        loop {
+                            line.clear();
+                            match reader.read_line(&mut line) {
+                                Ok(0) | Err(_) => return,
+                                Ok(_) => {}
+                            }
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            let Some(resp) = round_trip(&queue, line.trim_end().to_owned()) else {
+                                let _ =
+                                    writeln!(stream, r#"{{"ok":false,"error":"shutting down"}}"#);
+                                return;
+                            };
+                            if writeln!(stream, "{resp}").is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn connection");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (aborted handshakes) — keep going.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_obs::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    /// Boots a real TCP daemon on an ephemeral port, drives it over a
+    /// socket, and shuts it down over another — exercising the queue, the
+    /// pool, the acceptor, and cooperative shutdown end to end.
+    #[test]
+    fn tcp_round_trip_and_cooperative_shutdown() {
+        // Bind first so the port is known before `run` spawns.
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        let addr = probe.local_addr().expect("addr").to_string();
+        drop(probe);
+
+        let engine = Arc::new(Engine::new(usize::MAX));
+        let config = ServerConfig {
+            workers: 2,
+            queue: 8,
+            listen: Some(addr.clone()),
+        };
+        let engine_for_run = Arc::clone(&engine);
+        let daemon = std::thread::spawn(move || {
+            // Stdin in `cargo test` is the test harness's; serve_stdin may
+            // park on it, so drive shutdown purely over TCP and join the
+            // acceptor path: run() returning is not required here — the
+            // workers draining is what we assert through the socket.
+            run(engine_for_run, &config).expect("daemon runs");
+        });
+
+        // The acceptor may not be listening yet; retry briefly.
+        let mut conn = None;
+        for _ in 0..100 {
+            match TcpStream::connect(&addr) {
+                Ok(c) => {
+                    conn = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut conn = conn.expect("daemon accepts within 2s");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut send = |line: &str| -> Json {
+            writeln!(conn, "{line}").expect("write");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("read");
+            Json::parse(&resp).expect("valid response JSON")
+        };
+
+        let loaded = send(r#"{"op":"load","source":"read(x); write(x);"}"#);
+        assert_eq!(loaded.get("ok").and_then(Json::as_bool), Some(true));
+        let key = loaded
+            .get("program")
+            .and_then(Json::as_str)
+            .expect("key")
+            .to_owned();
+        let sliced = send(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":2}}]}}"#
+        ));
+        assert_eq!(sliced.get("ok").and_then(Json::as_bool), Some(true));
+
+        let bye = send(r#"{"op":"shutdown"}"#);
+        assert_eq!(bye.get("shutting_down").and_then(Json::as_bool), Some(true));
+        // After shutdown the daemon must refuse (or close) promptly rather
+        // than hang: either response is acceptable, but not a stall.
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        writeln!(conn, r#"{{"op":"stats"}}"#).ok();
+        let mut tail = String::new();
+        let _ = reader.read_line(&mut tail); // "" (closed) or a shutting-down error
+        if !tail.trim().is_empty() {
+            let j = Json::parse(&tail).expect("tail is JSON");
+            // Drained requests may still be answered; refusals say so.
+            assert!(j.get("ok").is_some());
+        }
+        drop(conn);
+        // `run` itself stays parked on the harness's stdin; the daemon
+        // thread is detached by design here.
+        drop(daemon);
+        assert!(engine.shutdown_requested());
+    }
+
+    #[test]
+    fn queue_refuses_after_close() {
+        let q = JobQueue::new(2);
+        q.close();
+        let (tx, _rx) = mpsc::channel();
+        assert!(!q.push(Job {
+            line: String::new(),
+            reply: tx
+        }));
+        assert!(q.pop().is_none());
+    }
+}
