@@ -13,7 +13,11 @@
 //!   both over the same warm analysis and criterion pool;
 //! * the incremental sweep: one edit followed by a re-slice of a criterion
 //!   pool, through a warm [`jumpslice_incr::EditSession`] (expression patch
-//!   and seeded re-solve paths) vs edit-then-`Analysis::new` from scratch.
+//!   and seeded re-solve paths) vs edit-then-`Analysis::new` from scratch;
+//! * the store sweep: first-slice latency through a store-enabled daemon
+//!   on a miss (parse + analyze + warm + write-behind persist) vs on a
+//!   snapshot hit (store load + decode + seeded analysis) — the daemon's
+//!   cold-start-vs-warm-restart story.
 //!
 //! The headline `speedup_batch_vs_per_criterion_analysis` is the
 //! cached-analysis amortization; on single-core containers the threaded
@@ -61,6 +65,14 @@ struct SparseRow {
     criteria: usize,
     dense_ns: f64,
     sparse_ns: f64,
+}
+
+struct StoreRow {
+    family: &'static str,
+    stmts: usize,
+    record_bytes: usize,
+    cold_ns: f64,
+    restore_ns: f64,
 }
 
 struct IncrRow {
@@ -306,6 +318,68 @@ fn main() {
         }
     }
 
+    // The store sweep: first slice served by a store-enabled daemon on a
+    // cache miss vs on a snapshot hit. Both arms end at the same place —
+    // one Figure-7 answer on a fully warm analysis — and replay exactly
+    // what the serve loop does in each state. The cold arm is the miss
+    // path: parse + reaching-defs + PDG + pdom + LST, then the write-behind
+    // persist (encode + `SnapshotStore::save`, a distinct key per
+    // iteration so every write really hits disk). The restore arm is the
+    // hit path: `SnapshotStore::load` (disk read + whole-record checksum),
+    // snapshot decode, and a seeded analysis. The family is the
+    // jump-heavy generator — unstructured control flow is the workload
+    // this repo exists for, and it is where from-source analysis is
+    // superlinear while snapshot decode stays linear in the record.
+    let mut store_rows: Vec<StoreRow> = Vec::new();
+    {
+        use jumpslice_store::{fnv1a, SnapshotStore};
+        let dir =
+            std::env::temp_dir().join(format!("jumpslice-bench-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = SnapshotStore::open(&dir, u64::MAX).expect("temp store opens");
+        let mut write_key = 0u64; // distinct per miss iteration: forces real writes
+        for size in [4000usize, 6000] {
+            let family = "unstructured";
+            let src = jumpslice_lang::print_program(&sized_unstructured(size));
+            let prog = jumpslice_lang::parse(&src).expect("printed programs re-parse");
+            let a = Analysis::new(&prog);
+            a.warm();
+            let crit_line = prog.len(); // re-parse numbering is stable, so a line works for both arms
+            let n = prog.len();
+            let payload = jumpslice_core::encode_snapshot(&src, &prog, &a.into_seed());
+            let key = fnv1a(src.as_bytes());
+            store.save(key, &payload).expect("snapshot persists");
+            let record_bytes = payload.len() + jumpslice_store::HEADER_LEN;
+
+            let cold_ns = r.bench(&format!("json/store/{family}/{n}/cold-start"), || {
+                let p = jumpslice_lang::parse(black_box(&src)).expect("parses");
+                let a = Analysis::new(&p);
+                a.warm();
+                let crit = Criterion::at_stmt(p.at_line(crit_line));
+                let len = agrawal_slice(&a, &crit).len();
+                let payload = jumpslice_core::encode_snapshot(&src, &p, &a.into_seed());
+                write_key += 1;
+                store.save(write_key, &payload).expect("snapshot persists");
+                black_box(len)
+            });
+            let restore_ns = r.bench(&format!("json/store/{family}/{n}/snapshot-restore"), || {
+                let payload = store.load(black_box(key)).expect("record present");
+                let snap = jumpslice_core::decode_snapshot(&payload).expect("snapshot decodes");
+                let a = Analysis::with_seed(&snap.prog, snap.seed);
+                let crit = Criterion::at_stmt(snap.prog.at_line(crit_line));
+                black_box(agrawal_slice(&a, &crit).len())
+            });
+            store_rows.push(StoreRow {
+                family,
+                stmts: n,
+                record_bytes,
+                cold_ns,
+                restore_ns,
+            });
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     // The incremental sweep: edit + re-slice through a warm session vs
     // edit + from-scratch analysis. Two edit shapes, matching the two
     // fast paths: an expression replacement (everything reused) and an
@@ -543,6 +617,20 @@ fn main() {
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ],\n");
+    out.push_str("  \"store_sweeps\": [\n");
+    for (i, row) in store_rows.iter().enumerate() {
+        let comma = if i + 1 == store_rows.len() { "" } else { "," };
+        let speedup = row.cold_ns / row.restore_ns;
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
+        let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"record_bytes\": {},", row.record_bytes);
+        let _ = writeln!(out, "      \"cold_start_ns\": {:.1},", row.cold_ns);
+        let _ = writeln!(out, "      \"snapshot_restore_ns\": {:.1},", row.restore_ns);
+        let _ = writeln!(out, "      \"speedup_restore_vs_cold\": {speedup:.2}");
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"incr_sweeps\": [\n");
     for (i, row) in incr_rows.iter().enumerate() {
         let comma = if i + 1 == incr_rows.len() { "" } else { "," };
@@ -605,6 +693,15 @@ fn main() {
             row.stmts,
             row.edit,
             row.scratch_ns / row.incr_ns
+        );
+    }
+    for row in &store_rows {
+        println!(
+            "  {:<12} {:>5} stmts: {:.2}x snapshot-restore speedup vs cold start ({} record bytes)",
+            row.family,
+            row.stmts,
+            row.cold_ns / row.restore_ns,
+            row.record_bytes
         );
     }
     println!(

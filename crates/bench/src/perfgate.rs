@@ -2,8 +2,8 @@
 //! `BENCH_slicing.json` against the committed baseline and fails on
 //! wall-clock regressions beyond a tolerance band.
 //!
-//! The `batch_sweeps`, `incr_sweeps`, and `sparse_sweeps` sections are
-//! compared —
+//! The `batch_sweeps`, `incr_sweeps`, `sparse_sweeps`, `serve_sweeps`,
+//! and `store_sweeps` sections are compared —
 //! single-slice latencies at figure scale are nanosecond-noisy, while the
 //! sweeps integrate enough work (a full criterion pool per measurement) to
 //! be stable across runs on the same machine. Rows are matched by
@@ -32,6 +32,11 @@ const SPARSE_GATED_METRICS: &[&str] = &["sparse_kernel_ns"];
 
 /// Metrics compared per serve-sweep row (in-process daemon throughput).
 const SERVE_GATED_METRICS: &[&str] = &["serve_ns_per_request"];
+
+/// Metrics compared per store-sweep row. `cold_start_ns` measures the
+/// from-source build the snapshot store exists to beat, so it is not
+/// gated — only the restore path is a product promise.
+const STORE_GATED_METRICS: &[&str] = &["snapshot_restore_ns"];
 
 /// Row keys naming the worker-thread count a sweep actually ran with.
 /// Wall-clocks measured with different counts answer different questions
@@ -68,6 +73,11 @@ const SECTIONS: &[Section] = &[
     Section {
         name: "serve_sweeps",
         metrics: SERVE_GATED_METRICS,
+        required: false,
+    },
+    Section {
+        name: "store_sweeps",
+        metrics: STORE_GATED_METRICS,
         required: false,
     },
 ];
@@ -462,6 +472,62 @@ mod tests {
         let slow = compare(&base, &doc_serve(5e5), 0.25).unwrap();
         assert_eq!(slow.regressions.len(), 1);
         assert_eq!(slow.regressions[0].metric, "serve_ns_per_request");
+    }
+
+    fn doc_with_store(restore: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "batch_shared_analysis_sequential_ns": 1e6}}
+            ],
+            "store_sweeps": [
+                {{"family": "structured", "stmts": 954,
+                  "cold_start_ns": 1e6,
+                  "snapshot_restore_ns": {restore}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn store_restore_is_gated_and_cold_start_is_not() {
+        let base = doc_with_store(1e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 2, "one batch metric + one store metric");
+
+        // A slower cold start alone never trips the gate...
+        let mut slow_cold = base.clone();
+        if let Json::Obj(fields) = &mut slow_cold {
+            let rows = fields
+                .iter_mut()
+                .find(|(k, _)| k == "store_sweeps")
+                .and_then(|(_, v)| match v {
+                    Json::Arr(rows) => Some(rows),
+                    _ => None,
+                })
+                .unwrap();
+            if let Json::Obj(cells) = &mut rows[0] {
+                for (k, v) in cells {
+                    if k == "cold_start_ns" {
+                        *v = Json::Num(9e6);
+                    }
+                }
+            }
+        }
+        assert!(compare(&base, &slow_cold, 0.25).unwrap().passes());
+
+        // ...but a slower restore does.
+        let slow = compare(&base, &doc_with_store(3e5), 0.25).unwrap();
+        assert_eq!(slow.regressions.len(), 1);
+        assert_eq!(slow.regressions[0].metric, "snapshot_restore_ns");
+    }
+
+    #[test]
+    fn baseline_without_store_section_skips_it() {
+        let report = compare(&doc(1e6, 5e5), &doc_with_store(1e5), 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        assert_eq!(report.compared, 1);
     }
 
     #[test]

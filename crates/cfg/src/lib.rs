@@ -68,6 +68,38 @@ impl Cfg {
         Builder::new(prog).build()
     }
 
+    /// Reassembles a flowgraph from persisted parts, for codecs restoring
+    /// an analysis without re-running [`Cfg::build`]. The node layout is
+    /// fixed (entry 0, exit 1, statement `s` at `s.index() + 2`), so a
+    /// graph over `num_stmts + 2` nodes plus the per-node fall-through
+    /// array is the whole state. Returns `None` when the shapes disagree —
+    /// wrong node count, fall-through array of a different graph, or a
+    /// fall-through target out of bounds. Edge-level fidelity to any
+    /// particular program is the caller's integrity check, not this one.
+    pub fn from_parts(
+        num_stmts: usize,
+        graph: DiGraph,
+        fallthrough: Vec<Option<NodeId>>,
+    ) -> Option<Cfg> {
+        if num_stmts.checked_add(2)? != graph.len() || fallthrough.len() != graph.len() {
+            return None;
+        }
+        if fallthrough
+            .iter()
+            .flatten()
+            .any(|t| t.index() >= graph.len())
+        {
+            return None;
+        }
+        Some(Cfg {
+            graph,
+            entry: NodeId::new(0),
+            exit: NodeId::new(1),
+            fallthrough,
+            num_stmts,
+        })
+    }
+
     /// The underlying directed graph.
     pub fn graph(&self) -> &DiGraph {
         &self.graph
@@ -362,6 +394,34 @@ mod tests {
 
     fn n(cfg: &Cfg, p: &Program, line: usize) -> NodeId {
         cfg.node(p.at_line(line))
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_graph() {
+        let p = parse("L: read(x); while (x) { if (x > 1) break; goto L; } write(x);").unwrap();
+        let built = Cfg::build(&p);
+        let fallthrough: Vec<_> = (0..built.graph().len())
+            .map(|i| built.fallthrough(NodeId::new(i)))
+            .collect();
+        let back = Cfg::from_parts(p.len(), built.graph().clone(), fallthrough.clone())
+            .expect("a built graph's own parts are valid");
+        assert_eq!(back.entry(), built.entry());
+        assert_eq!(back.exit(), built.exit());
+        assert_eq!(back.num_stmts(), built.num_stmts());
+        for node in built.graph().nodes() {
+            assert_eq!(back.graph().succs(node), built.graph().succs(node));
+            assert_eq!(back.fallthrough(node), built.fallthrough(node));
+        }
+
+        // Shape lies are rejected: wrong statement count, short or
+        // out-of-bounds fall-through.
+        assert!(Cfg::from_parts(p.len() + 1, built.graph().clone(), fallthrough.clone()).is_none());
+        assert!(
+            Cfg::from_parts(p.len(), built.graph().clone(), fallthrough[1..].to_vec()).is_none()
+        );
+        let mut bad = fallthrough;
+        bad[0] = Some(NodeId::new(built.graph().len()));
+        assert!(Cfg::from_parts(p.len(), built.graph().clone(), bad).is_none());
     }
 
     #[test]

@@ -90,6 +90,21 @@ impl LexSuccTree {
         }
     }
 
+    /// The whole parent array, indexed by statement (`None` = exit) — the
+    /// snapshot codec reads the tree out through this.
+    pub(crate) fn parents(&self) -> &[SlicePoint] {
+        &self.parent
+    }
+
+    /// Reassembles a tree from its parent array — the snapshot-restore
+    /// constructor, inverse of [`LexSuccTree::parents`]. The caller is
+    /// responsible for the array describing the program's actual lexical
+    /// structure; indices must be in range (the snapshot decoder validates
+    /// them before calling).
+    pub(crate) fn from_parents(parent: Vec<SlicePoint>) -> LexSuccTree {
+        LexSuccTree { parent }
+    }
+
     /// The immediate lexical successor of `s` (`None` = exit).
     pub fn immediate(&self, s: StmtId) -> SlicePoint {
         self.parent[s.index()]

@@ -69,9 +69,11 @@ mod labels;
 mod lexsucc;
 mod provenance;
 mod slice;
+mod snapshot;
 mod sparse;
 mod structured;
 pub mod synthesize;
+mod wire;
 
 pub use agrawal::{agrawal_slice, agrawal_slice_reference, agrawal_slice_with_order};
 pub use analysis::{Analysis, AnalysisSeed, AnalysisStats};
@@ -83,5 +85,6 @@ pub use labels::reassociate_labels;
 pub use lexsucc::LexSuccTree;
 pub use provenance::{agrawal_slice_traced, agrawal_slice_traced_reference, Provenance, Why};
 pub use slice::{Slice, SlicePoint};
+pub use snapshot::{decode_snapshot, encode_snapshot, Snapshot, SnapshotError};
 pub use sparse::ChainIndex;
 pub use structured::{has_pdom_lexsucc_pair, is_structured, structured_slice};

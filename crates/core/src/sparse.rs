@@ -34,6 +34,7 @@
 //! (empty) worklist check instead of a full traversal.
 
 use crate::provenance::Recorder;
+use crate::wire::{self, Reader};
 use crate::{reassociate_labels, Analysis, Criterion, Slice};
 use jumpslice_dataflow::{BitSet, StmtSet};
 use jumpslice_lang::{StmtId, StmtKind};
@@ -69,7 +70,7 @@ fn index_u32(i: usize, what: &str) -> u32 {
 /// Chains occupy a contiguous tail of the program on goto-heavy inputs, so
 /// probing a full-width [`StmtSet`] would wade through the zero prefix on
 /// every test; trimming makes the common dense-slice probe O(1).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct Mask {
     off: usize,
     words: Vec<u64>,
@@ -96,6 +97,27 @@ impl Mask {
             None => false,
         }
     }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_len(out, self.off);
+        wire::put_len(out, self.words.len());
+        for &w in &self.words {
+            wire::put_u64(out, w);
+        }
+    }
+
+    /// Decodes a mask whose span must fit a statement universe of
+    /// `stmt_words` words; a span past that bound is malformed.
+    fn decode_from(r: &mut Reader<'_>, stmt_words: usize) -> Option<Mask> {
+        let off = r.len(stmt_words)?;
+        let n = r.len(stmt_words - off)?;
+        let raw = r.bytes(n.checked_mul(8)?)?;
+        let words = raw
+            .chunks_exact(8)
+            .map(|w| u64::from_le_bytes(w.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Some(Mask { off, words })
+    }
 }
 
 /// Flattened per-jump chain data, built once per program and cached on
@@ -105,7 +127,7 @@ impl Mask {
 /// incremental edit session can carry it across edits that leave the jump
 /// structure, postdominators, and lexical successor tree intact, but its
 /// contents are an implementation detail of the sparse kernel.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainIndex {
     /// The indexed jumps — every live unconditional jump, in pdom preorder.
     /// A chain id is an index into this (and every per-chain) vector.
@@ -351,6 +373,128 @@ impl ChainIndex {
             touch_masks,
             affected,
         }
+    }
+
+    /// Serializes the index for the analysis snapshot store. The layout is
+    /// private to this crate; [`ChainIndex::decode_from`] is the only
+    /// reader.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        let n = self.chain_of.len();
+        wire::put_len(out, n);
+        wire::put_len(out, self.jumps.len());
+        for &j in &self.jumps {
+            wire::put_u32(out, index_u32(j.index(), "statement index"));
+        }
+        for arr in [
+            &self.chain_of,
+            &self.pnext,
+            &self.lnext,
+            &self.hz_skip,
+            &self.hz_body,
+        ] {
+            debug_assert_eq!(arr.len(), n);
+            for &v in arr.iter() {
+                wire::put_u32(out, v);
+            }
+        }
+        wire::put_len(out, self.bodies.len());
+        for group in [
+            &self.pdom_masks,
+            &self.lst_masks,
+            &self.touch_masks,
+            &self.bodies,
+        ] {
+            for m in group.iter() {
+                m.encode_into(out);
+            }
+        }
+        wire::put_len(out, self.affected.len());
+        for set in &self.affected {
+            set.encode_into(out);
+        }
+    }
+
+    /// Decodes an index for a program of `n` statements, validating every
+    /// stored index against its array's bounds (sentinels pass through).
+    /// `None` means the bytes are malformed — the caller falls back to
+    /// rebuilding from source. Deeper cross-array invariants are not
+    /// re-derived here; they are covered by the snapshot layer's
+    /// whole-record checksum.
+    pub(crate) fn decode_from(r: &mut Reader<'_>, n: usize) -> Option<ChainIndex> {
+        fn u32_array(r: &mut Reader<'_>, len: usize, bound: usize) -> Option<Vec<u32>> {
+            (0..len)
+                .map(|_| {
+                    let v = r.u32()?;
+                    (v == u32::MAX || (v as usize) < bound).then_some(v)
+                })
+                .collect()
+        }
+        fn masks(r: &mut Reader<'_>, len: usize, stmt_words: usize) -> Option<Vec<Mask>> {
+            (0..len).map(|_| Mask::decode_from(r, stmt_words)).collect()
+        }
+
+        if r.len(n)? != n {
+            return None;
+        }
+        let jc = r.len(n)?;
+        let jumps = (0..jc)
+            .map(|_| {
+                let v = r.u32()? as usize;
+                (v < n).then(|| StmtId::from_index(v))
+            })
+            .collect::<Option<Vec<StmtId>>>()?;
+        let chain_of = u32_array(r, n, jc)?;
+        let pnext = u32_array(r, n, n)?;
+        let lnext = u32_array(r, n, n)?;
+        let hz_skip = u32_array(r, n, n)?;
+        // Body ids are bounded by the statement count (one body per
+        // distinct do-while); the exact bound is re-checked below once the
+        // body count has been read.
+        let hz_body = u32_array(r, n, n)?;
+        let n_bodies = r.len(n)?;
+        if hz_body
+            .iter()
+            .any(|&v| v != NO_CHAIN && v as usize >= n_bodies)
+        {
+            return None;
+        }
+        // A jump's own chain id must round-trip: this pins the jumps/chain_of
+        // pair consistent (and in particular distinct) without a second pass.
+        if jumps
+            .iter()
+            .enumerate()
+            .any(|(c, j)| chain_of[j.index()] as usize != c)
+        {
+            return None;
+        }
+        let stmt_words = n.div_ceil(64);
+        let pdom_masks = masks(r, jc, stmt_words)?;
+        let lst_masks = masks(r, jc, stmt_words)?;
+        let touch_masks = masks(r, jc, stmt_words)?;
+        let bodies = masks(r, n_bodies, stmt_words)?;
+        let n_affected = r.len(n)?;
+        if n_affected != if jc == 0 { 0 } else { n } {
+            return None;
+        }
+        let affected = (0..n_affected)
+            .map(|_| {
+                let set = r.bitset()?;
+                (set.capacity() == jc).then_some(set)
+            })
+            .collect::<Option<Vec<BitSet>>>()?;
+        Some(ChainIndex {
+            jumps,
+            chain_of,
+            pnext,
+            lnext,
+            pdom_masks,
+            lst_masks,
+            hz_skip,
+            hz_body,
+            bodies,
+            touch_masks,
+            affected,
+        })
     }
 
     /// The chain id of jump `j`, or `None` if `j` is not indexed.
@@ -909,6 +1053,46 @@ mod tests {
             panic!("chain index overflow: not representable on this target");
         }
         index_u32(u32::MAX as usize + 1, "chain id");
+    }
+
+    /// The wire codec reproduces the index field-for-field on jump-heavy,
+    /// do-while, and jump-free programs, and rejects truncation at every
+    /// prefix length instead of panicking.
+    #[test]
+    fn chain_index_codec_round_trips_and_rejects_truncation() {
+        let dowhile =
+            parse("read(x); do { x = x + 1; if (c) break; y = 2; } while (x < 10); write(y);")
+                .unwrap();
+        let jumpfree = parse("a = 1; write(a);").unwrap();
+        for p in [
+            corpus::fig3(),
+            corpus::fig8(),
+            corpus::fig10(),
+            dowhile,
+            jumpfree,
+        ] {
+            let a = Analysis::new(&p);
+            let ci = a.chain_index();
+            let mut bytes = Vec::new();
+            ci.encode_into(&mut bytes);
+
+            let mut r = Reader::new(&bytes);
+            let back = ChainIndex::decode_from(&mut r, p.len()).expect("well-formed bytes decode");
+            assert_eq!(r.remaining(), 0, "codec consumed exactly its record");
+            assert_eq!(&back, ci);
+
+            for cut in 0..bytes.len() {
+                let mut r = Reader::new(&bytes[..cut]);
+                assert_eq!(
+                    ChainIndex::decode_from(&mut r, p.len()),
+                    None,
+                    "truncation at {cut} must be rejected"
+                );
+            }
+            // A mismatched statement count is a stale record, not a panic.
+            let mut r = Reader::new(&bytes);
+            assert_eq!(ChainIndex::decode_from(&mut r, p.len() + 1), None);
+        }
     }
 
     /// Orders the index cannot honor (duplicates) are detected, not

@@ -181,6 +181,39 @@ impl BitSet {
         &self.words
     }
 
+    /// Appends the little-endian wire form — `capacity` as a `u32`
+    /// followed by exactly `capacity.div_ceil(64)` backing words — to
+    /// `out`. The inverse of [`BitSet::decode_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` does not fit in a `u32` (no analysis in this
+    /// workspace gets near that).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let cap = u32::try_from(self.capacity).expect("bitset capacity fits u32 on the wire");
+        out.extend_from_slice(&cap.to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Reads one [`BitSet::encode_into`] record from the front of `input`,
+    /// returning the set and the bytes consumed, or `None` if `input` is
+    /// truncated. Never panics on hostile bytes — the caller treats `None`
+    /// as corruption.
+    pub fn decode_from(input: &[u8]) -> Option<(BitSet, usize)> {
+        let cap_bytes: [u8; 4] = input.get(..4)?.try_into().ok()?;
+        let capacity = u32::from_le_bytes(cap_bytes) as usize;
+        let n_words = capacity.div_ceil(64);
+        let end = 4 + n_words.checked_mul(8)?;
+        let body = input.get(4..end)?;
+        let words = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Some((BitSet::from_words(capacity, words), end))
+    }
+
     /// Iterates the elements in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -381,5 +414,49 @@ mod tests {
     fn contains_out_of_range_is_false() {
         let s = BitSet::new(5);
         assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for cap in [0usize, 1, 63, 64, 65, 130, 200] {
+            let mut s = BitSet::new(cap);
+            for v in (0..cap).step_by(7) {
+                s.insert(v);
+            }
+            let mut bytes = vec![0xAA]; // prefix survives untouched
+            s.encode_into(&mut bytes);
+            let (back, used) = BitSet::decode_from(&bytes[1..]).expect("well-formed");
+            assert_eq!(back, s, "capacity {cap}");
+            assert_eq!(used, bytes.len() - 1, "whole record consumed");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(129);
+        let mut bytes = Vec::new();
+        s.encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(
+                BitSet::decode_from(&bytes[..cut]).is_none(),
+                "truncation at {cut} must be detected"
+            );
+        }
+        // Trailing garbage is left for the caller's cursor, not consumed.
+        bytes.push(0xFF);
+        let (_, used) = BitSet::decode_from(&bytes).expect("full record present");
+        assert_eq!(used, bytes.len() - 1);
+    }
+
+    #[test]
+    fn decode_never_panics_on_hostile_capacity() {
+        // A capacity claiming ~4 billion elements with no backing words:
+        // the length check fails before any allocation-by-trust.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(BitSet::decode_from(&bytes).is_none());
     }
 }

@@ -45,6 +45,17 @@ impl VarTable {
         self.vars.is_empty()
     }
 
+    /// Rebuilds a table from a dense variable list (index `i` maps back to
+    /// `vars[i]`) — the snapshot-restore constructor. Duplicates keep their
+    /// first index, matching [`VarTable::of`]'s discovery order semantics.
+    pub fn from_vars(vars: Vec<Name>) -> VarTable {
+        let mut t = VarTable::default();
+        for v in vars {
+            t.add(v);
+        }
+        t
+    }
+
     /// Dense index of a variable.
     pub fn index_of(&self, n: Name) -> Option<usize> {
         self.index.get(&n).copied()
@@ -361,6 +372,35 @@ impl ReachingDefs {
         &self.vars
     }
 
+    /// The definition sites, in discovery order — bit `i` of every IN set
+    /// refers to `def_sites()[i]`.
+    pub fn def_sites(&self) -> &[StmtId] {
+        &self.def_sites
+    }
+
+    /// The IN set of every flowgraph node, indexed by node.
+    pub fn in_sets(&self) -> &[BitSet] {
+        &self.in_sets
+    }
+
+    /// Reassembles a solution from its raw parts — the snapshot-restore
+    /// constructor, inverse of [`ReachingDefs::def_sites`] /
+    /// [`ReachingDefs::in_sets`] / [`ReachingDefs::vars`]. The caller is
+    /// responsible for the parts describing the same program the solution
+    /// was computed for; slicing through a mismatched solution is undefined
+    /// (but memory-safe — all downstream access is bounds-checked).
+    pub fn from_parts(
+        def_sites: Vec<StmtId>,
+        in_sets: Vec<BitSet>,
+        vars: VarTable,
+    ) -> ReachingDefs {
+        ReachingDefs {
+            def_sites,
+            in_sets,
+            vars,
+        }
+    }
+
     /// The definition statements reaching the *entry* of `node`.
     pub fn reaching_in(&self, node: NodeId) -> impl Iterator<Item = StmtId> + '_ {
         self.in_sets[node.index()].iter().map(|i| self.def_sites[i])
@@ -408,6 +448,36 @@ impl DataDeps {
         for v in deps.iter_mut().chain(dependents.iter_mut()) {
             v.sort();
             v.dedup();
+        }
+        DataDeps { deps, dependents }
+    }
+
+    /// Rebuilds the edge set from the forward direction only, deriving the
+    /// inverse index — the snapshot-restore constructor. `deps[i]` lists
+    /// the definitions statement `i` depends on; lists are sorted and
+    /// deduplicated here, so wire forms need not be trusted. Our own wire
+    /// forms always arrive strictly sorted, so the sort is guarded by a
+    /// single ordering scan — restore pays for it only on hostile bytes.
+    pub fn from_deps(mut deps: Vec<Vec<StmtId>>) -> DataDeps {
+        let n = deps.len();
+        let mut counts = vec![0usize; n];
+        for v in deps.iter_mut() {
+            if !v.windows(2).all(|w| w[0] < w[1]) {
+                v.sort();
+                v.dedup();
+            }
+            for d in v.iter() {
+                counts[d.index()] += 1;
+            }
+        }
+        // Filling in ascending `u` over deduplicated forward lists leaves
+        // every reverse list strictly sorted — no post-pass needed.
+        let mut dependents: Vec<Vec<StmtId>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (u, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                dependents[d.index()].push(StmtId::from_index(u));
+            }
         }
         DataDeps { deps, dependents }
     }
@@ -830,6 +900,34 @@ mod tests {
         for s in after.stmt_ids() {
             assert_eq!(dd.deps(s), fresh.deps(s), "deps of {s:?}");
             assert_eq!(dd.dependents(s), fresh.dependents(s), "dependents of {s:?}");
+        }
+    }
+
+    #[test]
+    fn raw_part_constructors_round_trip() {
+        let p = parse("x = 1; y = x; while (y < 9) { y = y + x; } write(y);").unwrap();
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        let rebuilt = ReachingDefs::from_parts(
+            rd.def_sites().to_vec(),
+            rd.in_sets().to_vec(),
+            VarTable::from_vars((0..rd.vars().len()).map(|i| rd.vars().var(i)).collect()),
+        );
+        for node in (0..cfg.graph().len()).map(jumpslice_graph::NodeId::new) {
+            assert_eq!(
+                rd.reaching_in(node).collect::<Vec<_>>(),
+                rebuilt.reaching_in(node).collect::<Vec<_>>(),
+                "node {node:?}"
+            );
+        }
+        assert_eq!(rd.vars().len(), rebuilt.vars().len());
+
+        let dd = DataDeps::from_reaching(&p, &cfg, &rd);
+        let fwd_only: Vec<Vec<StmtId>> = p.stmt_ids().map(|s| dd.deps(s).to_vec()).collect();
+        let back = DataDeps::from_deps(fwd_only);
+        for s in p.stmt_ids() {
+            assert_eq!(dd.deps(s), back.deps(s), "deps of {s:?}");
+            assert_eq!(dd.dependents(s), back.dependents(s), "dependents of {s:?}");
         }
     }
 

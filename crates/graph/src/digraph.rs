@@ -99,6 +99,48 @@ impl DiGraph {
         }
     }
 
+    /// Builds a graph directly from complete successor lists, deriving the
+    /// predecessor lists in one counting pass. Equivalent to `with_nodes`
+    /// followed by `add_edge` for every entry, but without the per-edge
+    /// duplicate scan and incremental pushes — codecs restoring a persisted
+    /// graph already hold the full adjacency and want the bulk path.
+    ///
+    /// Returns `None` if any target is out of bounds or a successor list
+    /// contains duplicates (the edge-coalescing invariant `add_edge`
+    /// maintains).
+    ///
+    /// ```
+    /// use jumpslice_graph::{DiGraph, NodeId};
+    /// let g = DiGraph::from_succs(vec![vec![NodeId::new(1)], vec![]]).unwrap();
+    /// assert_eq!(g.preds(NodeId::new(1)), &[NodeId::new(0)]);
+    /// assert_eq!(g.num_edges(), 1);
+    /// ```
+    pub fn from_succs(succs: Vec<Vec<NodeId>>) -> Option<Self> {
+        let n = succs.len();
+        let mut counts = vec![0usize; n];
+        let mut num_edges = 0;
+        for list in &succs {
+            for (i, &t) in list.iter().enumerate() {
+                if t.index() >= n || list[..i].contains(&t) {
+                    return None;
+                }
+                counts[t.index()] += 1;
+            }
+            num_edges += list.len();
+        }
+        let mut preds: Vec<Vec<NodeId>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (u, list) in succs.iter().enumerate() {
+            for &t in list {
+                preds[t.index()].push(NodeId::new(u));
+            }
+        }
+        Some(DiGraph {
+            succs,
+            preds,
+            num_edges,
+        })
+    }
+
     /// Appends a fresh node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::new(self.succs.len());

@@ -132,6 +132,40 @@ impl EditSession {
         })
     }
 
+    /// Opens a session on `prog` with analysis artifacts restored from a
+    /// snapshot (or any other trusted out-of-band source). The seed's
+    /// correctness contract is [`AnalysisSeed`]'s: every artifact present
+    /// must match `prog`. A seed without a flowgraph gets one built here,
+    /// under the same unanalyzable-program check as
+    /// [`try_new`](EditSession::try_new).
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::Unanalyzable`] when some statement cannot reach the
+    /// exit.
+    pub fn try_with_seed(prog: Program, mut seed: AnalysisSeed) -> Result<EditSession, EditError> {
+        let cfg = match seed.cfg.take() {
+            Some(cfg) => cfg,
+            None => Cfg::build(&prog),
+        };
+        if !cfg.all_reach_exit() {
+            return Err(EditError::Unanalyzable);
+        }
+        seed.cfg = Some(cfg);
+        Ok(EditSession {
+            prog,
+            seed,
+            stats: IncrStats::default(),
+        })
+    }
+
+    /// The artifacts currently valid for the session's program — whatever
+    /// the last [`with_analysis`](EditSession::with_analysis) run forced
+    /// (the snapshot store serializes this after warming).
+    pub fn seed(&self) -> &AnalysisSeed {
+        &self.seed
+    }
+
     /// The current program.
     pub fn prog(&self) -> &Program {
         &self.prog

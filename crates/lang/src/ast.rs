@@ -37,6 +37,20 @@ impl fmt::Debug for StmtId {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Name(pub(crate) u32);
 
+impl Name {
+    /// Raw intern-table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a name from its dense intern index, the inverse of
+    /// [`Name::index`]. An index outside the owning program's name table
+    /// yields a name that panics on resolution.
+    pub fn from_index(i: usize) -> Name {
+        Name(u32::try_from(i).expect("name index overflows u32"))
+    }
+}
+
 impl fmt::Debug for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "name{}", self.0)
@@ -46,6 +60,20 @@ impl fmt::Debug for Name {
 /// An interned statement label (a `goto` target).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// Raw intern-table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a label from its dense intern index, the inverse of
+    /// [`Label::index`]. An index outside the owning program's label table
+    /// yields a label that panics on resolution.
+    pub fn from_index(i: usize) -> Label {
+        Label(u32::try_from(i).expect("label index overflows u32"))
+    }
+}
 
 impl fmt::Debug for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -503,6 +531,124 @@ impl Program {
         }
     }
 
+    /// Reassembles a program from its constituent parts — the inverse of
+    /// reading them back through the public accessors (`stmt`, `body`,
+    /// `name_str`, `label_str`, `label_target`). This is the trust
+    /// boundary for *persisted* programs: a snapshot codec hands in parts
+    /// decoded from disk, and every structural invariant the parser would
+    /// have established is re-checked here. Any violation returns `None`.
+    ///
+    /// Checked invariants:
+    ///
+    /// * `names` and `labels` are duplicate-free, non-empty strings
+    ///   (intern-table well-formedness);
+    /// * `label_targets` has exactly one entry per label;
+    /// * the block tree rooted at `body` visits every arena statement
+    ///   exactly once — ids in bounds, no sharing, no orphans, no cycles;
+    /// * every [`Name`] and [`Label`] a statement or expression mentions
+    ///   is in bounds, and every `goto` target resolves to a statement;
+    /// * a label is attached to a statement iff `label_targets` maps it
+    ///   there.
+    ///
+    /// What this deliberately does *not* check is fidelity to any source
+    /// text — callers persisting a program next to its source rely on
+    /// their own integrity check (e.g. a whole-record checksum) for that.
+    pub fn from_parts(
+        stmts: Vec<Stmt>,
+        body: Vec<StmtId>,
+        names: Vec<String>,
+        labels: Vec<String>,
+        label_targets: Vec<Option<StmtId>>,
+    ) -> Option<Program> {
+        let names = Interner::from_entries(names)?;
+        let labels = Interner::from_entries(labels)?;
+        if label_targets.len() != labels.len() {
+            return None;
+        }
+        let n = stmts.len();
+        u32::try_from(n).ok()?;
+        let resolves =
+            |l: Label| l.index() < label_targets.len() && label_targets[l.index()].is_some();
+        // Iterative preorder over the block tree: hostile nesting depth
+        // must exhaust the worklist, not the call stack.
+        let mut visited = vec![false; n];
+        let mut attached = vec![false; labels.len()];
+        let mut seen = 0usize;
+        let mut work: Vec<StmtId> = body.clone();
+        while let Some(id) = work.pop() {
+            if id.index() >= n || std::mem::replace(&mut visited[id.index()], true) {
+                return None;
+            }
+            seen += 1;
+            let s = &stmts[id.index()];
+            for &l in &s.labels {
+                if !resolves(l)
+                    || label_targets[l.index()] != Some(id)
+                    || std::mem::replace(&mut attached[l.index()], true)
+                {
+                    return None;
+                }
+            }
+            let ok = match &s.kind {
+                StmtKind::Assign { lhs, rhs } => {
+                    lhs.index() < names.len() && expr_ok(rhs, names.len())
+                }
+                StmtKind::Read { var } => var.index() < names.len(),
+                StmtKind::Write { arg } => expr_ok(arg, names.len()),
+                StmtKind::Skip | StmtKind::Break | StmtKind::Continue => true,
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    work.extend_from_slice(then_branch);
+                    work.extend_from_slice(else_branch);
+                    expr_ok(cond, names.len())
+                }
+                StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
+                    work.extend_from_slice(body);
+                    expr_ok(cond, names.len())
+                }
+                StmtKind::Switch { scrutinee, arms } => {
+                    for arm in arms {
+                        work.extend_from_slice(&arm.body);
+                    }
+                    expr_ok(scrutinee, names.len())
+                }
+                StmtKind::Goto { target } => resolves(*target),
+                StmtKind::CondGoto { cond, target } => {
+                    resolves(*target) && expr_ok(cond, names.len())
+                }
+                StmtKind::Return { value } => match value {
+                    Some(e) => expr_ok(e, names.len()),
+                    None => true,
+                },
+            };
+            if !ok {
+                return None;
+            }
+        }
+        if seen != n {
+            return None;
+        }
+        // The reverse direction of label consistency: a mapped label whose
+        // statement never claimed it (or a dangling arena id) is a lie.
+        if attached
+            .iter()
+            .zip(&label_targets)
+            .any(|(&a, t)| a != t.is_some())
+        {
+            return None;
+        }
+        Some(Program {
+            stmts,
+            body,
+            names,
+            labels,
+            label_targets,
+        })
+    }
+
     /// Variables used (read) by a statement — the right-hand side, branch
     /// condition, written expression, or return value.
     pub fn uses(&self, id: StmtId) -> Vec<Name> {
@@ -525,6 +671,35 @@ impl Program {
         }
         out
     }
+}
+
+/// Bounds-checks every name an expression mentions. Iterative on purpose:
+/// decoded expressions can nest arbitrarily deep, and a recursive walk
+/// would turn hostile bytes into a stack overflow.
+fn expr_ok(e: &Expr, num_names: usize) -> bool {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::Num(_) => {}
+            Expr::Var(v) => {
+                if v.index() >= num_names {
+                    return false;
+                }
+            }
+            Expr::Unary(_, a) => stack.push(a),
+            Expr::Binary(_, l, r) => {
+                stack.push(l);
+                stack.push(r);
+            }
+            Expr::Call(f, args) => {
+                if f.index() >= num_names {
+                    return false;
+                }
+                stack.extend(args.iter());
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -614,5 +789,96 @@ mod tests {
         };
         assert!(rhs_of(1).has_call());
         assert!(!rhs_of(2).has_call());
+    }
+
+    type Parts = (
+        Vec<Stmt>,
+        Vec<StmtId>,
+        Vec<String>,
+        Vec<String>,
+        Vec<Option<StmtId>>,
+    );
+
+    /// Explodes a program into exactly what `from_parts` consumes, read
+    /// back through the public accessors a persisting codec would use.
+    fn parts(p: &Program) -> Parts {
+        (
+            p.stmts.clone(),
+            p.body.clone(),
+            p.all_names().map(|n| p.name_str(n).to_owned()).collect(),
+            p.all_labels().map(|l| p.label_str(l).to_owned()).collect(),
+            p.all_labels().map(|l| p.label_target(l)).collect(),
+        )
+    }
+
+    #[test]
+    fn from_parts_round_trips_parsed_programs() {
+        for src in [
+            "x = 1; write(x);",
+            "L: read(x); if (x > 0) goto L; while (x) { x = x - 1; break; } write(f1(x));",
+            "switch (x) { case 1: y = 2; default: return; } do { continue; } while (1);",
+        ] {
+            let p = parse(src).unwrap();
+            let (stmts, body, names, labels, targets) = parts(&p);
+            let back = Program::from_parts(stmts, body, names, labels, targets)
+                .expect("a parsed program's own parts are valid");
+            assert_eq!(back, p, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_lies() {
+        let p = parse("L: read(x); if (x) goto L;").unwrap();
+        let ok = parts(&p);
+
+        // Duplicate interner entry.
+        let mut bad = ok.clone();
+        bad.2.push(bad.2[0].clone());
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // An arena statement the block tree never reaches (orphan).
+        let mut bad = ok.clone();
+        bad.0.push(Stmt {
+            kind: StmtKind::Skip,
+            labels: vec![],
+            line: 99,
+        });
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // The same statement listed twice (sharing).
+        let mut bad = ok.clone();
+        let first = bad.1[0];
+        bad.1.push(first);
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // A body id past the arena.
+        let mut bad = ok.clone();
+        bad.1.push(StmtId::from_index(100));
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // An out-of-bounds name inside an expression.
+        let mut bad = ok.clone();
+        let cg = bad
+            .0
+            .iter()
+            .position(|s| matches!(s.kind, StmtKind::CondGoto { .. }))
+            .expect("fixture has a fused conditional goto");
+        if let StmtKind::CondGoto { cond, .. } = &mut bad.0[cg].kind {
+            *cond = Expr::Var(Name::from_index(50));
+        }
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // A goto whose label has no target statement.
+        let mut bad = ok.clone();
+        bad.4[0] = None;
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // A label map pointing at a statement that never claimed it.
+        let mut bad = ok.clone();
+        bad.4[0] = Some(StmtId::from_index(1));
+        assert!(Program::from_parts(bad.0, bad.1, bad.2, bad.3, bad.4).is_none());
+
+        // The untampered parts still pass (the fixture itself is valid).
+        assert!(Program::from_parts(ok.0, ok.1, ok.2, ok.3, ok.4).is_some());
     }
 }

@@ -21,6 +21,21 @@ impl Interner {
         id
     }
 
+    /// Rebuilds an interner from its resolved strings, in id order — the
+    /// inverse of resolving `0..len()`. Returns `None` if any entry is
+    /// empty or repeats: duplicates would give two ids for one string, and
+    /// `lookup` could then disagree with `resolve`.
+    pub(crate) fn from_entries(strings: Vec<String>) -> Option<Interner> {
+        u32::try_from(strings.len()).ok()?;
+        let mut ids = HashMap::with_capacity(strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            if s.is_empty() || ids.insert(s.clone(), i as u32).is_some() {
+                return None;
+            }
+        }
+        Some(Interner { strings, ids })
+    }
+
     pub(crate) fn lookup(&self, s: &str) -> Option<u32> {
         self.ids.get(s).copied()
     }

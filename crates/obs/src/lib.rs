@@ -531,6 +531,12 @@ const KNOWN_COUNTS: &[&str] = &[
     "serve.cache.evict",
     "serve.requests",
     "serve.degraded",
+    "serve.store.hit",
+    "serve.store.miss",
+    "serve.store.evict",
+    "serve.store.corrupt",
+    "serve.store.write",
+    "store.corrupt_fallback",
     "edges",
 ];
 

@@ -7,6 +7,19 @@
 //! `{"ok":false}` response and drops the (possibly poisoned) cache entry
 //! instead of the process.
 //!
+//! # The persistent snapshot tier
+//!
+//! With [`Engine::with_store`], a [`SnapshotStore`] becomes a second
+//! cache tier below the in-memory [`AnalysisCache`]. A `load` whose key
+//! has a record on disk restores the parsed program and every persisted
+//! analysis artifact without recomputing them (`"restored": true` in the
+//! response); every successful `slice` writes the warm analysis behind
+//! the response so the *next* process start is the one that benefits.
+//! Anything wrong with a record — version skew, truncation, bit rot, an
+//! FNV collision, a payload the current decoder rejects — falls back to
+//! the ordinary from-source build and is counted
+//! (`serve.store.corrupt` / `store.corrupt_fallback`), never served.
+//!
 //! # Deadlines and graceful degradation
 //!
 //! A `slice` request may carry `deadline_ms`. The deadline is installed as
@@ -29,12 +42,14 @@ use crate::hash::{content_hash, key_string};
 use crate::proto::{parse_request, CritSpec, Request};
 use jumpslice_core::{
     agrawal_slice, agrawal_slice_traced, cancel, chop, chop_executable, conservative_slice,
-    conventional_slice, structured_slice, BatchSlicer, Criterion, Slice, SliceFn,
+    conventional_slice, decode_snapshot, encode_snapshot, structured_slice, BatchSlicer, Criterion,
+    Slice, SliceFn,
 };
 use jumpslice_incr::{ApplyPath, EditSession};
 use jumpslice_lang::{parse, print_program, Program};
 use jumpslice_obs as obs;
 use jumpslice_obs::Json;
+use jumpslice_store::SnapshotStore;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -54,8 +69,12 @@ pub fn algo_by_name(name: &str) -> Option<SliceFn> {
 /// Shared request executor. Cheap to share; all mutability is interior.
 pub struct Engine {
     cache: AnalysisCache,
+    /// Second cache tier: persistent snapshots, written behind successful
+    /// slices and probed on `load` before any analysis work.
+    store: Option<SnapshotStore>,
     requests: AtomicU64,
     degraded: AtomicU64,
+    store_fallbacks: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -64,10 +83,25 @@ impl Engine {
     pub fn new(cache_bytes: usize) -> Engine {
         Engine {
             cache: AnalysisCache::new(cache_bytes),
+            store: None,
             requests: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            store_fallbacks: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Attaches a persistent snapshot store as the second cache tier.
+    /// `load` requests probe it before building from source, and every
+    /// successful `slice` writes the warm analysis behind the response.
+    pub fn with_store(mut self, store: SnapshotStore) -> Engine {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached snapshot store, if any.
+    pub fn store(&self) -> Option<&SnapshotStore> {
+        self.store.as_ref()
     }
 
     /// Whether a `shutdown` request has been handled.
@@ -137,7 +171,11 @@ impl Engine {
                 criteria,
                 deadline_ms,
             } => self.with_entry(program, |this, entry| {
-                this.slice(entry, &algo, &criteria, deadline_ms)
+                let out = this.slice(entry, &algo, &criteria, deadline_ms)?;
+                // The slice warmed every artifact the snapshot format
+                // persists, so this is the cheapest moment to write behind.
+                this.store_save(program, entry);
+                Ok(out)
             }),
             Request::Edit { program, edit } => {
                 // `edit` manages its own check-in: success moves the entry
@@ -217,7 +255,7 @@ impl Engine {
             }),
             Request::Stats => {
                 let c = self.cache.stats();
-                Ok(vec![
+                let mut fields = vec![
                     (
                         "requests".to_owned(),
                         Json::Num(self.requests.load(Ordering::SeqCst) as f64),
@@ -236,7 +274,27 @@ impl Engine {
                             ("evictions".to_owned(), Json::Num(c.evictions as f64)),
                         ]),
                     ),
-                ])
+                ];
+                if let Some(store) = &self.store {
+                    let s = store.stats();
+                    fields.push((
+                        "store".to_owned(),
+                        Json::Obj(vec![
+                            ("records".to_owned(), Json::Num(s.records as f64)),
+                            ("bytes".to_owned(), Json::Num(s.bytes as f64)),
+                            ("hits".to_owned(), Json::Num(s.hits as f64)),
+                            ("misses".to_owned(), Json::Num(s.misses as f64)),
+                            ("evictions".to_owned(), Json::Num(s.evictions as f64)),
+                            ("corrupt".to_owned(), Json::Num(s.corrupt as f64)),
+                            ("writes".to_owned(), Json::Num(s.writes as f64)),
+                            (
+                                "fallbacks".to_owned(),
+                                Json::Num(self.store_fallbacks.load(Ordering::SeqCst) as f64),
+                            ),
+                        ]),
+                    ));
+                }
+                Ok(fields)
             }
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -247,15 +305,84 @@ impl Engine {
 
     fn load(&self, source: String) -> Result<Vec<(String, Json)>, String> {
         let key = content_hash(&source);
-        let prog = parse(&source).map_err(|e| format!("parse error: {e}"))?;
-        let stmts = prog.len();
-        let session = EditSession::try_new(prog).map_err(|e| format!("unanalyzable: {e}"))?;
+        let (session, restored) = match self.restore(key, &source) {
+            Some(session) => (session, true),
+            None => {
+                let prog = parse(&source).map_err(|e| format!("parse error: {e}"))?;
+                let session =
+                    EditSession::try_new(prog).map_err(|e| format!("unanalyzable: {e}"))?;
+                (session, false)
+            }
+        };
+        let stmts = session.prog().len();
         let cached = self.cache.insert(key, Entry::new(session, source));
         Ok(vec![
             ("program".to_owned(), Json::Str(key_string(key))),
             ("stmts".to_owned(), Json::Num(stmts as f64)),
             ("cached".to_owned(), Json::Bool(cached)),
+            ("restored".to_owned(), Json::Bool(restored)),
         ])
+    }
+
+    /// Probes the snapshot store for `key` and rebuilds a session from the
+    /// persisted artifacts. Any failure past the record layer — payload
+    /// that no longer decodes, an FNV collision (embedded source differs
+    /// from the request's), a snapshot of a program the current analyzer
+    /// rejects — is counted as `store.corrupt_fallback` and answered with
+    /// `None`, which sends the caller down the ordinary from-source path.
+    fn restore(&self, key: u64, source: &str) -> Option<EditSession> {
+        let store = self.store.as_ref()?;
+        let payload = store.load(key)?;
+        let fallback = |why: &str| {
+            let n = self.store_fallbacks.fetch_add(1, Ordering::SeqCst) + 1;
+            obs::record(|| obs::Event::Count {
+                name: "store.corrupt_fallback",
+                value: n,
+            });
+            eprintln!(
+                "jumpslice-serve: snapshot {} unusable ({why}); rebuilding from source",
+                key_string(key)
+            );
+        };
+        let snap = match decode_snapshot(&payload) {
+            Ok(snap) => snap,
+            Err(e) => {
+                fallback(&e.to_string());
+                return None;
+            }
+        };
+        // The store checksum makes this near-impossible, but a genuine
+        // FNV-1a collision would otherwise serve slices of the *other*
+        // program. Byte equality is the last word.
+        if snap.source != source {
+            fallback("content key collision");
+            return None;
+        }
+        match EditSession::try_with_seed(snap.prog, snap.seed) {
+            Ok(session) => Some(session),
+            Err(e) => {
+                fallback(&format!("unanalyzable: {e}"));
+                None
+            }
+        }
+    }
+
+    /// Write-behind: persist the warm analysis after a served slice. Best
+    /// effort — an I/O failure costs the next cold start, not this
+    /// response. Skips keys already on disk (content-addressed records
+    /// never change, so the first write is the only one needed).
+    fn store_save(&self, key: u64, entry: &Entry) {
+        let Some(store) = &self.store else { return };
+        if store.contains(key) {
+            return;
+        }
+        let payload = encode_snapshot(&entry.source, entry.session.prog(), entry.session.seed());
+        if let Err(e) = store.save(key, &payload) {
+            eprintln!(
+                "jumpslice-serve: could not persist snapshot {}: {e}",
+                key_string(key)
+            );
+        }
     }
 
     fn checkout(&self, key: u64) -> Result<Entry, String> {
@@ -480,6 +607,137 @@ mod tests {
             resp.starts_with(r#"{"id":7,"#),
             "id leads the response: {resp}"
         );
+    }
+
+    /// The serve e2e script (and the CI `store` job) greps responses for
+    /// exact JSON substrings, so field order is a contract, not an
+    /// accident: `id` first when the request carried one, then `ok`, then
+    /// the body (`error` first for failures). This test pins the exact
+    /// prefixes those greps rely on.
+    #[test]
+    fn response_field_order_is_a_pinned_contract() {
+        let e = Engine::new(usize::MAX);
+        let resp = e.handle_line(r#"{"id":3,"op":"stats"}"#);
+        assert!(
+            resp.starts_with(r#"{"id":3,"ok":true,"requests":"#),
+            "ok responses open id-then-ok-then-body: {resp}"
+        );
+        let resp = e.handle_line("not json");
+        assert!(
+            resp.starts_with(r#"{"ok":false,"error":""#),
+            "error responses open ok-then-error: {resp}"
+        );
+        let resp = e.handle_line(r#"{"id":9,"op":"nope"}"#);
+        assert!(
+            resp.starts_with(r#"{"id":9,"ok":false,"error":""#),
+            "errors still echo the id first: {resp}"
+        );
+        let key = load(&e, FIG3A);
+        let resp = e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
+        ));
+        assert!(
+            resp.starts_with(r#"{"ok":true,"algo":"fig7","degraded":false,"slices":["#),
+            "slice responses lead with algo and degraded: {resp}"
+        );
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let dir =
+            std::env::temp_dir().join(format!("jumpslice-engine-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn slice_lines(e: &Engine, key: &str, line: usize) -> String {
+        let resp = ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":{line}}}]}}"#
+        )));
+        resp.get("slices").and_then(Json::as_arr).expect("slices")[0]
+            .get("lines")
+            .expect("lines")
+            .write_compact()
+    }
+
+    #[test]
+    fn a_restarted_engine_restores_from_the_store_tier() {
+        let dir = tmpdir("restart");
+        let src = jumpslice_lang::print_program(&jumpslice_core::corpus::fig3());
+        let store = jumpslice_store::SnapshotStore::open(&dir, u64::MAX).unwrap();
+        let cold = Engine::new(usize::MAX).with_store(store);
+        let key = load(&cold, &src);
+        let lines_cold = slice_lines(&cold, &key, 4);
+        assert!(cold
+            .store()
+            .unwrap()
+            .contains(crate::hash::parse_key(&key).unwrap()));
+
+        // "Restart": a fresh engine (empty in-memory cache) over the same
+        // directory. The load must come back restored and slice the same.
+        let store = jumpslice_store::SnapshotStore::open(&dir, u64::MAX).unwrap();
+        let warm = Engine::new(usize::MAX).with_store(store);
+        let resp = ok(&warm.handle_line(
+            &Json::Obj(vec![
+                ("op".to_owned(), Json::Str("load".to_owned())),
+                ("source".to_owned(), Json::Str(src.clone())),
+            ])
+            .write_compact(),
+        ));
+        assert_eq!(resp.get("restored").and_then(Json::as_bool), Some(true));
+        assert_eq!(slice_lines(&warm, &key, 4), lines_cold);
+        let stats = ok(&warm.handle_line(r#"{"op":"stats"}"#));
+        let store_stats = stats.get("store").expect("store object in stats");
+        assert_eq!(store_stats.get("hits").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            store_stats.get("fallbacks").and_then(Json::as_num),
+            Some(0.0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_corrupt_snapshot_falls_back_to_the_source_build() {
+        let dir = tmpdir("corrupt");
+        let src = jumpslice_lang::print_program(&jumpslice_core::corpus::fig3());
+        let store = jumpslice_store::SnapshotStore::open(&dir, u64::MAX).unwrap();
+        let cold = Engine::new(usize::MAX).with_store(store);
+        let key = load(&cold, &src);
+        let lines_cold = slice_lines(&cold, &key, 4);
+
+        // Flip one payload byte in the only record on disk.
+        let record = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "snap"))
+            .expect("one snapshot record");
+        let mut bytes = std::fs::read(&record).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&record, &bytes).unwrap();
+
+        let store = jumpslice_store::SnapshotStore::open(&dir, u64::MAX).unwrap();
+        let warm = Engine::new(usize::MAX).with_store(store);
+        let resp = ok(&warm.handle_line(
+            &Json::Obj(vec![
+                ("op".to_owned(), Json::Str("load".to_owned())),
+                ("source".to_owned(), Json::Str(src.clone())),
+            ])
+            .write_compact(),
+        ));
+        // Degradation, not damage: the load succeeds un-restored and the
+        // slice is byte-identical to the cold engine's.
+        assert_eq!(resp.get("restored").and_then(Json::as_bool), Some(false));
+        assert_eq!(slice_lines(&warm, &key, 4), lines_cold);
+        let stats = ok(&warm.handle_line(r#"{"op":"stats"}"#));
+        let store_stats = stats.get("store").expect("store object in stats");
+        assert_eq!(store_stats.get("corrupt").and_then(Json::as_num), Some(1.0));
+        // The corrupt record was deleted; the slice above re-persisted it.
+        assert_eq!(store_stats.get("writes").and_then(Json::as_num), Some(1.0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! jumpslice-serve [--listen ADDR] [--workers N] [--queue N]
-//!                 [--cache-bytes N] [--replay-dir DIR]
+//!                 [--cache-bytes N] [--store-dir DIR] [--store-bytes N]
+//!                 [--replay-dir DIR]
 //! ```
 //!
 //! By default the daemon serves JSON-lines on stdin/stdout with a small
@@ -10,6 +11,14 @@
 //! the same protocol. `--workers 0` runs single-threaded inline (no pool,
 //! no queue) — useful for deterministic scripting. Shut down with a
 //! `{"op":"shutdown"}` request or by closing stdin (stdin-only mode).
+//!
+//! `--store-dir DIR` attaches the persistent snapshot store (DESIGN.md
+//! §11): completed analyses are written behind slice responses as
+//! versioned, checksummed records, and a restarted daemon pointed at the
+//! same directory serves its first slice without re-running
+//! reaching-definitions, PDG, postdominator, or lexical-successor
+//! construction. `--store-bytes N` caps the directory (LRU by mtime;
+//! default 1 GiB).
 //!
 //! `--replay-dir DIR` is not a daemon mode at all: it replays every
 //! difftest program artifact (`*.prog.txt`) in DIR through the serve
@@ -27,17 +36,23 @@ use std::sync::Arc;
 /// 256 MiB default cache budget — a few hundred medium programs.
 const DEFAULT_CACHE_BYTES: usize = 256 << 20;
 
+/// 1 GiB default on-disk snapshot budget (`--store-bytes`).
+const DEFAULT_STORE_BYTES: u64 = 1 << 30;
+
 struct Options {
     config: ServerConfig,
     cache_bytes: usize,
     inline: bool,
     replay_dir: Option<String>,
+    store_dir: Option<String>,
+    store_bytes: u64,
 }
 
 fn usage() -> &'static str {
     "usage: jumpslice-serve [--listen ADDR] [--workers N] [--queue N] \
-     [--cache-bytes N] [--replay-dir DIR]\n\
-     JSON-lines slice daemon; see DESIGN.md §10 for the protocol."
+     [--cache-bytes N] [--store-dir DIR] [--store-bytes N] [--replay-dir DIR]\n\
+     JSON-lines slice daemon; see DESIGN.md §10 for the protocol and §11 \
+     for the snapshot store."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -46,6 +61,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache_bytes: DEFAULT_CACHE_BYTES,
         inline: false,
         replay_dir: None,
+        store_dir: None,
+        store_bytes: DEFAULT_STORE_BYTES,
     };
     let mut i = 0;
     while i < args.len() {
@@ -81,6 +98,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--cache-bytes needs an integer".to_owned())?;
                 i += 2;
             }
+            "--store-dir" => {
+                opts.store_dir = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--store-bytes" => {
+                opts.store_bytes = value(i)?
+                    .parse()
+                    .map_err(|_| "--store-bytes needs an integer".to_owned())?;
+                i += 2;
+            }
             "--replay-dir" => {
                 opts.replay_dir = Some(value(i)?.clone());
                 i += 2;
@@ -105,11 +132,19 @@ fn main() -> ExitCode {
         }
     };
 
+    let engine = match build_engine(&opts) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("jumpslice-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     if let Some(dir) = &opts.replay_dir {
-        return replay(dir, opts.cache_bytes);
+        return replay(dir, &engine);
     }
 
-    let engine = Arc::new(Engine::new(opts.cache_bytes));
+    let engine = Arc::new(engine);
     if opts.inline {
         run_inline(&engine);
         return ExitCode::SUCCESS;
@@ -123,9 +158,23 @@ fn main() -> ExitCode {
     }
 }
 
+fn build_engine(opts: &Options) -> Result<Engine, String> {
+    let mut engine = Engine::new(opts.cache_bytes);
+    if let Some(dir) = &opts.store_dir {
+        let store = jumpslice_store::SnapshotStore::open(dir, opts.store_bytes)
+            .map_err(|e| format!("cannot open snapshot store {dir}: {e}"))?;
+        engine = engine.with_store(store);
+    }
+    Ok(engine)
+}
+
 /// Replays difftest program artifacts through the engine and cross-checks
-/// every line's Figure-7 slice against a direct library call.
-fn replay(dir: &str, cache_bytes: usize) -> ExitCode {
+/// every line's Figure-7 slice against a direct library call. With
+/// `--store-dir` the engine is store-backed, so a second replay over the
+/// same directory restores every program from its snapshot — the nightly
+/// workflow runs exactly that pair and the summary line's restore count
+/// proves the warm path served the same answers.
+fn replay(dir: &str, engine: &Engine) -> ExitCode {
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(e) => {
@@ -143,8 +192,8 @@ fn replay(dir: &str, cache_bytes: usize) -> ExitCode {
         .collect();
     paths.sort();
 
-    let engine = Engine::new(cache_bytes);
     let (mut programs, mut checked, mut skipped, mut mismatches) = (0usize, 0usize, 0usize, 0usize);
+    let mut restored = 0usize;
     for path in &paths {
         let Ok(source) = std::fs::read_to_string(path) else {
             skipped += 1;
@@ -171,6 +220,9 @@ fn replay(dir: &str, cache_bytes: usize) -> ExitCode {
             .and_then(Json::as_str)
             .expect("load responses carry the key")
             .to_owned();
+        if loaded.get("restored").and_then(Json::as_bool) == Some(true) {
+            restored += 1;
+        }
         let prog = jumpslice_lang::parse(&source).expect("engine accepted it");
         let analysis = jumpslice_core::Analysis::new(&prog);
         programs += 1;
@@ -213,6 +265,13 @@ fn replay(dir: &str, cache_bytes: usize) -> ExitCode {
     println!(
         "replay: {programs} programs, {checked} slices checked, {skipped} skipped, {mismatches} mismatches"
     );
+    if let Some(store) = engine.store() {
+        let s = store.stats();
+        println!(
+            "replay store: {restored} restored, {} hits, {} misses, {} writes, {} corrupt, {} records on disk",
+            s.hits, s.misses, s.writes, s.corrupt, s.records
+        );
+    }
     if mismatches == 0 {
         ExitCode::SUCCESS
     } else {

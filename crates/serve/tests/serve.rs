@@ -40,12 +40,20 @@ impl Daemon {
     /// Sends one request line and reads its one response line. Per-line
     /// lockstep keeps the pipes from filling in either direction.
     fn send(&mut self, line: &str) -> Json {
+        let raw = self.send_raw(line);
+        Json::parse(&raw).unwrap_or_else(|e| panic!("bad response {raw:?}: {e}"))
+    }
+
+    /// Like [`Daemon::send`] but returns the raw response line (without
+    /// the trailing newline) — for byte-identity assertions.
+    fn send_raw(&mut self, line: &str) -> String {
         writeln!(self.stdin, "{line}").expect("write request");
         self.stdin.flush().expect("flush request");
         let mut resp = String::new();
         self.stdout.read_line(&mut resp).expect("read response");
         assert!(!resp.is_empty(), "daemon closed mid-conversation");
-        Json::parse(&resp).unwrap_or_else(|e| panic!("bad response {resp:?}: {e}"))
+        resp.truncate(resp.trim_end().len());
+        resp
     }
 
     fn send_ok(&mut self, line: &str) -> Json {
@@ -301,6 +309,138 @@ fn cache_eviction_under_byte_budget() {
     );
     let k1b = load(&e, "read(a); write(a);");
     assert_eq!(k1b, k1, "content key is stable across eviction");
+}
+
+/// The tentpole acceptance scenario end-to-end: a daemon with
+/// `--store-dir` persists analyses behind slices; a *new process* over
+/// the same directory restores them (`restored: true`, a store hit in
+/// `stats`) and serves byte-identical responses; a corrupted record
+/// degrades to the from-source build — still byte-identical, counted,
+/// never fatal.
+#[test]
+fn daemon_restart_restores_from_store_and_survives_corruption() {
+    let dir = std::env::temp_dir().join(format!("jumpslice-store-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store_args = ["--workers", "0", "--store-dir", dir.to_str().expect("utf8")];
+    let src = jumpslice_lang::print_program(&jumpslice_core::corpus::fig8());
+
+    // Cold run: nothing on disk, load builds from source, slice persists.
+    let mut cold = Daemon::spawn(&store_args);
+    let (key, stmts) = load(&mut cold, &src);
+    let slice_req = format!(
+        r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":{stmts}}}]}}"#
+    );
+    let cold_resp = cold.send_raw(&slice_req);
+    let stats = cold.send_ok(r#"{"op":"stats"}"#);
+    let store = stats.get("store").expect("store stats present");
+    assert_eq!(store.get("writes").and_then(Json::as_num), Some(1.0));
+    assert_eq!(store.get("hits").and_then(Json::as_num), Some(0.0));
+    cold.send_ok(r#"{"op":"shutdown"}"#);
+    cold.finish();
+
+    // Restart over the same directory: the snapshot is the analysis.
+    let mut warm = Daemon::spawn(&store_args);
+    let req = Json::Obj(vec![
+        ("op".to_owned(), Json::Str("load".to_owned())),
+        ("source".to_owned(), Json::Str(src.clone())),
+    ])
+    .write_compact();
+    let j = warm.send_ok(&req);
+    assert_eq!(
+        j.get("restored").and_then(Json::as_bool),
+        Some(true),
+        "warm load must restore from the store: {j:?}"
+    );
+    let warm_resp = warm.send_raw(&slice_req);
+    assert_eq!(warm_resp, cold_resp, "restored slice is byte-identical");
+    let stats = warm.send_ok(r#"{"op":"stats"}"#);
+    let store = stats.get("store").expect("store stats present");
+    assert_eq!(store.get("hits").and_then(Json::as_num), Some(1.0));
+    assert_eq!(store.get("corrupt").and_then(Json::as_num), Some(0.0));
+    warm.send_ok(r#"{"op":"shutdown"}"#);
+    warm.finish();
+
+    // Flip a payload bit on disk. The next restart must detect it, fall
+    // back to building from source, and still answer identically.
+    let record = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "snap"))
+        .expect("one snapshot record");
+    let mut bytes = std::fs::read(&record).expect("read record");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&record, &bytes).expect("corrupt record");
+
+    let mut hurt = Daemon::spawn(&store_args);
+    let j = hurt.send_ok(&req);
+    assert_eq!(
+        j.get("restored").and_then(Json::as_bool),
+        Some(false),
+        "corrupt snapshot must not restore: {j:?}"
+    );
+    let hurt_resp = hurt.send_raw(&slice_req);
+    assert_eq!(hurt_resp, cold_resp, "fallback slice is byte-identical");
+    let stats = hurt.send_ok(r#"{"op":"stats"}"#);
+    let store = stats.get("store").expect("store stats present");
+    assert_eq!(store.get("corrupt").and_then(Json::as_num), Some(1.0));
+    assert_eq!(
+        store.get("writes").and_then(Json::as_num),
+        Some(1.0),
+        "the slice re-persisted a replacement record"
+    );
+    hurt.send_ok(r#"{"op":"shutdown"}"#);
+    hurt.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Store-backed replay: the first pass writes a snapshot per artifact,
+/// the second pass (a fresh process) restores every one of them — and
+/// both agree with the library on every slice.
+#[test]
+fn replay_mode_restores_from_the_store_on_the_second_pass() {
+    let base = std::env::temp_dir().join(format!("jumpslice-replay-store-{}", std::process::id()));
+    let progs = base.join("progs");
+    let store = base.join("store");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&progs).expect("mkdir");
+    for (name, prog, _) in jumpslice_core::corpus::all() {
+        std::fs::write(
+            progs.join(format!("{name}.prog.txt")),
+            jumpslice_lang::print_program(&prog),
+        )
+        .expect("write artifact");
+    }
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_jumpslice-serve"))
+            .args([
+                "--replay-dir",
+                progs.to_str().expect("utf8"),
+                "--store-dir",
+                store.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("replay runs");
+        assert!(
+            out.status.success(),
+            "replay failed:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    assert!(first.contains("0 mismatches"), "{first}");
+    assert!(first.contains("replay store: 0 restored"), "{first}");
+    let second = run();
+    assert!(second.contains("0 mismatches"), "{second}");
+    let programs = jumpslice_core::corpus::all().len();
+    assert!(
+        second.contains(&format!("replay store: {programs} restored")),
+        "every artifact restores on the second pass: {second}"
+    );
+    std::fs::remove_dir_all(&base).ok();
 }
 
 /// The replay mode cross-checks served slices against direct library

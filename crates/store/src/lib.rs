@@ -1,0 +1,577 @@
+//! The persistent snapshot store: content-addressed analysis payloads on
+//! disk, so a restarted daemon serves its first slice warm.
+//!
+//! The store is deliberately dumb about *what* it holds — records are
+//! opaque byte payloads keyed by a caller-supplied 64-bit content key (the
+//! daemon uses the FNV-1a hash of the program source, the same key its
+//! in-memory cache uses). What the store *is* opinionated about is
+//! surviving the real world:
+//!
+//! * **Versioned, checksummed records.** Every file starts with a fixed
+//!   header: magic, format version, the content key, the payload length,
+//!   and a word-at-a-time FNV-style checksum over version + key + payload.
+//!   A load validates
+//!   all of it; any mismatch — wrong version after an upgrade, truncation
+//!   from a torn write, bit rot, a file renamed under the wrong key — is a
+//!   counted rejection ([`RecordError`]), never a panic and never a wrong
+//!   payload.
+//! * **Corruption is degradation, not failure.** A corrupt record is
+//!   deleted and reported as a miss; the caller rebuilds from source and
+//!   usually re-saves. The `serve.store.corrupt` counter makes the
+//!   degradation observable.
+//! * **Atomic writes.** Payloads land in a temp file in the same directory
+//!   and are `rename`d into place, so a crash mid-write leaves either the
+//!   old state or the new record, never a half-written one under a live
+//!   name.
+//! * **Byte-budget LRU.** The directory is bounded: after each write, the
+//!   oldest records (by modification time — loads touch it) are evicted
+//!   until the total fits the budget, keeping at least the record just
+//!   written.
+//!
+//! Concurrency: one store value may be shared across threads (`&self`
+//! everywhere, counters atomic, writes serialized by an internal lock).
+//! Multiple *processes* sharing a directory are safe against torn reads by
+//! the checksum, though their evictions may race benignly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jumpslice_obs as obs;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// The record format version this build reads and writes. Bump on any
+/// payload- or header-layout change: old records then fail the version
+/// check and fall back to a from-source rebuild instead of misdecoding.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Record files start with these four bytes.
+pub const MAGIC: [u8; 4] = *b"JSST";
+
+/// Fixed header size: magic + version + key + payload length + checksum.
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// FNV-1a 64-bit over raw bytes — the content-key hash (the daemon keys
+/// programs by `fnv1a(source)`). The whole-record checksum uses the faster
+/// word-at-a-time variant below instead.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Why a record failed to decode. Every variant maps to "ignore this file
+/// and rebuild from source"; the variants exist so tests can pin that each
+/// failure mode is detected for the right reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// The first four bytes are not [`MAGIC`] — not a record at all.
+    BadMagic,
+    /// A record from a different format generation; carries the version
+    /// found on disk.
+    WrongVersion(u32),
+    /// The header's payload length disagrees with the bytes present.
+    LengthMismatch,
+    /// The whole-record checksum does not match — bit corruption somewhere
+    /// in version, key, or payload.
+    BadChecksum,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::TooShort => f.write_str("record shorter than its header"),
+            RecordError::BadMagic => f.write_str("bad magic"),
+            RecordError::WrongVersion(v) => write!(f, "unsupported format version {v}"),
+            RecordError::LengthMismatch => f.write_str("payload length mismatch"),
+            RecordError::BadChecksum => f.write_str("checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// The whole-record checksum: everything after the magic that the reader
+/// acts on, mixed with the FNV-1a step applied a 64-bit word at a time
+/// (byte-at-a-time FNV costs milliseconds on multi-megabyte snapshots,
+/// which would dominate the very restore latency the store exists to
+/// save). The payload words feed four independent lanes, round-robin:
+/// a single chain's throughput is bound by the multiply's latency, while
+/// four interleaved chains keep the multiplier busy every cycle.
+///
+/// Corruption coverage: each lane's `xor`-then-multiply step is bijective
+/// in the running hash, so any single corrupted word — hence any single
+/// flipped bit — changes exactly one lane's final value; the combining
+/// fold is bijective in every lane, so the change reaches the sum.
+/// Seeding lane 0 with the payload length keeps distinct-length payloads
+/// with a shared prefix from colliding.
+fn checksum(version: u32, key: u64, payload: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mix = |h: u64, w: u64| (h ^ w).wrapping_mul(PRIME);
+    let mut lanes = [
+        mix(OFFSET, payload.len() as u64),
+        mix(OFFSET, u64::from(version)),
+        mix(OFFSET, key),
+        OFFSET,
+    ];
+    let mut blocks = payload.chunks_exact(32);
+    for b in &mut blocks {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().expect("sized"));
+            *lane = mix(*lane, w);
+        }
+    }
+    let mut i = 0;
+    let mut words = blocks.remainder().chunks_exact(8);
+    for w in &mut words {
+        lanes[i] = mix(
+            lanes[i],
+            u64::from_le_bytes(w.try_into().expect("chunks_exact(8)")),
+        );
+        i += 1;
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        lanes[i] = mix(lanes[i], u64::from_le_bytes(tail));
+    }
+    mix(mix(mix(lanes[0], lanes[1]), lanes[2]), lanes[3])
+}
+
+/// Frames `payload` as a versioned record under `key`.
+pub fn encode_record(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(FORMAT_VERSION, key, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a record and returns its key and a borrow of its payload.
+///
+/// The version check runs before the checksum: a future format may change
+/// the checksum recipe itself, so an old reader must classify new-version
+/// records as [`RecordError::WrongVersion`], not as corruption.
+pub fn decode_record(bytes: &[u8]) -> Result<(u64, &[u8]), RecordError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(RecordError::TooShort);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("sized"));
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("sized"));
+    let version = u32_at(4);
+    if version != FORMAT_VERSION {
+        return Err(RecordError::WrongVersion(version));
+    }
+    let key = u64_at(8);
+    let len = u64_at(16);
+    let stored_sum = u64_at(24);
+    let payload = &bytes[HEADER_LEN..];
+    if len != payload.len() as u64 {
+        return Err(RecordError::LengthMismatch);
+    }
+    if checksum(version, key, payload) != stored_sum {
+        return Err(RecordError::BadChecksum);
+    }
+    Ok((key, payload))
+}
+
+/// Counter and occupancy snapshot for [`SnapshotStore::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records currently on disk.
+    pub records: usize,
+    /// Total record bytes currently on disk.
+    pub bytes: u64,
+    /// Loads that returned a valid payload.
+    pub hits: u64,
+    /// Loads that found no record.
+    pub misses: u64,
+    /// Records evicted by the byte budget.
+    pub evictions: u64,
+    /// Loads that found a record but rejected it (bad version, truncation,
+    /// checksum, or key mismatch); the file is deleted.
+    pub corrupt: u64,
+    /// Records written (deduplicated saves not counted).
+    pub writes: u64,
+}
+
+/// The on-disk snapshot store described in the module docs.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    byte_budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+    /// Serializes save + evict so two writers cannot double-evict.
+    write_lock: Mutex<()>,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store in `dir`, evicting past
+    /// `byte_budget` total record bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when `dir` cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, byte_budget: u64) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore {
+            dir,
+            byte_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.snap"))
+    }
+
+    /// Whether a record for `key` is on disk (without validating it).
+    pub fn contains(&self, key: u64) -> bool {
+        self.path(key).exists()
+    }
+
+    /// Loads and validates the record for `key`. `None` means "no usable
+    /// record" — absent, unreadable, or corrupt (corrupt files are deleted
+    /// and counted, so the next save can replace them). A hit refreshes the
+    /// record's modification time, keeping hot programs out of the LRU's
+    /// reach.
+    pub fn load(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.path(key);
+        let mut bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.bump(&self.misses, "serve.store.miss");
+                return None;
+            }
+        };
+        match decode_record(&bytes) {
+            Ok((k, _)) if k == key => {
+                self.bump(&self.hits, "serve.store.hit");
+                touch(&path);
+                // Shift the header off in place rather than copying the
+                // (multi-megabyte) payload into a fresh allocation.
+                bytes.drain(..HEADER_LEN);
+                Some(bytes)
+            }
+            _ => {
+                // Wrong key under this filename is corruption too: the
+                // payload belongs to some other program.
+                fs::remove_file(&path).ok();
+                self.bump(&self.corrupt, "serve.store.corrupt");
+                None
+            }
+        }
+    }
+
+    /// Persists `payload` under `key`, atomically. Content is immutable
+    /// under its key, so an existing record makes this a no-op; returns
+    /// whether a record was actually written. Eviction runs after a write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the temp-file write or the rename; the
+    /// store directory is left without a partial record either way.
+    pub fn save(&self, key: u64, payload: &[u8]) -> io::Result<bool> {
+        let _g = self.write_lock.lock().expect("store write lock");
+        let path = self.path(key);
+        if path.exists() {
+            return Ok(false);
+        }
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{key:016x}-{}", std::process::id()));
+        fs::write(&tmp, encode_record(key, payload))?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => {}
+            Err(e) => {
+                fs::remove_file(&tmp).ok();
+                return Err(e);
+            }
+        }
+        self.bump(&self.writes, "serve.store.write");
+        self.evict_over_budget(key);
+        Ok(true)
+    }
+
+    /// Counter and occupancy snapshot (occupancy by directory scan).
+    pub fn stats(&self) -> StoreStats {
+        let mut records = 0usize;
+        let mut bytes = 0u64;
+        for (_, _, len) in self.scan() {
+            records += 1;
+            bytes += len;
+        }
+        StoreStats {
+            records,
+            bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(&self, counter: &AtomicU64, name: &'static str) {
+        let v = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::record(|| obs::Event::Count { name, value: v });
+    }
+
+    /// Every record file: `(path, mtime, len)`. Temp files and strangers
+    /// are ignored.
+    fn scan(&self) -> Vec<(PathBuf, SystemTime, u64)> {
+        let Ok(rd) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        rd.flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let stem = name.strip_suffix(".snap")?;
+                if stem.len() != 16 || !stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((e.path(), mtime, meta.len()))
+            })
+            .collect()
+    }
+
+    /// Deletes oldest-modified records until the directory fits the
+    /// budget; `keep` (the record just written) is never a victim, so one
+    /// oversized snapshot still persists rather than thrashing.
+    fn evict_over_budget(&self, keep: u64) {
+        let keep_path = self.path(keep);
+        let mut files = self.scan();
+        let mut total: u64 = files.iter().map(|&(_, _, len)| len).sum();
+        files.sort_by_key(|&(_, mtime, _)| mtime);
+        for (path, _, len) in files {
+            if total <= self.byte_budget {
+                break;
+            }
+            if path == keep_path {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= len;
+                self.bump(&self.evictions, "serve.store.evict");
+            }
+        }
+    }
+}
+
+/// Best-effort mtime refresh; ignored on filesystems that refuse it (the
+/// LRU then degrades toward FIFO, which is still bounded).
+fn touch(path: &Path) {
+    if let Ok(f) = fs::OpenOptions::new().write(true).open(path) {
+        f.set_modified(SystemTime::now()).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "jumpslice-store-{tag}-{}-{:x}",
+            std::process::id(),
+            // Distinct per test invocation without a clock: address of a
+            // fresh leak-free local is not portable, so use a counter.
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    #[test]
+    fn record_round_trips() {
+        for payload in [&b""[..], b"x", &[0u8; 1000][..]] {
+            let rec = encode_record(0xDEAD_BEEF, payload);
+            assert_eq!(decode_record(&rec), Ok((0xDEAD_BEEF, payload)));
+        }
+    }
+
+    /// Pinned: a version-mismatched record is classified as WrongVersion
+    /// even when its checksum is internally consistent — upgrades fall
+    /// back cleanly instead of reporting corruption.
+    #[test]
+    fn version_mismatch_is_rejected_as_wrong_version() {
+        let key = 7u64;
+        let payload = b"future payload";
+        let v2 = FORMAT_VERSION + 1;
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&MAGIC);
+        rec.extend_from_slice(&v2.to_le_bytes());
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(&checksum(v2, key, payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        assert_eq!(decode_record(&rec), Err(RecordError::WrongVersion(v2)));
+    }
+
+    /// Pinned: truncation anywhere — header or payload — is an error,
+    /// never a panic or a short read.
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let rec = encode_record(42, b"some payload worth keeping");
+        for cut in 0..rec.len() {
+            let err = decode_record(&rec[..cut]).expect_err("truncated record must fail");
+            assert!(
+                matches!(
+                    err,
+                    RecordError::TooShort | RecordError::LengthMismatch | RecordError::BadChecksum
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    /// Pinned: any single flipped bit is caught by magic, version, length,
+    /// or checksum validation.
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let rec = encode_record(42, b"bit flips shall not pass");
+        for byte in 0..rec.len() {
+            for bit in 0..8 {
+                let mut bad = rec.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_record(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    /// A record renamed under another key (or a hash collision) fails the
+    /// key comparison in `load` and is treated as corruption.
+    #[test]
+    fn key_mismatch_on_disk_is_corruption() {
+        let dir = tmpdir("keymismatch");
+        let store = SnapshotStore::open(&dir, u64::MAX).unwrap();
+        store.save(1, b"payload of key 1").unwrap();
+        fs::rename(dir.join(format!("{:016x}.snap", 1)), store.path(2)).unwrap();
+        assert_eq!(store.load(2), None);
+        assert!(!store.contains(2), "corrupt record deleted");
+        assert_eq!(store.stats().corrupt, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_load_hit_miss_and_dedup() {
+        let dir = tmpdir("basic");
+        let store = SnapshotStore::open(&dir, u64::MAX).unwrap();
+        assert_eq!(store.load(9), None, "empty store misses");
+        assert!(store.save(9, b"nine").unwrap());
+        assert!(!store.save(9, b"nine again").unwrap(), "dedup save");
+        assert_eq!(store.load(9), Some(b"nine".to_vec()), "first save wins");
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.records), (1, 1, 1, 1));
+        assert!(s.bytes >= HEADER_LEN as u64);
+
+        // A fresh store over the same directory — the restart — still
+        // serves the record.
+        let store2 = SnapshotStore::open(&dir, u64::MAX).unwrap();
+        assert_eq!(store2.load(9), Some(b"nine".to_vec()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_bytes_on_disk_fall_back_and_delete() {
+        let dir = tmpdir("corrupt");
+        let store = SnapshotStore::open(&dir, u64::MAX).unwrap();
+        store.save(5, b"to be mangled").unwrap();
+        let path = store.path(5);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.load(5), None, "corruption is a miss, not a panic");
+        assert!(!path.exists(), "corrupt record deleted for re-save");
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(store.save(5, b"to be mangled").unwrap(), "re-save works");
+        assert_eq!(store.load(5), Some(b"to be mangled".to_vec()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_removes_oldest_but_never_the_just_written() {
+        let dir = tmpdir("evict");
+        // Budget fits roughly one record.
+        let store = SnapshotStore::open(&dir, (HEADER_LEN + 40) as u64).unwrap();
+        store.save(1, &[1u8; 32]).unwrap();
+        // Age record 1 explicitly — mtime granularity is too coarse to
+        // rely on write order inside one test.
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(store.path(1))
+            .unwrap();
+        f.set_modified(SystemTime::UNIX_EPOCH).unwrap();
+        drop(f);
+        store.save(2, &[2u8; 32]).unwrap();
+        assert!(!store.contains(1), "oldest evicted");
+        assert!(store.contains(2), "just-written survives its own eviction");
+        assert_eq!(store.stats().evictions, 1);
+
+        // An oversized single record also survives (nothing else to evict).
+        let store2 = SnapshotStore::open(tmpdir("evict2"), 1).unwrap();
+        store2.save(3, &[3u8; 64]).unwrap();
+        assert!(store2.contains(3));
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(store2.dir()).ok();
+    }
+
+    #[test]
+    fn load_refreshes_mtime_to_protect_hot_records() {
+        let dir = tmpdir("touch");
+        let store = SnapshotStore::open(&dir, u64::MAX).unwrap();
+        store.save(1, b"hot").unwrap();
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(store.path(1))
+            .unwrap();
+        f.set_modified(SystemTime::UNIX_EPOCH).unwrap();
+        drop(f);
+        store.load(1).unwrap();
+        let mtime = fs::metadata(store.path(1)).unwrap().modified().unwrap();
+        assert!(mtime > SystemTime::UNIX_EPOCH, "hit refreshed the mtime");
+        fs::remove_dir_all(&dir).ok();
+    }
+}
