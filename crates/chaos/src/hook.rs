@@ -1,0 +1,291 @@
+//! `ChaosHook`: the daemon-side half of the fault plan, plus the lease
+//! tracker that turns the cache's event stream into invariant verdicts.
+//!
+//! The hook is installed via `Engine::with_fault_hook` and does two jobs:
+//!
+//! * **Inject** the plan's request-level faults — worker panics,
+//!   clock-free cancellations, queue rejections — each addressed by a
+//!   deterministic call counter.
+//! * **Observe** every cache lease event and feed it to a [`LeaseTracker`]
+//!   that checks, against the authoritative under-the-lock ordering, that
+//!   no key is ever double-leased, no leased entry is ever evicted, and no
+//!   entry dropped by a panic abort is ever served again without being
+//!   re-registered first.
+
+use crate::plan::{FaultPlan, SliceFaultAt};
+use jumpslice_serve::{FaultHook, LeaseEvent, SliceFault};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct TrackState {
+    /// Outstanding leases per key (the cache blocks a second checkout, so
+    /// anything above 1 is a violation).
+    leased: HashMap<u64, u64>,
+    /// Keys whose last lease was aborted and that have not been
+    /// re-registered since — serving one again is a resurrection.
+    poisoned: HashSet<u64>,
+    violations: Vec<String>,
+    checkouts: u64,
+    evictions: u64,
+}
+
+/// Replays the cache's lease-event stream and records every violation of
+/// the lease-protocol invariants. Events arrive under the cache lock, so
+/// the order seen here *is* the order the cache acted in.
+///
+/// The tracker assumes the driver's workload shape: concurrent clients do
+/// not produce content-colliding edits (two edits moving distinct entries
+/// onto one key while one of them is leased). The generated corpora keep
+/// that promise; the collision paths themselves are pinned by unit tests
+/// in `jumpslice-serve`.
+#[derive(Debug, Default)]
+pub struct LeaseTracker {
+    state: Mutex<TrackState>,
+}
+
+impl LeaseTracker {
+    fn observe(&self, event: LeaseEvent) {
+        let mut s = self.state.lock().expect("tracker lock");
+        match event {
+            LeaseEvent::Insert { key } => {
+                s.poisoned.remove(&key);
+            }
+            LeaseEvent::Checkout { key } => {
+                s.checkouts += 1;
+                if s.poisoned.contains(&key) {
+                    s.violations.push(format!(
+                        "poisoned entry resurrected: key {key:016x} served after a panic abort \
+                         with no re-registration"
+                    ));
+                }
+                let n = {
+                    let n = s.leased.entry(key).or_insert(0);
+                    *n += 1;
+                    *n
+                };
+                if n > 1 {
+                    s.violations.push(format!(
+                        "double lease: key {key:016x} checked out {n} times"
+                    ));
+                }
+            }
+            LeaseEvent::Miss { .. } => {}
+            LeaseEvent::Checkin { old_key, new_key } => {
+                release(&mut s, old_key);
+                s.poisoned.remove(&new_key);
+            }
+            LeaseEvent::Abort { key } => {
+                release(&mut s, key);
+                s.poisoned.insert(key);
+            }
+            LeaseEvent::Evict { key, leased } => {
+                s.evictions += 1;
+                if leased || s.leased.get(&key).copied().unwrap_or(0) > 0 {
+                    s.violations.push(format!(
+                        "leased entry evicted: key {key:016x} was checked out"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Every invariant violation observed so far, in event order.
+    pub fn violations(&self) -> Vec<String> {
+        self.state.lock().expect("tracker lock").violations.clone()
+    }
+
+    /// (checkouts, evictions) observed — coverage counters for reports.
+    pub fn activity(&self) -> (u64, u64) {
+        let s = self.state.lock().expect("tracker lock");
+        (s.checkouts, s.evictions)
+    }
+}
+
+fn release(s: &mut TrackState, key: u64) {
+    match s.leased.get_mut(&key) {
+        Some(n) if *n > 0 => *n -= 1,
+        _ => s.violations.push(format!(
+            "lease returned that was never taken: key {key:016x}"
+        )),
+    }
+}
+
+/// The installed fault hook: injects the plan's request-level faults and
+/// tracks lease traffic. One instance spans a whole chaos run, including
+/// a daemon restart — its counters are monotonic across engines, so the
+/// plan's schedule keeps advancing through the restart.
+#[derive(Debug)]
+pub struct ChaosHook {
+    slice_faults: Vec<SliceFaultAt>,
+    reject_enqueues: Vec<u64>,
+    evict_leased: bool,
+    slices: AtomicU64,
+    enqueues: AtomicU64,
+    restores: AtomicU64,
+    rejected: AtomicU64,
+    tracker: LeaseTracker,
+}
+
+impl ChaosHook {
+    /// A hook loaded with `plan`'s request-level schedule.
+    pub fn new(plan: &FaultPlan) -> ChaosHook {
+        ChaosHook {
+            slice_faults: plan.slice_faults.clone(),
+            reject_enqueues: plan.reject_enqueues.clone(),
+            evict_leased: plan.evict_leased,
+            slices: AtomicU64::new(0),
+            enqueues: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            tracker: LeaseTracker::default(),
+        }
+    }
+
+    /// The lease tracker accumulating invariant verdicts.
+    pub fn tracker(&self) -> &LeaseTracker {
+        &self.tracker
+    }
+
+    /// Successful snapshot restores observed.
+    pub fn restores(&self) -> u64 {
+        self.restores.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues rejected by the plan so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::SeqCst)
+    }
+}
+
+impl FaultHook for ChaosHook {
+    fn lease(&self, event: LeaseEvent) {
+        self.tracker.observe(event);
+    }
+
+    fn evict_leased(&self) -> bool {
+        self.evict_leased
+    }
+
+    fn slice_fault(&self) -> SliceFault {
+        let n = self.slices.fetch_add(1, Ordering::SeqCst);
+        match self.slice_faults.iter().find(|f| f.at == n) {
+            Some(SliceFaultAt {
+                cancel_fuel: None, ..
+            }) => SliceFault::Panic,
+            Some(SliceFaultAt {
+                cancel_fuel: Some(fuel),
+                ..
+            }) => SliceFault::CancelAfter(*fuel),
+            None => SliceFault::None,
+        }
+    }
+
+    fn restored(&self, _key: u64) {
+        self.restores.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn reject_enqueue(&self) -> bool {
+        let n = self.enqueues.fetch_add(1, Ordering::SeqCst);
+        let hit = self.reject_enqueues.binary_search(&n).is_ok();
+        if hit {
+            self.rejected.fetch_add(1, Ordering::SeqCst);
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    #[test]
+    fn a_clean_lease_lifecycle_produces_no_violations() {
+        let t = LeaseTracker::default();
+        t.observe(LeaseEvent::Insert { key: 1 });
+        t.observe(LeaseEvent::Checkout { key: 1 });
+        t.observe(LeaseEvent::Checkin {
+            old_key: 1,
+            new_key: 1,
+        });
+        t.observe(LeaseEvent::Checkout { key: 1 });
+        t.observe(LeaseEvent::Checkin {
+            old_key: 1,
+            new_key: 2,
+        });
+        t.observe(LeaseEvent::Evict {
+            key: 2,
+            leased: false,
+        });
+        assert_eq!(t.violations(), Vec::<String>::new());
+        assert_eq!(t.activity(), (2, 1));
+    }
+
+    #[test]
+    fn double_lease_and_leased_eviction_are_flagged() {
+        let t = LeaseTracker::default();
+        t.observe(LeaseEvent::Insert { key: 7 });
+        t.observe(LeaseEvent::Checkout { key: 7 });
+        t.observe(LeaseEvent::Checkout { key: 7 });
+        t.observe(LeaseEvent::Evict {
+            key: 7,
+            leased: true,
+        });
+        let v = t.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("double lease"));
+        assert!(v[1].contains("leased entry evicted"));
+    }
+
+    #[test]
+    fn panic_abort_then_checkout_without_reinsert_is_a_resurrection() {
+        let t = LeaseTracker::default();
+        t.observe(LeaseEvent::Insert { key: 3 });
+        t.observe(LeaseEvent::Checkout { key: 3 });
+        t.observe(LeaseEvent::Abort { key: 3 });
+        t.observe(LeaseEvent::Checkout { key: 3 });
+        let v = t.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("resurrected"));
+
+        // The legal path: abort, re-insert (a fresh load), then checkout.
+        let t = LeaseTracker::default();
+        t.observe(LeaseEvent::Insert { key: 3 });
+        t.observe(LeaseEvent::Checkout { key: 3 });
+        t.observe(LeaseEvent::Abort { key: 3 });
+        t.observe(LeaseEvent::Insert { key: 3 });
+        t.observe(LeaseEvent::Checkout { key: 3 });
+        assert_eq!(t.violations(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn hook_fires_slice_faults_and_rejections_on_exact_counts() {
+        let plan = FaultPlan {
+            slice_faults: vec![
+                SliceFaultAt {
+                    at: 1,
+                    cancel_fuel: None,
+                },
+                SliceFaultAt {
+                    at: 3,
+                    cancel_fuel: Some(17),
+                },
+            ],
+            reject_enqueues: vec![0, 2],
+            ..FaultPlan::quiet(0)
+        };
+        let h = ChaosHook::new(&plan);
+        assert_eq!(h.slice_fault(), SliceFault::None);
+        assert_eq!(h.slice_fault(), SliceFault::Panic);
+        assert_eq!(h.slice_fault(), SliceFault::None);
+        assert_eq!(h.slice_fault(), SliceFault::CancelAfter(17));
+        assert_eq!(h.slice_fault(), SliceFault::None);
+        assert!(h.reject_enqueue());
+        assert!(!h.reject_enqueue());
+        assert!(h.reject_enqueue());
+        assert!(!h.reject_enqueue());
+        assert_eq!(h.rejected(), 2);
+    }
+}

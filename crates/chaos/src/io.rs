@@ -1,0 +1,306 @@
+//! `FaultIo`: the [`StoreIo`] implementation that makes disks lie.
+//!
+//! Wraps the real filesystem and injects the [`FaultPlan`]'s scheduled IO
+//! faults by **per-category call count**: the plan's `io#7=torn-write`
+//! fires on the 8th `write` call the store makes, wherever that falls in
+//! the run. Counting is per category (reads, writes, renames, removals)
+//! and advances only while the injector is armed, so the driver can bring
+//! the store up cleanly, arm, and know the schedule lands on the same
+//! calls every replay.
+//!
+//! The faults are the crash-consistency classics:
+//!
+//! * failed reads (EIO) and **single-bit flips** at a seed-chosen offset,
+//! * failed writes (ENOSPC) and **torn writes** that persist a seed-chosen
+//!   prefix before failing — what a crash mid-`write(2)` leaves behind,
+//! * failed renames (the atomic-publish step) and failed removals (the
+//!   cleanup and eviction paths).
+
+use crate::plan::{FaultPlan, IoFault, IoFaultKind};
+use jumpslice_store::{FileMeta, RealIo, StoreIo};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+#[derive(Debug, Default)]
+struct Counters {
+    reads: u64,
+    writes: u64,
+    renames: u64,
+    removes: u64,
+}
+
+/// A [`StoreIo`] that replays a [`FaultPlan`]'s IO schedule over the real
+/// filesystem. Shared (`Arc`) between the store under test and the driver,
+/// which arms it and later audits [`FaultIo::fired`].
+#[derive(Debug)]
+pub struct FaultIo {
+    inner: RealIo,
+    armed: AtomicBool,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    counters: Counters,
+    faults: Vec<IoFault>,
+    fired: Vec<String>,
+}
+
+impl FaultIo {
+    /// An injector loaded with `plan`'s IO schedule, initially disarmed.
+    pub fn new(plan: &FaultPlan) -> FaultIo {
+        FaultIo {
+            inner: RealIo,
+            armed: AtomicBool::new(false),
+            state: Mutex::new(State {
+                counters: Counters::default(),
+                faults: plan.io_faults.clone(),
+                fired: Vec::new(),
+            }),
+        }
+    }
+
+    /// Starts counting calls and firing scheduled faults.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops injecting (counters freeze too, so re-arming resumes the
+    /// same schedule).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Descriptions of every fault that actually fired, in firing order.
+    pub fn fired(&self) -> Vec<String> {
+        self.state.lock().expect("fault io lock").fired.clone()
+    }
+
+    /// Takes the scheduled fault (if any) for the current call of a
+    /// category, advancing that category's counter.
+    fn take(
+        &self,
+        category: fn(&mut Counters) -> &mut u64,
+        matches: fn(IoFaultKind) -> bool,
+    ) -> Option<IoFault> {
+        if !self.armed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let mut g = self.state.lock().expect("fault io lock");
+        let n = {
+            let c = category(&mut g.counters);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        let hit = g.faults.iter().position(|f| f.at == n && matches(f.kind))?;
+        let fault = g.faults.remove(hit);
+        g.fired.push(format!("{}@{n}", fault.kind.name()));
+        Some(fault)
+    }
+}
+
+fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
+    io::Error::new(kind, format!("injected fault: {what}"))
+}
+
+impl StoreIo for FaultIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let fault = self.take(
+            |c| &mut c.reads,
+            |k| matches!(k, IoFaultKind::ReadErr | IoFaultKind::ReadBitFlip(_)),
+        );
+        match fault.map(|f| f.kind) {
+            Some(IoFaultKind::ReadErr) => Err(injected(io::ErrorKind::Other, "read error")),
+            Some(IoFaultKind::ReadBitFlip(seed)) => {
+                let mut bytes = self.inner.read(path)?;
+                if !bytes.is_empty() {
+                    // Seed-chosen single-bit corruption: the exact class the
+                    // store's checksum must catch on every record byte.
+                    let bit = (seed % (bytes.len() as u64 * 8)) as usize;
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                Ok(bytes)
+            }
+            _ => self.inner.read(path),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let fault = self.take(
+            |c| &mut c.writes,
+            |k| matches!(k, IoFaultKind::WriteErr | IoFaultKind::TornWrite(_)),
+        );
+        match fault.map(|f| f.kind) {
+            // `ErrorKind::Other` rather than `StorageFull`: the latter only
+            // stabilized in 1.83 and the store treats every write error the
+            // same way regardless of kind.
+            Some(IoFaultKind::WriteErr) => Err(injected(io::ErrorKind::Other, "write error")),
+            Some(IoFaultKind::TornWrite(seed)) => {
+                // Persist a seed-chosen strict prefix, then fail — the torn
+                // state a crash between write and fsync leaves on disk.
+                if !bytes.is_empty() {
+                    let keep = (seed % bytes.len() as u64) as usize;
+                    self.inner.write(path, &bytes[..keep])?;
+                }
+                Err(injected(io::ErrorKind::Other, "torn write"))
+            }
+            _ => self.inner.write(path, bytes),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let fault = self.take(|c| &mut c.renames, |k| matches!(k, IoFaultKind::RenameErr));
+        if fault.is_some() {
+            return Err(injected(io::ErrorKind::Other, "rename error"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let fault = self.take(|c| &mut c.removes, |k| matches!(k, IoFaultKind::RemoveErr));
+        if fault.is_some() {
+            return Err(injected(io::ErrorKind::Other, "remove error"));
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<FileMeta>> {
+        self.inner.list(dir)
+    }
+
+    fn set_modified(&self, path: &Path, mtime: SystemTime) -> io::Result<()> {
+        self.inner.set_modified(path, mtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!(
+            "jumpslice-chaos-io-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn plan_with(faults: Vec<IoFault>) -> FaultPlan {
+        FaultPlan {
+            io_faults: faults,
+            ..FaultPlan::quiet(0)
+        }
+    }
+
+    #[test]
+    fn disarmed_injector_is_a_passthrough_and_counts_nothing() {
+        let dir = tmpdir("passthrough");
+        let io = FaultIo::new(&plan_with(vec![IoFault {
+            at: 0,
+            kind: IoFaultKind::WriteErr,
+        }]));
+        let p = dir.join("f");
+        io.write(&p, b"hello").expect("disarmed write works");
+        assert_eq!(io.read(&p).expect("disarmed read works"), b"hello");
+        io.arm();
+        // The scheduled write#0 fault fires on the first *armed* write.
+        assert!(io.write(&p, b"again").is_err());
+        assert_eq!(io.fired(), vec!["write-err@0".to_owned()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_and_bit_flip_corrupts_one_bit() {
+        let dir = tmpdir("torn");
+        let io = FaultIo::new(&plan_with(vec![
+            IoFault {
+                at: 0,
+                kind: IoFaultKind::TornWrite(3),
+            },
+            IoFault {
+                at: 1,
+                kind: IoFaultKind::ReadBitFlip(9),
+            },
+        ]));
+        io.arm();
+        let p = dir.join("f");
+        let payload = b"0123456789";
+        assert!(io.write(&p, payload).is_err(), "torn write reports failure");
+        let on_disk = std::fs::read(&p).expect("prefix persisted");
+        assert_eq!(on_disk.len() as u64, 3 % payload.len() as u64);
+        assert_eq!(&on_disk[..], &payload[..on_disk.len()]);
+
+        io.write(&p, payload).expect("unscheduled write is clean");
+        let clean = io.read(&p).expect("read 0 unscheduled");
+        assert_eq!(clean, payload);
+        let flipped = io.read(&p).expect("read 1 flips a bit");
+        assert_ne!(flipped, payload);
+        let differing: u32 = flipped
+            .iter()
+            .zip(payload)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1, "exactly one bit differs");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_fire_once_and_replays_are_identical() {
+        let plan = plan_with(vec![IoFault {
+            at: 1,
+            kind: IoFaultKind::ReadErr,
+        }]);
+        let dir = tmpdir("replay");
+        let p = dir.join("f");
+        std::fs::write(&p, b"data").expect("seed file");
+        for _ in 0..2 {
+            let io = FaultIo::new(&plan);
+            io.arm();
+            assert!(io.read(&p).is_ok(), "read 0 clean");
+            assert!(io.read(&p).is_err(), "read 1 faulted");
+            assert!(io.read(&p).is_ok(), "fault consumed; read 2 clean");
+            assert_eq!(io.fired(), vec!["read-err@1".to_owned()]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rename_and_remove_faults_hit_their_categories() {
+        let dir = tmpdir("cat");
+        let io = FaultIo::new(&plan_with(vec![
+            IoFault {
+                at: 0,
+                kind: IoFaultKind::RenameErr,
+            },
+            IoFault {
+                at: 0,
+                kind: IoFaultKind::RemoveErr,
+            },
+        ]));
+        io.arm();
+        let a = dir.join("a");
+        let b = dir.join("b");
+        io.write(&a, b"x").expect("write unscheduled");
+        assert!(io.rename(&a, &b).is_err(), "rename 0 faulted");
+        io.rename(&a, &b).expect("rename 1 clean");
+        assert!(io.remove_file(&b).is_err(), "remove 0 faulted");
+        io.remove_file(&b).expect("remove 1 clean");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

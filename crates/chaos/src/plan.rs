@@ -1,0 +1,414 @@
+//! The fault schedule: what goes wrong, where, and exactly when.
+//!
+//! A [`FaultPlan`] is the unit of chaos. It is pure data — every fault is
+//! addressed by a deterministic *call counter* (the Nth store IO call, the
+//! Nth slice execution, the Nth enqueue), never by wall-clock time or OS
+//! scheduling — so replaying the same plan over the same programs takes
+//! the daemon through the same decision points in the same order, on any
+//! machine. That is what makes a chaos finding a regression test instead
+//! of an anecdote.
+//!
+//! Plans are sampled from a seed ([`FaultPlan::sample`]), rendered for
+//! humans ([`FaultPlan::describe`]), greedily minimized against a failing
+//! predicate ([`shrink_plan`]), and emitted as ready-to-paste regression
+//! tests ([`regression_test`]).
+
+use jumpslice_testkit::Rng;
+
+/// What a scheduled store-IO fault does when its call number comes up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The read fails outright (injected EIO).
+    ReadErr,
+    /// The read succeeds but one bit is flipped; which bit is chosen from
+    /// the carried seed and the payload length, so it is reproducible.
+    ReadBitFlip(u64),
+    /// The write fails with no bytes persisted (injected ENOSPC).
+    WriteErr,
+    /// The write persists a seed-chosen prefix and then fails — the torn
+    /// write a crash mid-`write(2)` leaves behind.
+    TornWrite(u64),
+    /// The rename fails (the atomic-publish step of a snapshot save).
+    RenameErr,
+    /// The removal fails (cleanup and eviction paths).
+    RemoveErr,
+}
+
+impl IoFaultKind {
+    /// Stable short name for reports and coverage tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::ReadErr => "read-err",
+            IoFaultKind::ReadBitFlip(_) => "read-bit-flip",
+            IoFaultKind::WriteErr => "write-err",
+            IoFaultKind::TornWrite(_) => "torn-write",
+            IoFaultKind::RenameErr => "rename-err",
+            IoFaultKind::RemoveErr => "remove-err",
+        }
+    }
+}
+
+/// One store-IO fault, armed for the `at`-th matching IO call (0-based,
+/// counted per plan across the whole store lifetime, `open` included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFault {
+    /// Which IO call (of the kind's category) the fault fires on.
+    pub at: u64,
+    /// What happens.
+    pub kind: IoFaultKind,
+}
+
+/// A fault injected into the `at`-th slice execution of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceFaultAt {
+    /// Which slice execution (0-based, counted engine-wide).
+    pub at: u64,
+    /// `None` fuel means a worker panic; `Some(n)` means a clock-free
+    /// cancellation after exactly `n` slicer checkpoints.
+    pub cancel_fuel: Option<u64>,
+}
+
+/// A complete deterministic fault schedule for one chaos run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed this plan was sampled from (kept for reports; replay uses the
+    /// explicit schedules below, not the seed).
+    pub seed: u64,
+    /// Store-IO faults by call count.
+    pub io_faults: Vec<IoFault>,
+    /// Worker panics and deterministic cancellations by slice count.
+    pub slice_faults: Vec<SliceFaultAt>,
+    /// Enqueue indices rejected with a structured `"queue full"` error.
+    pub reject_enqueues: Vec<u64>,
+    /// Known-bug override: let the cache evict leased entries. Never
+    /// sampled — only the `--inject-known-bug` self-test sets it, to prove
+    /// the lease tracker catches the violation.
+    pub evict_leased: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the control run).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Samples a plan from `seed`. Densities are chosen so a typical plan
+    /// carries a handful of IO faults and zero-to-two request-level
+    /// faults — enough to compose (a torn write *and* a failed cleanup),
+    /// sparse enough that most requests exercise the recovery paths'
+    /// surroundings rather than drowning in errors.
+    pub fn sample(seed: u64) -> FaultPlan {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let mut io_faults = Vec::new();
+        for _ in 0..rng.gen_range(0..6usize) {
+            // `at` ranges reflect each category's call frequency in a
+            // typical run: reads fire on every load/restore, while a store
+            // only writes (tmp), renames (publish), and removes (evict,
+            // cleanup) a handful of times — a fault scheduled past that
+            // would never land.
+            let (at, kind) = match rng.gen_range(0..6u32) {
+                0 => (rng.gen_range(0..24u64), IoFaultKind::ReadErr),
+                1 => (
+                    rng.gen_range(0..24u64),
+                    IoFaultKind::ReadBitFlip(rng.next_u64()),
+                ),
+                2 => (rng.gen_range(0..6u64), IoFaultKind::WriteErr),
+                3 => (
+                    rng.gen_range(0..6u64),
+                    IoFaultKind::TornWrite(rng.next_u64()),
+                ),
+                4 => (rng.gen_range(0..6u64), IoFaultKind::RenameErr),
+                _ => (rng.gen_range(0..4u64), IoFaultKind::RemoveErr),
+            };
+            io_faults.push(IoFault { at, kind });
+        }
+        io_faults.sort_by_key(|f| f.at);
+        let mut slice_faults = Vec::new();
+        for _ in 0..rng.gen_range(0..3usize) {
+            slice_faults.push(SliceFaultAt {
+                at: rng.gen_range(0..24u64),
+                cancel_fuel: if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0..64u64))
+                } else {
+                    None
+                },
+            });
+        }
+        slice_faults.sort_by_key(|f| f.at);
+        slice_faults.dedup_by_key(|f| f.at);
+        let mut reject_enqueues = Vec::new();
+        for _ in 0..rng.gen_range(0..2usize) {
+            reject_enqueues.push(rng.gen_range(0..32u64));
+        }
+        reject_enqueues.sort_unstable();
+        reject_enqueues.dedup();
+        FaultPlan {
+            seed,
+            io_faults,
+            slice_faults,
+            reject_enqueues,
+            evict_leased: false,
+        }
+    }
+
+    /// Total scheduled faults (the shrinker's progress measure).
+    pub fn fault_count(&self) -> usize {
+        self.io_faults.len()
+            + self.slice_faults.len()
+            + self.reject_enqueues.len()
+            + usize::from(self.evict_leased)
+    }
+
+    /// One-line human rendering for logs and CI artifacts.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        for f in &self.io_faults {
+            parts.push(format!("io#{}={}", f.at, f.kind.name()));
+        }
+        for f in &self.slice_faults {
+            match f.cancel_fuel {
+                None => parts.push(format!("slice#{}=panic", f.at)),
+                Some(n) => parts.push(format!("slice#{}=cancel@{n}", f.at)),
+            }
+        }
+        for r in &self.reject_enqueues {
+            parts.push(format!("enqueue#{r}=reject"));
+        }
+        if self.evict_leased {
+            parts.push("evict-leased(KNOWN BUG)".to_owned());
+        }
+        if parts.is_empty() {
+            parts.push("no faults".to_owned());
+        }
+        format!("plan(seed={}): {}", self.seed, parts.join(" "))
+    }
+
+    /// The plan as a Rust expression, for emitted regression tests.
+    pub fn to_literal(&self) -> String {
+        let io = self
+            .io_faults
+            .iter()
+            .map(|f| {
+                let kind = match f.kind {
+                    IoFaultKind::ReadErr => "IoFaultKind::ReadErr".to_owned(),
+                    IoFaultKind::ReadBitFlip(s) => format!("IoFaultKind::ReadBitFlip({s})"),
+                    IoFaultKind::WriteErr => "IoFaultKind::WriteErr".to_owned(),
+                    IoFaultKind::TornWrite(s) => format!("IoFaultKind::TornWrite({s})"),
+                    IoFaultKind::RenameErr => "IoFaultKind::RenameErr".to_owned(),
+                    IoFaultKind::RemoveErr => "IoFaultKind::RemoveErr".to_owned(),
+                };
+                format!("IoFault {{ at: {}, kind: {kind} }}", f.at)
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let slices = self
+            .slice_faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "SliceFaultAt {{ at: {}, cancel_fuel: {:?} }}",
+                    f.at, f.cancel_fuel
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "FaultPlan {{ seed: {}, io_faults: vec![{io}], slice_faults: vec![{slices}], \
+             reject_enqueues: vec!{:?}, evict_leased: {} }}",
+            self.seed, self.reject_enqueues, self.evict_leased
+        )
+    }
+}
+
+/// Greedily minimizes a failing plan: repeatedly drop one scheduled fault
+/// and keep the smaller plan whenever `fails` still holds, until no single
+/// removal preserves the failure. The result is 1-minimal — every
+/// remaining fault is load-bearing for the violation — which is exactly
+/// what a regression test should pin.
+pub fn shrink_plan(plan: &FaultPlan, fails: &dyn Fn(&FaultPlan) -> bool) -> FaultPlan {
+    let mut best = plan.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for i in 0..best.io_faults.len() {
+            let mut candidate = best.clone();
+            candidate.io_faults.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+        for i in 0..best.slice_faults.len() {
+            let mut candidate = best.clone();
+            candidate.slice_faults.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+        for i in 0..best.reject_enqueues.len() {
+            let mut candidate = best.clone();
+            candidate.reject_enqueues.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+                break;
+            }
+        }
+        if !progress && best.evict_leased {
+            let mut candidate = best.clone();
+            candidate.evict_leased = false;
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            }
+        }
+    }
+    best
+}
+
+/// Renders a shrunk counterexample as a ready-to-paste `#[test]` for
+/// `tests/chaos.rs`: it replays the minimized plan over the same program
+/// seed and asserts the run is violation-free (the assertion that failed
+/// when the test was generated).
+pub fn regression_test(plan: &FaultPlan, program_seed: u64, violation: &str) -> String {
+    let name = format!("chaos_regression_seed_{}_plan_{}", program_seed, plan.seed);
+    format!(
+        r#"/// Auto-generated by the chaos shrinker. Violation observed:
+///   {violation}
+/// The plan below is 1-minimal: removing any scheduled fault made the
+/// violation disappear.
+#[test]
+fn {name}() {{
+    use jumpslice_chaos::{{run_plan, ChaosConfig, FaultPlan, IoFault, IoFaultKind, SliceFaultAt}};
+    let plan = {literal};
+    let cfg = ChaosConfig {{ start_seed: {program_seed}, plans: 1, ..ChaosConfig::smoke() }};
+    let outcome = run_plan(&cfg, {program_seed}, &plan);
+    assert_eq!(outcome.violations, Vec::<String>::new());
+}}
+"#,
+        literal = plan.to_literal(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_never_sets_the_known_bug() {
+        for seed in 0..200 {
+            let a = FaultPlan::sample(seed);
+            let b = FaultPlan::sample(seed);
+            assert_eq!(a, b, "same seed, same plan");
+            assert!(!a.evict_leased, "the known bug is never sampled");
+        }
+        assert_ne!(FaultPlan::sample(1), FaultPlan::sample(2));
+    }
+
+    #[test]
+    fn sampled_schedules_are_sorted_and_deduplicated() {
+        for seed in 0..200 {
+            let p = FaultPlan::sample(seed);
+            assert!(p.io_faults.windows(2).all(|w| w[0].at <= w[1].at));
+            assert!(p.slice_faults.windows(2).all(|w| w[0].at < w[1].at));
+            assert!(p.reject_enqueues.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_the_one_load_bearing_fault() {
+        // Failure model: the run fails iff a torn write is scheduled.
+        let fails = |p: &FaultPlan| {
+            p.io_faults
+                .iter()
+                .any(|f| matches!(f.kind, IoFaultKind::TornWrite(_)))
+        };
+        let mut plan = FaultPlan::sample(7);
+        plan.io_faults.push(IoFault {
+            at: 11,
+            kind: IoFaultKind::TornWrite(42),
+        });
+        plan.slice_faults.push(SliceFaultAt {
+            at: 3,
+            cancel_fuel: None,
+        });
+        plan.reject_enqueues.push(5);
+        assert!(fails(&plan));
+        let small = shrink_plan(&plan, &fails);
+        assert!(fails(&small), "shrinking preserves the failure");
+        assert_eq!(small.fault_count(), 1, "exactly the torn write survives");
+        assert!(matches!(small.io_faults[0].kind, IoFaultKind::TornWrite(_)));
+    }
+
+    #[test]
+    fn shrinking_a_quiet_plan_is_a_fixpoint() {
+        let plan = FaultPlan::quiet(3);
+        let out = shrink_plan(&plan, &|_| true);
+        assert_eq!(out, plan);
+    }
+
+    #[test]
+    fn emitted_regression_tests_replay_the_literal_plan() {
+        let mut plan = FaultPlan::quiet(9);
+        plan.io_faults.push(IoFault {
+            at: 2,
+            kind: IoFaultKind::ReadBitFlip(77),
+        });
+        let test = regression_test(&plan, 4, "store served a corrupt snapshot");
+        assert!(test.contains("IoFaultKind::ReadBitFlip(77)"));
+        assert!(test.contains("chaos_regression_seed_4_plan_9"));
+        assert!(test.contains("store served a corrupt snapshot"));
+        assert!(test.contains("run_plan"));
+    }
+
+    #[test]
+    fn describe_names_every_fault_class() {
+        let plan = FaultPlan {
+            seed: 1,
+            io_faults: vec![
+                IoFault {
+                    at: 0,
+                    kind: IoFaultKind::TornWrite(5),
+                },
+                IoFault {
+                    at: 1,
+                    kind: IoFaultKind::ReadErr,
+                },
+            ],
+            slice_faults: vec![
+                SliceFaultAt {
+                    at: 2,
+                    cancel_fuel: None,
+                },
+                SliceFaultAt {
+                    at: 3,
+                    cancel_fuel: Some(9),
+                },
+            ],
+            reject_enqueues: vec![4],
+            evict_leased: false,
+        };
+        let d = plan.describe();
+        for needle in [
+            "io#0=torn-write",
+            "io#1=read-err",
+            "slice#2=panic",
+            "slice#3=cancel@9",
+            "enqueue#4=reject",
+        ] {
+            assert!(d.contains(needle), "{d} should mention {needle}");
+        }
+    }
+}

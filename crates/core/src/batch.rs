@@ -134,6 +134,11 @@ pub struct BatchSlicer<'a, 'p> {
     /// thread-local, so the coordinating thread's own deadline would never
     /// reach the scoped workers — it must travel through the slicer.
     deadline: Option<Instant>,
+    /// Clock-free cancellation trigger: each slicer call gets this many
+    /// checkpoint visits before the next one fires [`crate::cancel::CANCELLED`].
+    /// Travels to the workers exactly like the deadline. Fault-injection
+    /// machinery uses it to blow a "deadline" on a reproducible checkpoint.
+    checkpoint_fuel: Option<u64>,
 }
 
 impl<'a, 'p> BatchSlicer<'a, 'p> {
@@ -147,6 +152,7 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
             analysis,
             threads,
             deadline: None,
+            checkpoint_fuel: None,
         }
     }
 
@@ -167,6 +173,18 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
     /// [`try_slice_all`](BatchSlicer::try_slice_all) to catch it).
     pub fn with_deadline(self, deadline: Option<Instant>) -> BatchSlicer<'a, 'p> {
         BatchSlicer { deadline, ..self }
+    }
+
+    /// Installs a per-criterion checkpoint budget (see
+    /// [`crate::cancel::fuel`]): any criterion whose slicer visits more
+    /// than `fuel` checkpoints is cancelled, deterministically, machine
+    /// speed notwithstanding. Surfaces exactly like a blown deadline — a
+    /// [`BatchPanic`] classified by [`crate::cancel::is_cancelled`].
+    pub fn with_checkpoint_fuel(self, fuel: Option<u64>) -> BatchSlicer<'a, 'p> {
+        BatchSlicer {
+            checkpoint_fuel: fuel,
+            ..self
+        }
     }
 
     /// The shared analysis.
@@ -227,12 +245,15 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         let run_start = Instant::now();
 
         let deadline = self.deadline;
+        let checkpoint_fuel = self.checkpoint_fuel;
         let slice_one = |i: usize| -> Result<Slice, BatchPanic> {
             catch_unwind(AssertUnwindSafe(|| {
-                // Install the run's deadline on whichever thread executes
-                // this criterion; the guard drops (restoring nothing) even
-                // when the checkpoint's panic unwinds past it.
+                // Install the run's deadline and fuel on whichever thread
+                // executes this criterion; the guards drop (restoring
+                // nothing) even when the checkpoint's panic unwinds past
+                // them.
                 let _g = deadline.map(crate::cancel::deadline);
+                let _f = checkpoint_fuel.map(crate::cancel::fuel);
                 crate::cancel::checkpoint();
                 algo(a, &criteria[i])
             }))
@@ -481,6 +502,44 @@ mod tests {
             .try_slice_all(agrawal_slice, &criteria)
             .unwrap();
         assert_eq!(again.len(), criteria.len());
+    }
+
+    #[test]
+    fn exhausted_fuel_surfaces_as_a_classified_cancel() {
+        let p = corpus::fig3();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        for threads in [1, 4] {
+            let err = BatchSlicer::new(&a)
+                .with_threads(threads)
+                .with_checkpoint_fuel(Some(0))
+                .try_slice_all(agrawal_slice, &criteria)
+                .unwrap_err();
+            assert!(
+                crate::cancel::is_cancelled(&err.message),
+                "fuel exhaustion classifies as cancellation, got: {}",
+                err.message
+            );
+            assert_eq!(err.index, 0, "zero fuel trips on the first criterion");
+        }
+        // Fuel guards died with their slicer calls: a fresh run completes.
+        let again = BatchSlicer::new(&a)
+            .try_slice_all(agrawal_slice, &criteria)
+            .unwrap();
+        assert_eq!(again.len(), criteria.len());
+    }
+
+    #[test]
+    fn generous_fuel_changes_nothing() {
+        let p = corpus::fig10();
+        let a = Analysis::new(&p);
+        let criteria: Vec<Criterion> = p.stmt_ids().map(Criterion::at_stmt).collect();
+        let fueled = BatchSlicer::new(&a)
+            .with_threads(4)
+            .with_checkpoint_fuel(Some(u64::MAX))
+            .slice_all(agrawal_slice, &criteria);
+        let plain = BatchSlicer::new(&a).slice_all(agrawal_slice, &criteria);
+        assert_eq!(fueled, plain);
     }
 
     #[test]

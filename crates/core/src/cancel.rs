@@ -16,6 +16,14 @@
 //! is only consulted while a [`DeadlineGuard`] is live, so the slicers pay
 //! nothing for the capability.
 //!
+//! For *deterministic* expiry — fault injection that must fire on the same
+//! checkpoint on every run regardless of machine speed — there is a second,
+//! clock-free trigger: [`fuel`] installs a countdown of checkpoint visits,
+//! and the visit that exhausts it panics with the same [`CANCELLED`]
+//! sentinel. Wall-clock deadlines express "this request has 50ms"; fuel
+//! expresses "this request dies at exactly its 37th checkpoint", which is
+//! what a replayable chaos schedule needs.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +53,7 @@ pub const CANCELLED: &str = "jumpslice: deadline exceeded";
 
 thread_local! {
     static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+    static FUEL: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Restores the previously installed deadline (usually none) when dropped,
@@ -74,12 +83,48 @@ pub fn active() -> bool {
     DEADLINE.with(|d| d.get().is_some())
 }
 
-/// Panics with [`CANCELLED`] if this thread's deadline has passed. The
-/// slicing kernels call this at every fixpoint round boundary and worklist
-/// drain step; with no deadline installed it is a thread-local read and a
-/// branch.
+/// Restores the previously installed checkpoint fuel when dropped,
+/// mirroring [`DeadlineGuard`] — including during the unwind the
+/// exhausted checkpoint starts.
+#[must_use = "dropping the guard immediately uninstalls the fuel"]
+pub struct FuelGuard {
+    previous: Option<u64>,
+}
+
+impl Drop for FuelGuard {
+    fn drop(&mut self) {
+        FUEL.with(|f| f.set(self.previous));
+    }
+}
+
+/// Installs a checkpoint-count budget on the current thread for the
+/// guard's lifetime: each [`checkpoint`] visit consumes one unit, and the
+/// visit that finds the tank empty panics with [`CANCELLED`]. `fuel(0)`
+/// therefore fires on the very next checkpoint. Entirely clock-free, so a
+/// cancellation injected this way lands on the same statement of the same
+/// fixpoint round on every machine and every run.
+pub fn fuel(checkpoints: u64) -> FuelGuard {
+    let previous = FUEL.with(|f| f.replace(Some(checkpoints)));
+    FuelGuard { previous }
+}
+
+/// Whether checkpoint fuel is installed on this thread.
+pub fn fuel_active() -> bool {
+    FUEL.with(|f| f.get().is_some())
+}
+
+/// Panics with [`CANCELLED`] if this thread's deadline has passed or its
+/// checkpoint fuel is exhausted. The slicing kernels call this at every
+/// fixpoint round boundary and worklist drain step; with neither trigger
+/// installed it is two thread-local reads and branches.
 #[inline]
 pub fn checkpoint() {
+    if let Some(left) = FUEL.with(|f| f.get()) {
+        if left == 0 {
+            std::panic::panic_any(CANCELLED);
+        }
+        FUEL.with(|f| f.set(Some(left - 1)));
+    }
     if let Some(d) = DEADLINE.with(|d| d.get()) {
         if Instant::now() >= d {
             // The payload is the fixed sentinel so `is_cancelled` can
@@ -139,6 +184,42 @@ mod tests {
         checkpoint();
         drop(g1);
         assert!(!active());
+    }
+
+    /// Fuel fires on exactly the (n+1)-th checkpoint, every time — the
+    /// determinism the chaos scheduler depends on.
+    #[test]
+    fn fuel_exhausts_on_a_fixed_checkpoint_and_guard_restores() {
+        for budget in [0u64, 1, 5] {
+            let mut survived = 0u64;
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _g = fuel(budget);
+                loop {
+                    checkpoint();
+                    survived += 1;
+                }
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(is_cancelled(msg), "payload is the sentinel: {msg}");
+            assert_eq!(survived, budget, "fires on checkpoint {budget}");
+            assert!(!fuel_active(), "guard uninstalled during unwind");
+        }
+        checkpoint();
+    }
+
+    #[test]
+    fn fuel_guards_nest_and_restore() {
+        let g1 = fuel(100);
+        {
+            let _g2 = fuel(50);
+            assert!(fuel_active());
+            checkpoint();
+        }
+        assert!(fuel_active(), "outer fuel restored");
+        drop(g1);
+        assert!(!fuel_active());
+        checkpoint();
     }
 
     #[test]

@@ -95,6 +95,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -219,9 +220,17 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. The parser is recursive
+/// descent, so unbounded nesting (`[[[[…`, a few bytes per level) would
+/// overflow the thread stack — an *abort*, not a catchable panic, which on
+/// the serve daemon means a hostile one-line request kills the process.
+/// No legitimate producer in this workspace nests past single digits.
+pub const MAX_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -354,12 +363,27 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the nesting depth on container entry; [`MAX_DEPTH`] exceeded
+    /// is a structured error instead of an unrecoverable stack overflow.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -370,6 +394,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 other => {
@@ -385,10 +410,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -404,6 +431,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 other => {
@@ -468,6 +496,32 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    /// Pinned (hostile input): a few hundred kilobytes of `[` used to
+    /// recurse once per byte and overflow the stack — a process *abort* no
+    /// `catch_unwind` can contain, i.e. a one-line denial of service
+    /// against the serve daemon. Nesting past [`MAX_DEPTH`] must be a
+    /// structured parse error, while documents at the cap still parse.
+    #[test]
+    fn hostile_deep_nesting_is_an_error_not_a_stack_overflow() {
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(500_000);
+            let err = Json::parse(&bomb).expect_err("deep nesting rejected");
+            assert!(err.contains("nesting"), "useful diagnostic: {err}");
+        }
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok(), "the cap itself still parses");
+        let over = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).is_err(), "one past the cap fails");
+        // Sibling containers don't accumulate depth: the counter is
+        // nesting, not a total-container count.
+        let wide = format!("[{}]", vec!["[]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! with a trace sink installed; the daemon's `stats` op reads the same
 //! numbers through [`CacheStats`].
 
+use crate::fault::{LeaseEvent, SharedFaultHook};
 use jumpslice_incr::EditSession;
 use jumpslice_obs as obs;
 use std::collections::HashMap;
@@ -101,6 +102,8 @@ pub struct AnalysisCache {
     /// Signalled on every check-in and abort, waking workers queued behind
     /// a checked-out entry.
     returned: Condvar,
+    /// Fault-plane probe (see [`crate::fault`]); `None` in production.
+    hook: Option<SharedFaultHook>,
 }
 
 impl AnalysisCache {
@@ -115,6 +118,19 @@ impl AnalysisCache {
                 stats: CacheStats::default(),
             }),
             returned: Condvar::new(),
+            hook: None,
+        }
+    }
+
+    /// Installs a fault hook (chaos testing only); every lease event is
+    /// reported to it and its overrides are honored.
+    pub fn set_fault_hook(&mut self, hook: SharedFaultHook) {
+        self.hook = Some(hook);
+    }
+
+    fn probe(&self, event: LeaseEvent) {
+        if let Some(h) = &self.hook {
+            h.lease(event);
         }
     }
 
@@ -160,6 +176,7 @@ impl AnalysisCache {
                     name: "serve.cache.miss",
                     value: g.stats.misses,
                 });
+                self.probe(LeaseEvent::Insert { key });
                 self.evict_over_budget(&mut g);
                 false
             }
@@ -184,6 +201,7 @@ impl AnalysisCache {
                         name: "serve.cache.hit",
                         value: g.stats.hits,
                     });
+                    self.probe(LeaseEvent::Checkout { key });
                     return Some(*entry);
                 }
                 Some(Slot::CheckedOut { .. }) => {
@@ -195,6 +213,7 @@ impl AnalysisCache {
                         name: "serve.cache.miss",
                         value: g.stats.misses,
                     });
+                    self.probe(LeaseEvent::Miss { key });
                     return None;
                 }
             }
@@ -207,7 +226,16 @@ impl AnalysisCache {
     /// loaded — the returned session wins: it is warmer.
     pub fn checkin(&self, old_key: u64, new_key: u64, entry: Entry) {
         let mut g = self.inner.lock().expect("cache lock");
-        if let Some(Slot::CheckedOut { bytes }) = g.slots.remove(&old_key) {
+        // Clear the marker this lease left — but only if it is still a
+        // marker. A concurrent edit can check *its* entry in under our
+        // `old_key` (content collision), replacing the marker with a fresh
+        // `Present` entry; removing that entry here would silently drop a
+        // warm session and leak its bytes into the accounting forever
+        // (found by chaos concurrency stress: the cache then believed it
+        // was full and thrashed every later insert).
+        if let Some(Slot::CheckedOut { bytes }) = g.slots.get(&old_key) {
+            let bytes = *bytes;
+            g.slots.remove(&old_key);
             g.bytes = g.bytes.saturating_sub(bytes);
         }
         if let Some(old) = g.slots.remove(&new_key) {
@@ -229,6 +257,7 @@ impl AnalysisCache {
                 tick,
             },
         );
+        self.probe(LeaseEvent::Checkin { old_key, new_key });
         self.evict_over_budget(&mut g);
         drop(g);
         self.returned.notify_all();
@@ -239,9 +268,14 @@ impl AnalysisCache {
     /// internal state can no longer be trusted.
     pub fn abort_checkout(&self, key: u64) {
         let mut g = self.inner.lock().expect("cache lock");
-        if let Some(Slot::CheckedOut { bytes }) = g.slots.remove(&key) {
+        // Same collision guard as `checkin`: only the marker this lease
+        // left may be cleared; a colliding edit's fresh entry stays.
+        if let Some(Slot::CheckedOut { bytes }) = g.slots.get(&key) {
+            let bytes = *bytes;
+            g.slots.remove(&key);
             g.bytes = g.bytes.saturating_sub(bytes);
         }
+        self.probe(LeaseEvent::Abort { key });
         drop(g);
         self.returned.notify_all();
     }
@@ -260,13 +294,22 @@ impl AnalysisCache {
     /// fits the budget. Never evicts checked-out entries, and always keeps
     /// at least one resident entry, so a single over-budget program still
     /// serves rather than thrashing.
+    ///
+    /// The only exception to the checked-out pin is the fault hook's
+    /// [`evict_leased`](crate::fault::FaultHook::evict_leased) known-bug
+    /// override: with it the LRU victimizes lease markers too (treated as
+    /// infinitely old). That is a deliberate invariant violation — the
+    /// chaos harness's self-test injects it to prove its lease tracker
+    /// catches exactly this class of bug.
     fn evict_over_budget(&self, g: &mut Inner) {
+        let evict_leased = self.hook.as_ref().is_some_and(|h| h.evict_leased());
         while g.bytes > self.byte_budget {
             let resident = g
                 .slots
                 .iter()
                 .filter_map(|(k, s)| match s {
                     Slot::Present { tick, .. } => Some((*k, *tick)),
+                    Slot::CheckedOut { .. } if evict_leased => Some((*k, 0)),
                     Slot::CheckedOut { .. } => None,
                 })
                 .collect::<Vec<_>>();
@@ -277,13 +320,28 @@ impl AnalysisCache {
                 .into_iter()
                 .min_by_key(|&(_, tick)| tick)
                 .expect("len > 1 checked");
-            if let Some(Slot::Present { entry, .. }) = g.slots.remove(&victim) {
-                g.bytes = g.bytes.saturating_sub(entry.bytes);
-                g.stats.evictions += 1;
-                obs::record(|| obs::Event::Count {
-                    name: "serve.cache.evict",
-                    value: g.stats.evictions,
-                });
+            match g.slots.remove(&victim) {
+                Some(Slot::Present { entry, .. }) => {
+                    g.bytes = g.bytes.saturating_sub(entry.bytes);
+                    g.stats.evictions += 1;
+                    obs::record(|| obs::Event::Count {
+                        name: "serve.cache.evict",
+                        value: g.stats.evictions,
+                    });
+                    self.probe(LeaseEvent::Evict {
+                        key: victim,
+                        leased: false,
+                    });
+                }
+                Some(Slot::CheckedOut { bytes }) => {
+                    g.bytes = g.bytes.saturating_sub(bytes);
+                    g.stats.evictions += 1;
+                    self.probe(LeaseEvent::Evict {
+                        key: victim,
+                        leased: true,
+                    });
+                }
+                None => {}
             }
         }
     }
@@ -366,6 +424,134 @@ mod tests {
         cache.checkin(k, k2, got);
         assert!(cache.checkout(k).is_none(), "old key gone");
         assert!(cache.checkout(k2).is_some(), "entry rides to the new key");
+    }
+
+    /// Pinned (chaos finding, ISSUE 9 satellite fix): when worker B's edit
+    /// moves its entry onto a key worker A currently has checked out, A's
+    /// later check-in must not clobber B's fresh entry. The old code
+    /// removed the old-key slot unconditionally but only subtracted its
+    /// bytes when it was still a lease marker — so B's `Present` entry was
+    /// silently dropped *and* its bytes leaked into the accounting,
+    /// permanently shrinking the budget the cache believed it had.
+    #[test]
+    fn edit_collision_checkin_keeps_accounting_exact() {
+        let cache = AnalysisCache::new(usize::MAX);
+        let (ka, ea) = entry("a = 1; write(a);");
+        let (kb, eb) = entry("b = 2; write(b);");
+        let per_entry = ea.bytes;
+        cache.insert(ka, ea);
+        cache.insert(kb, eb);
+        let a = cache.checkout(ka).expect("A leases ka");
+        let b = cache.checkout(kb).expect("B leases kb");
+        // B's edit rewrote its program into A's exact content: B checks in
+        // under ka while A's lease marker sits there.
+        let (_, b_edited) = entry("a = 1; write(a);");
+        drop(b);
+        cache.checkin(kb, ka, b_edited);
+        // A returns its (unedited) lease under the same key.
+        cache.checkin(ka, ka, a);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "one program, one entry");
+        assert_eq!(
+            s.bytes, per_entry,
+            "accounting must equal the single resident entry, not leak the collided one"
+        );
+        assert!(cache.checkout(ka).is_some(), "the program still serves");
+    }
+
+    /// Pinned (same collision, abort path): an abort after the collision
+    /// must keep the colliding worker's warm entry — the marker the abort
+    /// wants to clear no longer exists.
+    #[test]
+    fn edit_collision_abort_keeps_the_fresh_entry() {
+        let cache = AnalysisCache::new(usize::MAX);
+        let (ka, ea) = entry("a = 1; write(a);");
+        let (kb, eb) = entry("b = 2; write(b);");
+        let per_entry = ea.bytes;
+        cache.insert(ka, ea);
+        cache.insert(kb, eb);
+        let _a = cache.checkout(ka).expect("A leases ka");
+        let b = cache.checkout(kb).expect("B leases kb");
+        drop(b);
+        let (_, b_edited) = entry("a = 1; write(a);");
+        cache.checkin(kb, ka, b_edited);
+        // A's request panicked; its recovery path aborts the lease.
+        cache.abort_checkout(ka);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "B's fresh entry survives A's abort");
+        assert_eq!(s.bytes, per_entry, "no leaked bytes");
+        assert!(cache.checkout(ka).is_some(), "still serves");
+    }
+
+    /// Property (ISSUE 9 satellite): under random insert/checkout/checkin
+    /// pressure against a tiny budget, a checked-out entry is never
+    /// evicted, and the byte accounting always equals the sum of the
+    /// slots' recorded sizes.
+    #[test]
+    fn leased_entries_survive_eviction_pressure_and_accounting_stays_exact() {
+        let sources = [
+            "a = 1; write(a);",
+            "b = 2; write(b);",
+            "c = 3; write(c);",
+            "d = 4; write(d);",
+        ];
+        let (_, probe) = entry(sources[0]);
+        let budget = probe.bytes + probe.bytes / 2; // ~1.5 entries
+        jumpslice_testkit::check(16, |rng| {
+            let cache = AnalysisCache::new(budget);
+            let mut leased: Vec<(u64, Entry)> = Vec::new();
+            for _ in 0..40 {
+                match rng.gen_range(0..3u32) {
+                    0 => {
+                        let (k, e) = entry(sources[rng.gen_range(0..sources.len())]);
+                        if leased.iter().all(|(lk, _)| *lk != k) {
+                            cache.insert(k, e);
+                        }
+                    }
+                    1 => {
+                        let (k, _) = entry(sources[rng.gen_range(0..sources.len())]);
+                        if leased.iter().all(|(lk, _)| *lk != k) {
+                            if let Some(e) = cache.checkout(k) {
+                                leased.push((k, e));
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(at) = leased.len().checked_sub(1) {
+                            let (k, e) = leased.remove(rng.gen_range(0..at + 1));
+                            cache.checkin(k, k, e);
+                            // The pin: an entry that was leased through any
+                            // amount of insert pressure is still resident
+                            // the moment it returns.
+                            let back = cache
+                                .checkout(k)
+                                .expect("a leased entry must never be evicted");
+                            cache.checkin(k, k, back);
+                        }
+                    }
+                }
+            }
+            let s = cache.stats();
+            let leased_bytes: usize = leased.iter().map(|(_, e)| e.bytes).sum();
+            assert!(
+                s.bytes >= leased_bytes,
+                "accounting {} cannot undercount the {} leased bytes",
+                s.bytes,
+                leased_bytes
+            );
+            // Return everything; the cache must come back to a consistent,
+            // budget-respecting state with no drift.
+            for (k, e) in leased.drain(..) {
+                cache.checkin(k, k, e);
+            }
+            let s = cache.stats();
+            assert!(
+                s.bytes <= budget || s.entries == 1,
+                "after all leases return: {} bytes across {} entries vs budget {budget}",
+                s.bytes,
+                s.entries
+            );
+        });
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! cannot accept that must re-issue the request without a deadline.
 
 use crate::cache::{AnalysisCache, CacheStats, Entry};
+use crate::fault::{SharedFaultHook, SliceFault};
 use crate::hash::{content_hash, key_string};
 use crate::proto::{parse_request, CritSpec, Request};
 use jumpslice_core::{
@@ -76,6 +77,8 @@ pub struct Engine {
     degraded: AtomicU64,
     store_fallbacks: AtomicU64,
     shutdown: AtomicBool,
+    /// Fault-injection seam (chaos harness only); `None` in production.
+    hook: Option<SharedFaultHook>,
 }
 
 impl Engine {
@@ -88,6 +91,7 @@ impl Engine {
             degraded: AtomicU64::new(0),
             store_fallbacks: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            hook: None,
         }
     }
 
@@ -102,6 +106,23 @@ impl Engine {
     /// The attached snapshot store, if any.
     pub fn store(&self) -> Option<&SnapshotStore> {
         self.store.as_ref()
+    }
+
+    /// Installs a fault hook on the engine and its cache. Chaos harness
+    /// only: the hook observes every lease event and injects worker
+    /// panics, deterministic cancellations, and queue rejections at the
+    /// daemon's decision points.
+    pub fn with_fault_hook(mut self, hook: SharedFaultHook) -> Engine {
+        self.cache.set_fault_hook(hook.clone());
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Chaos seam: whether the installed hook wants the next enqueue
+    /// rejected with a structured `"queue full"` error. Always `false`
+    /// without a hook.
+    pub(crate) fn fault_reject_enqueue(&self) -> bool {
+        self.hook.as_ref().is_some_and(|h| h.reject_enqueue())
     }
 
     /// Whether a `shutdown` request has been handled.
@@ -359,7 +380,12 @@ impl Engine {
             return None;
         }
         match EditSession::try_with_seed(snap.prog, snap.seed) {
-            Ok(session) => Some(session),
+            Ok(session) => {
+                if let Some(hook) = &self.hook {
+                    hook.restored(key);
+                }
+                Some(session)
+            }
             Err(e) => {
                 fallback(&format!("unanalyzable: {e}"));
                 None
@@ -431,11 +457,21 @@ impl Engine {
             .map(|s| criterion(entry.session.prog(), s))
             .collect::<Result<Vec<_>, _>>()?;
         let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        // Chaos seam: a hooked engine may replace this execution with a
+        // worker panic (exercising the abort-and-respond path) or a
+        // clock-free cancellation after a seed-chosen number of slicer
+        // checkpoints (exercising degradation deterministically).
+        let fuel = match self.hook.as_ref().map(|h| h.slice_fault()) {
+            Some(SliceFault::Panic) => panic!("injected fault: worker panic mid-slice"),
+            Some(SliceFault::CancelAfter(n)) => Some(n),
+            Some(SliceFault::None) | None => None,
+        };
         let attempt = entry.session.with_analysis(|a| {
             a.warm();
             BatchSlicer::new(a)
                 .with_threads(1)
                 .with_deadline(deadline)
+                .with_checkpoint_fuel(fuel)
                 .try_slice_all(algo, &criteria)
         });
         let (slices, degraded) = match attempt {
@@ -594,6 +630,88 @@ mod tests {
         )));
         err(&e.handle_line(&format!(
             r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":1,"vars":["ghost"]}}]}}"#
+        )));
+    }
+
+    /// Satellite hardening (ISSUE 9): structural fuzz of the whole
+    /// `handle_line` net. Every prefix truncation of valid requests,
+    /// seeded byte splices, a 100k-deep nesting bomb, megabyte-scale
+    /// fields, control bytes, and absurd numbers must each come back as
+    /// exactly one parseable single-line JSON reply with an `ok` field —
+    /// never a panic, never an empty string, never a wedged worker.
+    #[test]
+    fn fuzzed_lines_always_get_one_structured_reply() {
+        let e = Engine::new(usize::MAX);
+        let key = load(&e, FIG3A);
+        let templates = [
+            format!(
+                r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
+            ),
+            format!(
+                r#"{{"op":"edit","program":"{key}","edit":{{"kind":"replace_expr","path":[["body",2]],"expr":"x - y"}}}}"#
+            ),
+            r#"{"op":"load","source":"read(x); write(x);"}"#.to_owned(),
+            r#"{"id":1,"op":"stats"}"#.to_owned(),
+        ];
+        let check_reply = |line: &str| {
+            let resp = e.handle_line(line);
+            assert!(!resp.contains('\n'), "single line for {line:?}: {resp:?}");
+            let j = Json::parse(&resp)
+                .unwrap_or_else(|err| panic!("reply to {line:?} is not JSON ({err}): {resp}"));
+            assert!(
+                j.get("ok").and_then(Json::as_bool).is_some(),
+                "reply to {line:?} carries ok: {resp}"
+            );
+        };
+        // Every truncation point of every template.
+        for t in &templates {
+            for cut in 0..t.len() {
+                if t.is_char_boundary(cut) {
+                    check_reply(&t[..cut]);
+                }
+            }
+        }
+        // Seeded splices: increments, deletions, and structural-byte
+        // insertions at random offsets.
+        jumpslice_testkit::check(12, |rng| {
+            let mut bytes = templates[rng.gen_range(0..templates.len())]
+                .clone()
+                .into_bytes();
+            for _ in 0..1 + rng.gen_range(0..4usize) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = rng.gen_range(0..bytes.len());
+                match rng.gen_range(0..3u32) {
+                    0 => bytes[at] = bytes[at].wrapping_add(1),
+                    1 => {
+                        bytes.remove(at);
+                    }
+                    _ => bytes.insert(at, b"{}[]\",:0"[rng.gen_range(0..8usize)]),
+                }
+            }
+            if let Ok(line) = String::from_utf8(bytes) {
+                check_reply(&line);
+            }
+        });
+        // Whole-line hostiles. The nesting bomb is the one that must be an
+        // error *before* recursion — an overflowed parser stack aborts the
+        // process and no catch_unwind saves it.
+        check_reply(&format!(
+            r#"{{"op":"slice","criteria":{}"#,
+            "[".repeat(100_000)
+        ));
+        check_reply(&format!(
+            r#"{{"op":"load","source":"{}"}}"#,
+            "x".repeat(2_000_000)
+        ));
+        check_reply(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":1e308}}]}}"#
+        ));
+        check_reply("{\"op\":\"load\",\"source\":\"read(x); \u{0001} write(x);\"}");
+        // The daemon is still healthy after all of it.
+        ok(&e.handle_line(&format!(
+            r#"{{"op":"slice","program":"{key}","algo":"fig7","criteria":[{{"line":4}}]}}"#
         )));
     }
 

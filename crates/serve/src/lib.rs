@@ -16,6 +16,8 @@
 //!   conservative slicer, per-request panic containment.
 //! * [`server`] — the bounded queue, worker pool, and stdin/TCP
 //!   front-ends.
+//! * [`fault`] — the deterministic fault-injection seam the chaos harness
+//!   drives; a no-op unless a hook is installed.
 //!
 //! The binary (`jumpslice-serve`) wires these together; see `src/main.rs`
 //! and the README's daemon quickstart. Everything is dependency-free std,
@@ -43,12 +45,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod fault;
 pub mod hash;
 pub mod proto;
 pub mod server;
 
 pub use cache::{AnalysisCache, CacheStats, Entry};
 pub use engine::Engine;
+pub use fault::{FaultHook, LeaseEvent, SharedFaultHook, SliceFault};
 pub use hash::{content_hash, key_string, parse_key};
 pub use proto::{parse_request, Request};
-pub use server::{run, run_inline, ServerConfig};
+pub use server::{run, run_inline, Pool, ServerConfig};

@@ -214,7 +214,9 @@ pub fn parse_path(j: &Json) -> Result<StmtPath, String> {
             .ok_or("each path step must be a [selector, index] pair")?;
         let index = pair[1]
             .as_num()
-            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            // Bounded like `line_field`: a 1e308 index would silently
+            // saturate the cast instead of being the nonsense it is.
+            .filter(|n| n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(n))
             .ok_or("path step index must be a non-negative integer")? as usize;
         let sel = match &pair[0] {
             Json::Str(s) => match s.as_str() {
@@ -227,7 +229,7 @@ pub fn parse_path(j: &Json) -> Result<StmtPath, String> {
                 let arm = obj
                     .get("arm")
                     .and_then(Json::as_num)
-                    .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                    .filter(|n| n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(n))
                     .ok_or("object path selector must be {\"arm\": N}")?;
                 BlockSel::Arm(arm as usize)
             }
@@ -378,6 +380,21 @@ mod tests {
             r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[],"expr":"x"}}"#,
             r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[["then",0]],"expr":"x"}}"#,
             r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[["body",0]],"expr":"x ="}}"#,
+            // Hostile shapes (ISSUE 9 hardening): wrong field types,
+            // oversized/overflowing numbers, and truncated structures must
+            // be rejections, not panics or bogus acceptances.
+            r#"{"op":"slice","program":"0000000000000001","algo":"fig7","criteria":"not-an-array"}"#,
+            r#"{"op":"slice","program":"0000000000000001","algo":"fig7","criteria":[{"line":1.5}]}"#,
+            r#"{"op":"slice","program":"0000000000000001","algo":"fig7","criteria":[{"line":1e308}]}"#,
+            r#"{"op":"slice","program":"0000000000000001","algo":"fig7","criteria":[{"line":1,"vars":[42]}]}"#,
+            r#"{"op":"slice","program":"00000000000000010000","algo":"fig7","criteria":[{"line":1}]}"#,
+            r#"{"op":"slice","program":17,"algo":"fig7","criteria":[{"line":1}]}"#,
+            r#"{"op":"load","source":12345}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":"not-an-object"}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"replace_expr","path":[["body",1e308]],"expr":"x"}}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"insert","path":[["body",0]],"stmt":{"kind":"assign"}}}"#,
+            r#"{"op":"edit","program":"0000000000000001","edit":{"kind":"toggle_jump","path":[["body",0]],"jump":{"warp":"L"}}}"#,
+            r#"{"op":"chop","program":"0000000000000001"}"#,
         ] {
             assert!(req(bad).is_err(), "{bad} should be rejected");
         }

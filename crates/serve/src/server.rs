@@ -202,6 +202,93 @@ pub fn run_inline(engine: &Engine) {
     }
 }
 
+/// An in-process daemon: the same bounded queue and worker pool [`run`]
+/// builds, but owned as a value with no stdin/TCP front-end. This is how
+/// the chaos harness (and any embedder) drives real cross-thread
+/// contention — every request crosses the queue to a genuine worker
+/// thread — while keeping startup, draining, and shutdown under test
+/// control.
+pub struct Pool {
+    engine: Arc<Engine>,
+    queue: Arc<JobQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads (min 1) draining a queue of `queue_cap`
+    /// slots against `engine`.
+    pub fn start(engine: Arc<Engine>, workers: usize, queue_cap: usize) -> Pool {
+        let queue = Arc::new(JobQueue::new(queue_cap));
+        let workers = (0..workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("serve-pool-{w}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let resp = engine.handle_line(&job.line);
+                            let _ = job.reply.send(resp);
+                            if engine.shutdown_requested() {
+                                queue.close();
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            engine,
+            queue,
+            workers,
+        }
+    }
+
+    /// The shared engine the pool executes against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Enqueues one request line and waits for its reply. `None` means the
+    /// pool is shutting down (the queue closed before the job was
+    /// accepted).
+    ///
+    /// A fault hook may reject the enqueue — the queue-full decision point
+    /// under injection — in which case the caller gets a structured
+    /// `"queue full"` error (still exactly one response per request)
+    /// instead of back-pressure.
+    pub fn round_trip(&self, line: &str) -> Option<String> {
+        if self.engine.fault_reject_enqueue() {
+            return Some(
+                r#"{"ok":false,"error":"queue full: request rejected under load; retry"}"#
+                    .to_owned(),
+            );
+        }
+        round_trip(&self.queue, line.to_owned())
+    }
+
+    /// Closes the queue and joins every worker. `true` when all workers
+    /// drained and exited cleanly (no worker thread panicked) — the
+    /// clean-shutdown invariant the chaos driver asserts after every plan.
+    pub fn shutdown(mut self) -> bool {
+        self.queue.close();
+        let mut clean = true;
+        for h in self.workers.drain(..) {
+            clean &= h.join().is_ok();
+        }
+        clean
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 fn serve_stdin(queue: &JobQueue) {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout().lock();

@@ -1,0 +1,299 @@
+//! The chaos harness as a test suite: a fixed-seed smoke sweep, the two
+//! known-bug self-tests that prove the detectors fire, and one pinned
+//! representative fault schedule per fault class.
+//!
+//! The per-class schedules are `run_plan` replays with `stress_clients: 0`,
+//! so they are fully deterministic: faults are addressed by call count and
+//! cancellation by checkpoint fuel, never by wall-clock. Each test asserts
+//! both halves of the contract — the fault actually *fired* (a schedule
+//! that misses its call count tests nothing) and the daemon absorbed it
+//! without violating a single invariant.
+
+use jumpslice_chaos::{
+    run_chaos, run_plan, self_test_forged_snapshot_detected, self_test_lease_eviction_detected,
+    ChaosConfig, FaultPlan, IoFault, IoFaultKind, SliceFaultAt,
+};
+
+/// Deterministic single-plan configuration for the pinned schedules: no
+/// stress clients, a 2-slot cache over 3 programs so eviction and
+/// store-restore churn is constant.
+fn pinned_cfg() -> ChaosConfig {
+    ChaosConfig {
+        stress_clients: 0,
+        ..ChaosConfig::smoke()
+    }
+}
+
+fn assert_clean_and_fired(plan: FaultPlan, fired: &str) {
+    let outcome = run_plan(&pinned_cfg(), 0, &plan);
+    assert_eq!(
+        outcome.violations,
+        Vec::<String>::new(),
+        "plan {} violated",
+        plan.describe()
+    );
+    assert!(
+        outcome.io_fired.iter().any(|f| f.starts_with(fired)),
+        "plan {} never fired its {fired} fault (fired: {:?})",
+        plan.describe(),
+        outcome.io_fired
+    );
+}
+
+/// A small fixed-seed sweep of *sampled* plans must finish with zero
+/// invariant violations while actually exercising the fault plane: IO
+/// faults fire, injected panics are recovered, scheduled rejections are
+/// served, and snapshots restore.
+#[test]
+fn fixed_seed_chaos_smoke_run_is_clean() {
+    let report = run_chaos(&ChaosConfig::smoke());
+    assert!(
+        report.findings.is_empty(),
+        "violating plans: {:#?}",
+        report
+            .findings
+            .iter()
+            .map(|f| (&f.shrunk, &f.violations))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.plans, 8);
+    assert!(report.cases > 0 && report.requests > 0);
+    assert!(report.io_faults_fired > 0, "no IO fault ever fired");
+    assert!(report.panics > 0, "no injected panic was exercised");
+    assert!(report.rejected > 0, "no queue rejection was exercised");
+    assert!(report.restored > 0, "no snapshot restore was exercised");
+}
+
+/// The harness must detect a cache that evicts leased entries — the lease
+/// tracker flags the injected bug and stays silent on the correct cache.
+/// If this fails, a green chaos run proves nothing about lease safety.
+#[test]
+fn harness_detects_injected_leased_eviction() {
+    self_test_lease_eviction_detected().expect("lease-eviction detector");
+}
+
+/// The harness must detect a forged snapshot — a record that passes the
+/// checksum, the version gate, the decoder, and the source equality check,
+/// but carries another program's analysis. Only the slice-identity
+/// invariant can see it. If this fails, a green chaos run proves nothing
+/// about corruption safety.
+#[test]
+fn harness_detects_forged_snapshot() {
+    let scratch = std::env::temp_dir().join(format!(
+        "jumpslice-chaos-pinned-selftest-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let result = self_test_forged_snapshot_detected(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    result.expect("forged-snapshot detector");
+}
+
+/// Read-error class: a failed snapshot read is a cache miss, never a
+/// served error — the engine reparses from source.
+#[test]
+fn pinned_schedule_read_error() {
+    assert_clean_and_fired(
+        FaultPlan {
+            io_faults: vec![IoFault {
+                at: 0,
+                kind: IoFaultKind::ReadErr,
+            }],
+            ..FaultPlan::quiet(0)
+        },
+        "read-err",
+    );
+}
+
+/// Bit-flip class: a snapshot corrupted on disk fails the checksum and is
+/// discarded — it must never be decoded into a served analysis.
+#[test]
+fn pinned_schedule_read_bit_flip() {
+    assert_clean_and_fired(
+        FaultPlan {
+            io_faults: vec![IoFault {
+                at: 0,
+                kind: IoFaultKind::ReadBitFlip(0x5eed),
+            }],
+            ..FaultPlan::quiet(0)
+        },
+        "read-bit-flip",
+    );
+}
+
+/// Write-error class: a failed persist costs the snapshot, not the
+/// response — and the store's accounting stays consistent.
+#[test]
+fn pinned_schedule_write_error() {
+    assert_clean_and_fired(
+        FaultPlan {
+            io_faults: vec![IoFault {
+                at: 0,
+                kind: IoFaultKind::WriteErr,
+            }],
+            ..FaultPlan::quiet(0)
+        },
+        "write-err",
+    );
+}
+
+/// Torn-write class: a partial tmp file is cleaned up, never renamed into
+/// place, and the restart over the same directory serves nothing corrupt.
+/// The schedule also injects a remove failure so the orphaned tmp file
+/// survives the cleanup — the reopened store must skip it.
+#[test]
+fn pinned_schedule_torn_write_with_failed_cleanup() {
+    let plan = FaultPlan {
+        io_faults: vec![
+            IoFault {
+                at: 1,
+                kind: IoFaultKind::TornWrite(17),
+            },
+            IoFault {
+                at: 0,
+                kind: IoFaultKind::RemoveErr,
+            },
+        ],
+        ..FaultPlan::quiet(0)
+    };
+    let outcome = run_plan(&pinned_cfg(), 0, &plan);
+    assert_eq!(
+        outcome.violations,
+        Vec::<String>::new(),
+        "plan {} violated",
+        plan.describe()
+    );
+    assert!(
+        outcome.io_fired.iter().any(|f| f.starts_with("torn-write")),
+        "torn write never fired: {:?}",
+        outcome.io_fired
+    );
+}
+
+/// Rename-error class: the commit step of the write-tmp-then-rename
+/// protocol fails; the snapshot is lost but nothing partial is published.
+#[test]
+fn pinned_schedule_rename_error() {
+    assert_clean_and_fired(
+        FaultPlan {
+            io_faults: vec![IoFault {
+                at: 0,
+                kind: IoFaultKind::RenameErr,
+            }],
+            ..FaultPlan::quiet(0)
+        },
+        "rename-err",
+    );
+}
+
+/// Worker-panic class: a panicking slice request costs exactly one
+/// response; the client reloads and retries to a byte-identical answer,
+/// and the poisoned cache entry is never served without re-registration.
+#[test]
+fn pinned_schedule_worker_panic() {
+    let plan = FaultPlan {
+        slice_faults: vec![SliceFaultAt {
+            at: 0,
+            cancel_fuel: None,
+        }],
+        ..FaultPlan::quiet(0)
+    };
+    let outcome = run_plan(&pinned_cfg(), 0, &plan);
+    assert_eq!(
+        outcome.violations,
+        Vec::<String>::new(),
+        "plan {} violated",
+        plan.describe()
+    );
+    assert!(outcome.panics >= 1, "the scheduled panic never fired");
+}
+
+/// Deadline class: checkpoint fuel runs out mid-slice and the whole batch
+/// degrades to exactly the direct Figure-13 conservative answer — verified
+/// byte-for-byte against the oracle, plus the §4 superset contract on
+/// structured programs.
+#[test]
+fn pinned_schedule_deadline_degradation() {
+    let plan = FaultPlan {
+        slice_faults: vec![SliceFaultAt {
+            at: 0,
+            cancel_fuel: Some(0),
+        }],
+        ..FaultPlan::quiet(0)
+    };
+    let outcome = run_plan(&pinned_cfg(), 0, &plan);
+    assert_eq!(
+        outcome.violations,
+        Vec::<String>::new(),
+        "plan {} violated",
+        plan.describe()
+    );
+    assert!(
+        outcome.degraded >= 1,
+        "the scheduled cancellation never degraded a response"
+    );
+}
+
+/// Queue-rejection class: scheduled back-pressure is served as a
+/// structured `queue full` error and the retry succeeds — exactly as many
+/// rejections fire as the schedule holds.
+#[test]
+fn pinned_schedule_queue_rejection() {
+    let plan = FaultPlan {
+        reject_enqueues: vec![0, 3],
+        ..FaultPlan::quiet(0)
+    };
+    let outcome = run_plan(&pinned_cfg(), 0, &plan);
+    assert_eq!(
+        outcome.violations,
+        Vec::<String>::new(),
+        "plan {} violated",
+        plan.describe()
+    );
+    assert_eq!(outcome.rejected, 2, "both scheduled rejections must fire");
+}
+
+/// Composite schedule: every fault class at once, replayed twice — the
+/// outcome must be identical both times (full determinism of the
+/// sequential and restart phases) and clean both times.
+#[test]
+fn pinned_schedule_composite_is_deterministic_and_clean() {
+    let plan = FaultPlan {
+        io_faults: vec![
+            IoFault {
+                at: 1,
+                kind: IoFaultKind::WriteErr,
+            },
+            IoFault {
+                at: 2,
+                kind: IoFaultKind::RenameErr,
+            },
+            IoFault {
+                at: 0,
+                kind: IoFaultKind::ReadBitFlip(99),
+            },
+        ],
+        slice_faults: vec![
+            SliceFaultAt {
+                at: 2,
+                cancel_fuel: None,
+            },
+            SliceFaultAt {
+                at: 5,
+                cancel_fuel: Some(0),
+            },
+        ],
+        reject_enqueues: vec![1],
+        ..FaultPlan::quiet(7)
+    };
+    let a = run_plan(&pinned_cfg(), 7, &plan);
+    let b = run_plan(&pinned_cfg(), 7, &plan);
+    assert_eq!(a.violations, Vec::<String>::new(), "first replay violated");
+    assert_eq!(b.violations, Vec::<String>::new(), "second replay violated");
+    assert_eq!(a.io_fired, b.io_fired, "IO fault firing order diverged");
+    assert_eq!(
+        (a.cases, a.degraded, a.panics, a.rejected),
+        (b.cases, b.degraded, b.panics, b.rejected),
+        "replay outcome diverged"
+    );
+}
