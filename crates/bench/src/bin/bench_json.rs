@@ -11,6 +11,12 @@
 //! * the sparse sweep: the change-driven Figure-7 kernel behind
 //!   `agrawal_slice` vs the retained dense round-based reference loop,
 //!   both over the same warm analysis and criterion pool;
+//! * the cold-analysis sweep: the full lazy warm (sequential phase chain
+//!   plus PDG condensation) vs `Analysis::warm_parallel` on the phase DAG,
+//!   with a coordinator-side per-phase breakdown and a forced-2-thread
+//!   smoke row so the scheduler is exercised even on single-core CI;
+//! * the closure microsweep: raw backward closures through the direct PDG
+//!   walk vs the SCC-condensed reachability index, on warm analyses;
 //! * the incremental sweep: one edit followed by a re-slice of a criterion
 //!   pool, through a warm [`jumpslice_incr::EditSession`] (expression patch
 //!   and seeded re-solve paths) vs edit-then-`Analysis::new` from scratch;
@@ -31,7 +37,7 @@ use jumpslice_core::{
     BatchSlicer, Criterion,
 };
 use jumpslice_incr::{apply_edit, Edit, EditExpr, EditSession, NewStmt};
-use jumpslice_lang::{path_of, StmtKind, StmtPath};
+use jumpslice_lang::{path_of, StmtId, StmtKind, StmtPath};
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -65,6 +71,28 @@ struct SparseRow {
     criteria: usize,
     dense_ns: f64,
     sparse_ns: f64,
+}
+
+struct ColdRow {
+    family: &'static str,
+    stmts: usize,
+    warm_seq_ns: f64,
+    /// `None` on single-core containers, where the parallel warm falls back
+    /// to the lazy sequential chain; the JSON key is omitted with it.
+    warm_parallel_ns: Option<f64>,
+    /// Threads the parallel arm ran with (1 when the arm was skipped).
+    threads_used: usize,
+    /// Coordinator-side per-phase breakdown of one parallel warm (worker
+    /// threads have no trace sink, so their phases are not represented).
+    per_phase: Vec<(&'static str, u64)>,
+}
+
+struct ClosureRow {
+    family: &'static str,
+    stmts: usize,
+    criteria: usize,
+    direct_ns: f64,
+    condensed_ns: f64,
 }
 
 struct StoreRow {
@@ -221,6 +249,90 @@ fn main() {
         (n, criteria.len(), ns)
     };
 
+    // The cold-analysis sweep: the full lazy warm (sequential phase chain +
+    // condensation) vs the phase-DAG parallel warm, each from a fresh
+    // `Analysis` per iteration — this is the daemon's cold-miss path. On a
+    // single-core container the parallel arm would just re-measure the
+    // sequential one through extra scaffolding; skip it and omit its key.
+    let mut cold_rows: Vec<ColdRow> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        for size in [1000usize, 5000] {
+            let p = make(size);
+            let n = p.len();
+            let warm_seq_ns = r.bench(&format!("json/cold/{family}/{n}/sequential-warm"), || {
+                let a = Analysis::new(black_box(&p));
+                a.warm();
+                a.closure_index();
+                black_box(a.stats().pdg_builds)
+            });
+            let (warm_parallel_ns, threads_used) = if threads > 1 {
+                let ns = r.bench(&format!("json/cold/{family}/{n}/parallel-warm"), || {
+                    let a = Analysis::new(black_box(&p));
+                    a.warm_parallel(threads);
+                    black_box(a.stats().pdg_builds)
+                });
+                (Some(ns), threads)
+            } else {
+                (None, 1)
+            };
+            // Per-phase breakdown of one parallel warm, as the coordinator
+            // thread sees it (ReachingDefs, PdgBuild, ClosureIndexBuild and
+            // the enclosing ParallelWarm; helper-thread phases are silent).
+            let (_, events) = jumpslice_obs::capture(|| {
+                let a = Analysis::new(&p);
+                a.warm_parallel(threads.max(2));
+            });
+            let m = jumpslice_obs::Metrics::of(&events);
+            cold_rows.push(ColdRow {
+                family,
+                stmts: n,
+                warm_seq_ns,
+                warm_parallel_ns,
+                threads_used,
+                per_phase: m.phase_ns.into_iter().collect(),
+            });
+        }
+    }
+
+    // The forced-2-thread cold warm: `warm_parallel(2)` regardless of
+    // `available_parallelism`, so the phase-DAG scheduler's helper spawn,
+    // data fan-out, and join paths are exercised (and timed) even on the
+    // single-core containers that skip the adaptive arm above. Kept out of
+    // `cold_analysis_sweeps` so its row never collides with the adaptive
+    // rows the perf gate compares.
+    let cold_threads2_smoke = {
+        let p = sized_structured(5000);
+        let n = p.len();
+        let (_, events) = jumpslice_obs::capture(|| {
+            let a = Analysis::new(&p);
+            a.warm_parallel(2);
+        });
+        let m = jumpslice_obs::Metrics::of(&events);
+        assert_eq!(
+            m.counts.get("analysis.parallel.threads").copied(),
+            Some(2),
+            "warm_parallel(2) must not be demoted"
+        );
+        let ns = r.bench(
+            &format!("json/cold/structured/{n}/forced-2-threads"),
+            || {
+                let a = Analysis::new(black_box(&p));
+                a.warm_parallel(2);
+                black_box(a.stats().pdg_builds)
+            },
+        );
+        (n, ns)
+    };
+
     // The serve sweep: in-process daemon engine throughput over a mixed
     // request session (two cached programs, slice + stats traffic). One
     // engine per measurement would re-pay analysis; the cache is the
@@ -314,6 +426,58 @@ fn main() {
                 criteria: criteria.len(),
                 dense_ns,
                 sparse_ns,
+            });
+        }
+    }
+
+    // The closure microsweep: raw backward closures over the batch-sized
+    // criterion pool, answered by the direct PDG worklist walk vs the
+    // SCC-condensed reachability index. Both arms run on fully warm
+    // analyses, so the measurement isolates closure answering; the
+    // condensation build itself is timed by the cold-analysis sweep.
+    let mut closure_rows: Vec<ClosureRow> = Vec::new();
+    for (family, make) in [
+        (
+            "structured",
+            sized_structured as fn(usize) -> jumpslice_lang::Program,
+        ),
+        (
+            "unstructured",
+            sized_unstructured as fn(usize) -> jumpslice_lang::Program,
+        ),
+    ] {
+        for size in [1000usize, 5000] {
+            let p = make(size);
+            let a = Analysis::new(&p);
+            a.warm();
+            let b = Analysis::new(&p);
+            b.warm();
+            b.closure_index();
+            let seeds: Vec<StmtId> = criterion_pool(&p, &a, BATCH)
+                .iter()
+                .map(|c| c.stmt)
+                .collect();
+            let n = p.len();
+            let direct_ns = r.bench(&format!("json/closure/{family}/{n}/direct-walk"), || {
+                let mut total = 0usize;
+                for &s in &seeds {
+                    total += a.pdg().backward_closure([black_box(s)]).len();
+                }
+                black_box(total)
+            });
+            let condensed_ns = r.bench(&format!("json/closure/{family}/{n}/condensed"), || {
+                let mut total = 0usize;
+                for &s in &seeds {
+                    total += b.backward_closure([black_box(s)]).len();
+                }
+                black_box(total)
+            });
+            closure_rows.push(ClosureRow {
+                family,
+                stmts: n,
+                criteria: seeds.len(),
+                direct_ns,
+                condensed_ns,
             });
         }
     }
@@ -559,6 +723,7 @@ fn main() {
         let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
         let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
         let _ = writeln!(out, "      \"batch_threads_used\": {},", row.threads_used);
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
         let _ = writeln!(
             out,
             "      \"sequential_per_criterion_analysis_ns\": {:.1},",
@@ -587,7 +752,54 @@ fn main() {
         let _ = writeln!(out, "      \"stmts\": {n},");
         let _ = writeln!(out, "      \"criteria\": {criteria},");
         let _ = writeln!(out, "      \"batch_threads_used\": 2,");
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
         let _ = writeln!(out, "      \"batch_shared_analysis_threads_ns\": {ns:.1}");
+        out.push_str("    }\n");
+        out.push_str("  ],\n");
+    }
+    out.push_str("  \"cold_analysis_sweeps\": [\n");
+    for (i, row) in cold_rows.iter().enumerate() {
+        let comma = if i + 1 == cold_rows.len() { "" } else { "," };
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
+        let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"warm_threads_used\": {},", row.threads_used);
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
+        let _ = writeln!(
+            out,
+            "      \"cold_warm_sequential_ns\": {:.1},",
+            row.warm_seq_ns
+        );
+        if let Some(ns) = row.warm_parallel_ns {
+            let _ = writeln!(out, "      \"cold_warm_parallel_ns\": {ns:.1},");
+            let _ = writeln!(
+                out,
+                "      \"speedup_parallel_vs_sequential\": {:.2},",
+                row.warm_seq_ns / ns
+            );
+        }
+        out.push_str("      \"per_phase_ns\": {\n");
+        for (j, (phase, ns)) in row.per_phase.iter().enumerate() {
+            let c = if j + 1 == row.per_phase.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(out, "        \"{phase}\": {ns}{c}");
+        }
+        out.push_str("      }\n");
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    {
+        let (n, ns) = cold_threads2_smoke;
+        out.push_str("  \"cold_threads2_smoke\": [\n");
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"structured\",");
+        let _ = writeln!(out, "      \"stmts\": {n},");
+        let _ = writeln!(out, "      \"warm_threads_used\": 2,");
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
+        let _ = writeln!(out, "      \"cold_warm_parallel_ns\": {ns:.1}");
         out.push_str("    }\n");
         out.push_str("  ],\n");
     }
@@ -599,6 +811,7 @@ fn main() {
         let _ = writeln!(out, "      \"stmts\": {stmts},");
         let _ = writeln!(out, "      \"requests\": {requests},");
         let _ = writeln!(out, "      \"serve_workers_used\": 1,");
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
         let _ = writeln!(out, "      \"serve_ns_per_request\": {ns_per_req:.1}");
         out.push_str("    }\n");
         out.push_str("  ],\n");
@@ -611,9 +824,29 @@ fn main() {
         let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
         let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
         let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
         let _ = writeln!(out, "      \"dense_reference_ns\": {:.1},", row.dense_ns);
         let _ = writeln!(out, "      \"sparse_kernel_ns\": {:.1},", row.sparse_ns);
         let _ = writeln!(out, "      \"speedup_sparse_vs_dense\": {speedup:.2}");
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"closure_sweeps\": [\n");
+    for (i, row) in closure_rows.iter().enumerate() {
+        let comma = if i + 1 == closure_rows.len() { "" } else { "," };
+        let speedup = row.direct_ns / row.condensed_ns;
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
+        let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
+        let _ = writeln!(out, "      \"direct_closure_ns\": {:.1},", row.direct_ns);
+        let _ = writeln!(
+            out,
+            "      \"condensed_closure_ns\": {:.1},",
+            row.condensed_ns
+        );
+        let _ = writeln!(out, "      \"speedup_condensed_vs_direct\": {speedup:.2}");
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ],\n");
@@ -624,6 +857,7 @@ fn main() {
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"family\": \"{}\",", row.family);
         let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
         let _ = writeln!(out, "      \"record_bytes\": {},", row.record_bytes);
         let _ = writeln!(out, "      \"cold_start_ns\": {:.1},", row.cold_ns);
         let _ = writeln!(out, "      \"snapshot_restore_ns\": {:.1},", row.restore_ns);
@@ -640,6 +874,7 @@ fn main() {
         let _ = writeln!(out, "      \"stmts\": {},", row.stmts);
         let _ = writeln!(out, "      \"criteria\": {},", row.criteria);
         let _ = writeln!(out, "      \"edit\": \"{}\",", row.edit);
+        let _ = writeln!(out, "      \"available_parallelism\": {threads},");
         let _ = writeln!(
             out,
             "      \"scratch_reanalysis_ns\": {:.1},",
@@ -684,6 +919,32 @@ fn main() {
             row.stmts,
             row.criteria,
             row.dense_ns / row.sparse_ns
+        );
+    }
+    for row in &cold_rows {
+        match row.warm_parallel_ns {
+            Some(ns) => println!(
+                "  {:<12} {:>5} stmts: {:.2}x parallel cold-warm speedup vs sequential ({} threads)",
+                row.family,
+                row.stmts,
+                row.warm_seq_ns / ns,
+                row.threads_used
+            ),
+            None => println!(
+                "  {:<12} {:>5} stmts: cold warm {:.1}ms sequential (single core; parallel arm skipped)",
+                row.family,
+                row.stmts,
+                row.warm_seq_ns / 1e6
+            ),
+        }
+    }
+    for row in &closure_rows {
+        println!(
+            "  {:<12} {:>5} stmts x {} criteria: {:.2}x condensed-closure speedup vs direct walk",
+            row.family,
+            row.stmts,
+            row.criteria,
+            row.direct_ns / row.condensed_ns
         );
     }
     for row in &incr_rows {

@@ -11,11 +11,12 @@
 //! difftest --family unstructured --record-expected
 //! difftest --mode incr --seeds 170 # incremental-vs-scratch equivalence
 //! difftest --mode sparse --seeds 100 # sparse-vs-dense Figure-7 equality
+//! difftest --mode closure --seeds 100 # condensed-vs-direct closure equality
 //! ```
 
 use jumpslice_difftest::{
-    run_difftest_with, run_incrtest_with, run_sparsetest_with, DiffConfig, Family, Finding,
-    IncrConfig, SparseConfig,
+    run_closuretest_with, run_difftest_with, run_incrtest_with, run_sparsetest_with, ClosureConfig,
+    DiffConfig, Family, Finding, IncrConfig, SparseConfig,
 };
 use std::path::{Path, PathBuf};
 
@@ -24,6 +25,7 @@ fn usage() -> ! {
         "usage: difftest [options]
   --mode NAME          diff (default) | incr (incremental-vs-scratch equality)
                        | sparse (sparse-vs-dense Figure-7 kernel equality)
+                       | closure (condensed-vs-direct closure equality)
   --smoke              fixed-seed smoke configuration (CI)
   --seeds N            number of seeds (default 25; one program per family each)
   --start N            first seed (default 0)
@@ -66,6 +68,7 @@ enum Mode {
     Diff,
     Incr,
     Sparse,
+    Closure,
 }
 
 /// Flags shared between the modes, plus the incr-only step count.
@@ -96,6 +99,7 @@ fn parse_args() -> Cli {
                 Some("diff") => mode = Mode::Diff,
                 Some("incr") => mode = Mode::Incr,
                 Some("sparse") => mode = Mode::Sparse,
+                Some("closure") => mode = Mode::Closure,
                 other => {
                     eprintln!("unknown mode `{}`", other.unwrap_or_default());
                     usage()
@@ -274,11 +278,76 @@ fn run_sparse_mode(cli: &Cli) -> ! {
     std::process::exit(0)
 }
 
+/// Runs the condensed-vs-direct closure equality mode and exits.
+fn run_closure_mode(cli: &Cli) -> ! {
+    let mut ccfg = if cli.smoke {
+        ClosureConfig::smoke()
+    } else {
+        ClosureConfig::default()
+    };
+    // Shared flags carry over; --smoke keeps its own seed count.
+    if !cli.smoke {
+        ccfg.seeds = cli.cfg.seeds;
+        ccfg.target_stmts = cli.cfg.target_stmts;
+    }
+    ccfg.start_seed = cli.cfg.start_seed;
+    ccfg.family = cli.cfg.family;
+    ccfg.jump_density = cli.cfg.jump_density;
+    ccfg.max_criteria = cli.cfg.max_criteria;
+    ccfg.shrink = cli.cfg.shrink;
+    ccfg.max_findings = cli.cfg.max_findings;
+    ccfg.edits_per_script = cli.steps;
+
+    let mut last = 0usize;
+    let report = run_closuretest_with(&ccfg, |r| {
+        if r.programs / 50 > last {
+            last = r.programs / 50;
+            eprintln!(
+                "  …{} programs, {} states, {} comparisons, {} findings",
+                r.programs,
+                r.states,
+                r.comparisons,
+                r.findings.len()
+            );
+        }
+    });
+
+    println!(
+        "difftest --mode closure: {} programs · {} states ({} edits applied) · {} equality comparisons",
+        report.programs, report.states, report.edits_applied, report.comparisons
+    );
+    for f in &report.findings {
+        println!(
+            "\n[FINDING] condensed ≠ direct (seed {}, {} family)",
+            f.seed,
+            f.family.name()
+        );
+        println!("  {}", f.detail);
+        println!("--- shrunk program ---");
+        for l in f.program.lines() {
+            println!("  {l}");
+        }
+        if !f.script.is_empty() {
+            println!("--- shrunk edit script ({} edits) ---", f.script.len());
+            for e in &f.script {
+                println!("  {e:?}");
+            }
+        }
+    }
+    if !report.findings.is_empty() {
+        eprintln!("\n{} condensation mismatch(es)", report.findings.len());
+        std::process::exit(1);
+    }
+    println!("\nno condensation mismatches");
+    std::process::exit(0)
+}
+
 fn main() {
     let cli = parse_args();
     match cli.mode {
         Mode::Incr => run_incr_mode(&cli),
         Mode::Sparse => run_sparse_mode(&cli),
+        Mode::Closure => run_closure_mode(&cli),
         Mode::Diff => {}
     }
     let Cli { cfg, out_dir, .. } = cli;

@@ -3,7 +3,8 @@
 //! wall-clock regressions beyond a tolerance band.
 //!
 //! The `batch_sweeps`, `incr_sweeps`, `sparse_sweeps`, `serve_sweeps`,
-//! and `store_sweeps` sections are compared —
+//! `store_sweeps`, `cold_analysis_sweeps`, and `closure_sweeps` sections
+//! are compared —
 //! single-slice latencies at figure scale are nanosecond-noisy, while the
 //! sweeps integrate enough work (a full criterion pool per measurement) to
 //! be stable across runs on the same machine. Rows are matched by
@@ -38,12 +39,29 @@ const SERVE_GATED_METRICS: &[&str] = &["serve_ns_per_request"];
 /// gated — only the restore path is a product promise.
 const STORE_GATED_METRICS: &[&str] = &["snapshot_restore_ns"];
 
-/// Row keys naming the worker-thread count a sweep actually ran with.
+/// Metrics compared per cold-analysis-sweep row. Both warm strategies are
+/// product paths: the sequential chain serves lazy single-slice callers,
+/// the parallel warm serves the daemon's cold misses and the batch engine.
+const COLD_GATED_METRICS: &[&str] = &["cold_warm_sequential_ns", "cold_warm_parallel_ns"];
+
+/// Metrics compared per closure-microsweep row. `direct_closure_ns`
+/// measures the walk the condensation exists to beat (and the fallback
+/// kept for index-free analyses), so only the condensed path is gated.
+const CLOSURE_GATED_METRICS: &[&str] = &["condensed_closure_ns"];
+
+/// Row keys naming the worker-thread count a sweep actually ran with, plus
+/// the machine parallelism the run recorded (`available_parallelism`).
 /// Wall-clocks measured with different counts answer different questions
 /// (e.g. a 1-thread baseline machine vs a 4-thread current one), so rows
 /// whose counts differ are incomparable and skipped with a logged reason
 /// instead of being allowed to pass or fail the gate spuriously.
-const THREADS_USED_KEYS: &[&str] = &["batch_threads_used", "threads_used", "serve_workers_used"];
+const THREADS_USED_KEYS: &[&str] = &[
+    "batch_threads_used",
+    "threads_used",
+    "serve_workers_used",
+    "warm_threads_used",
+    "available_parallelism",
+];
 
 /// One comparable section of `BENCH_slicing.json`.
 struct Section {
@@ -78,6 +96,16 @@ const SECTIONS: &[Section] = &[
     Section {
         name: "store_sweeps",
         metrics: STORE_GATED_METRICS,
+        required: false,
+    },
+    Section {
+        name: "cold_analysis_sweeps",
+        metrics: COLD_GATED_METRICS,
+        required: false,
+    },
+    Section {
+        name: "closure_sweeps",
+        metrics: CLOSURE_GATED_METRICS,
         required: false,
     },
 ];
@@ -528,6 +556,99 @@ mod tests {
         let report = compare(&doc(1e6, 5e5), &doc_with_store(1e5), 0.25).unwrap();
         assert!(report.passes(), "{report:?}");
         assert_eq!(report.compared, 1);
+    }
+
+    fn doc_with_cold(seq: f64, par: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [],
+            "cold_analysis_sweeps": [
+                {{"family": "unstructured", "stmts": 4821,
+                  "warm_threads_used": 2, "available_parallelism": 2,
+                  "cold_warm_sequential_ns": {seq},
+                  "cold_warm_parallel_ns": {par}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_analysis_rows_are_gated() {
+        let base = doc_with_cold(1e7, 4e6);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 2, "both warm strategies gate");
+
+        let slow = compare(&base, &doc_with_cold(1e7, 9e6), 0.25).unwrap();
+        assert_eq!(slow.regressions.len(), 1);
+        assert_eq!(slow.regressions[0].metric, "cold_warm_parallel_ns");
+    }
+
+    #[test]
+    fn mismatched_available_parallelism_skips_the_row_with_a_reason() {
+        // Baseline from a 2-core machine, current from a single-core one:
+        // even with identical recorded worker counts, the wall-clocks come
+        // from different machines and must not gate against each other.
+        let base = doc_with_cold(1e7, 4e6);
+        let cur = Json::parse(
+            r#"{"batch_sweeps": [],
+            "cold_analysis_sweeps": [
+                {"family": "unstructured", "stmts": 4821,
+                  "warm_threads_used": 2, "available_parallelism": 1,
+                  "cold_warm_sequential_ns": 1e7,
+                  "cold_warm_parallel_ns": 1.2e7}
+            ]}"#,
+        )
+        .unwrap();
+        let report = compare(&base, &cur, 0.25).unwrap();
+        assert!(report.passes(), "{report:?}");
+        assert_eq!(report.compared, 0, "nothing compared across the mismatch");
+        assert_eq!(report.skipped.len(), 1);
+        assert!(
+            report.skipped[0].contains("available_parallelism differs"),
+            "{:?}",
+            report.skipped
+        );
+    }
+
+    fn doc_with_closure(condensed: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"batch_sweeps": [],
+            "closure_sweeps": [
+                {{"family": "structured", "stmts": 4821, "criteria": 120,
+                  "available_parallelism": 1,
+                  "direct_closure_ns": 1e6,
+                  "condensed_closure_ns": {condensed}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn closure_rows_gate_the_condensed_path_only() {
+        let base = doc_with_closure(2e5);
+        let report = compare(&base, &base, 0.25).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.compared, 1, "only the condensed metric gates");
+
+        // A slower direct walk never trips the gate...
+        let mut slow_direct = base.clone();
+        inject_slowdown(&mut slow_direct, 1.0); // no-op; direct is ungated anyway
+        assert!(compare(&base, &slow_direct, 0.25).unwrap().passes());
+
+        // ...but a slower condensed lookup does.
+        let slow = compare(&base, &doc_with_closure(6e5), 0.25).unwrap();
+        assert_eq!(slow.regressions.len(), 1);
+        assert_eq!(slow.regressions[0].metric, "condensed_closure_ns");
+    }
+
+    #[test]
+    fn injected_slowdown_trips_cold_and_closure_metrics_too() {
+        for base in [doc_with_cold(1e7, 4e6), doc_with_closure(2e5)] {
+            let mut cur = base.clone();
+            inject_slowdown(&mut cur, 2.0);
+            let report = compare(&base, &cur, 0.25).unwrap();
+            assert!(!report.passes(), "2x injection must trip the gate");
+        }
     }
 
     #[test]

@@ -107,9 +107,10 @@ pub(crate) fn figure7_reference(
         let _t = obs::phase(obs::Phase::ConventionalClosure);
         match rec.as_deref_mut() {
             Some(r) => r.seed_closure(a, crit),
-            None => a.pdg().backward_closure(crit.seeds(a)),
+            None => a.backward_closure(crit.seeds(a)),
         }
     };
+    let mut work = Vec::new();
     let mut traversals = 0usize;
     let mut round: u32 = 0;
     loop {
@@ -147,10 +148,12 @@ pub(crate) fn figure7_reference(
                     // Add J and the transitive closure of its dependences.
                     // The in-place closure treats statements already in the
                     // slice as visited: sound, because the slice is closed
-                    // under dependence at every point of the traversal.
+                    // under dependence at every point of the traversal —
+                    // the same invariant that lets the condensed engine
+                    // answer this as a bitset union.
                     match rec.as_deref_mut() {
                         Some(r) => r.jump_closure(a, j, round, npd, nls, !disagree, &mut stmts),
-                        None => a.pdg().backward_closure_into([j], &mut stmts),
+                        None => a.backward_closure_into_closed([j], &mut stmts, &mut work),
                     }
                     admitted += 1;
                 }

@@ -7,7 +7,8 @@ use jumpslice_dataflow::{DataDeps, ReachingDefs, StmtSet};
 use jumpslice_graph::DomTree;
 use jumpslice_lang::{Program, StmtId, StmtKind, Structure};
 use jumpslice_obs as obs;
-use jumpslice_pdg::{ControlDeps, Pdg};
+use jumpslice_pdg::{ClosureIndex, ControlDeps, Pdg};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -29,6 +30,8 @@ pub struct AnalysisStats {
     pub lst_builds: usize,
     /// Times the sparse kernel's jump-chain index was built.
     pub chain_index_builds: usize,
+    /// Times the SCC-condensed closure index was built.
+    pub closure_index_builds: usize,
 }
 
 /// Owned analysis artifacts detached from any program borrow.
@@ -110,6 +113,11 @@ pub struct Analysis<'p> {
     lst: OnceLock<LexSuccTree>,
     reaching: OnceLock<ReachingDefs>,
     chain_index: OnceLock<ChainIndex>,
+    /// SCC-condensed closure engine over the PDG. Deliberately *not* part
+    /// of [`AnalysisSeed`]: a stale index silently answers closures for
+    /// the pre-edit dependence graph, and the condensation is cheap
+    /// relative to the artifacts it is derived from.
+    closure_index: OnceLock<ClosureIndex>,
     /// Per-do-while body sets (`dowhile_bodies[d]` = statements lexically
     /// inside the do-while `d`), built on first hazard probe.
     dowhile_bodies: OnceLock<Vec<StmtSet>>,
@@ -118,6 +126,7 @@ pub struct Analysis<'p> {
     n_pdom: AtomicUsize,
     n_lst: AtomicUsize,
     n_chain: AtomicUsize,
+    n_closure: AtomicUsize,
 }
 
 impl<'p> Analysis<'p> {
@@ -167,12 +176,14 @@ impl<'p> Analysis<'p> {
             lst: OnceLock::new(),
             reaching: OnceLock::new(),
             chain_index: OnceLock::new(),
+            closure_index: OnceLock::new(),
             dowhile_bodies: OnceLock::new(),
             n_reaching: AtomicUsize::new(0),
             n_pdg: AtomicUsize::new(0),
             n_pdom: AtomicUsize::new(0),
             n_lst: AtomicUsize::new(0),
             n_chain: AtomicUsize::new(0),
+            n_closure: AtomicUsize::new(0),
         };
         if let Some(x) = seed.pdom {
             let _ = a.pdom.set(x);
@@ -277,6 +288,79 @@ impl<'p> Analysis<'p> {
         })
     }
 
+    /// The SCC-condensed closure index (computed on first use; forces the
+    /// PDG).
+    ///
+    /// Unlike the paper artifacts above, this is a pure acceleration
+    /// structure: it emits no cache hit/miss events (the exact cache
+    /// traces the observability tests pin enumerate paper artifacts only)
+    /// and is never carried across edits in an [`AnalysisSeed`]. Once
+    /// built, every closure routed through [`Analysis::backward_closure`]
+    /// and friends is answered from the condensation.
+    pub fn closure_index(&self) -> &ClosureIndex {
+        self.closure_index.get_or_init(|| {
+            self.n_closure.fetch_add(1, Ordering::Relaxed);
+            ClosureIndex::build(self.pdg())
+        })
+    }
+
+    /// [`Pdg::backward_closure`] answered from the condensed index when
+    /// one has been built ([`Analysis::warm_parallel`] or
+    /// [`Analysis::closure_index`]) and from the direct edge walk
+    /// otherwise. The answers are identical.
+    pub fn backward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> StmtSet {
+        match self.closure_index.get() {
+            Some(ci) => ci.backward_closure(seeds),
+            None => self.pdg().backward_closure(seeds),
+        }
+    }
+
+    /// [`Pdg::forward_closure`] routed like [`Analysis::backward_closure`].
+    pub fn forward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> StmtSet {
+        match self.closure_index.get() {
+            Some(ci) => ci.forward_closure(seeds),
+            None => self.pdg().forward_closure(seeds),
+        }
+    }
+
+    /// [`Pdg::backward_closure_into_with_scratch`] routed through the
+    /// condensed index when built. **Contract:** `slice` must be empty or
+    /// closed under dependence — the condensed path unions the seeds'
+    /// full closures, which matches the direct walk's visited-mark
+    /// semantics only on closed targets (every fixpoint call site
+    /// qualifies; see `jumpslice_pdg::closure`).
+    pub(crate) fn backward_closure_into_closed(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+        work: &mut Vec<StmtId>,
+    ) {
+        match self.closure_index.get() {
+            Some(ci) => ci.backward_closure_into(seeds, slice),
+            None => self
+                .pdg()
+                .backward_closure_into_with_scratch(seeds, slice, work),
+        }
+    }
+
+    /// [`Pdg::backward_closure_delta`] under the same closed-target
+    /// contract as [`Analysis::backward_closure_into_closed`]. The direct
+    /// walk appends the delta in DFS pop order, the condensed path in
+    /// ascending statement order; the sparse kernel consumes deltas only
+    /// through set unions and counts, so the two are interchangeable.
+    pub(crate) fn backward_closure_delta_closed(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+        work: &mut Vec<StmtId>,
+        delta: &mut Vec<StmtId>,
+    ) {
+        match self.closure_index.get() {
+            Some(ci) => ci.backward_closure_delta(seeds, slice, delta),
+            None => self.pdg().backward_closure_delta(seeds, slice, work, delta),
+        }
+    }
+
     /// The set of statements lexically inside do-while `d` (empty for any
     /// other statement). Built once for all do-whiles on first use.
     pub(crate) fn dowhile_body(&self, d: StmtId) -> &StmtSet {
@@ -316,6 +400,7 @@ impl<'p> Analysis<'p> {
             pdom_builds: self.n_pdom.load(Ordering::Relaxed),
             lst_builds: self.n_lst.load(Ordering::Relaxed),
             chain_index_builds: self.n_chain.load(Ordering::Relaxed),
+            closure_index_builds: self.n_closure.load(Ordering::Relaxed),
         }
     }
 
@@ -326,6 +411,173 @@ impl<'p> Analysis<'p> {
     pub fn warm(&self) {
         let _ = (self.reaching(), self.pdg(), self.pdom(), self.lst());
         let _ = self.chain_index();
+    }
+
+    /// True when every artifact the sequential [`Analysis::warm`] pass
+    /// computes is already cached. The condensed closure index is
+    /// deliberately excluded: it is never restored from a seed (see
+    /// [`AnalysisSeed`]), so callers that re-solve warm seeds per request
+    /// use this probe to avoid re-paying the condensation build on a path
+    /// where it could not be amortised anyway.
+    pub fn is_warm(&self) -> bool {
+        self.reaching.get().is_some()
+            && self.pdg.get().is_some()
+            && self.pdom.get().is_some()
+            && self.lst.get().is_some()
+            && self.chain_index.get().is_some()
+    }
+
+    /// [`Analysis::warm`] plus the condensed closure index, scheduled
+    /// across `threads` scoped worker threads along the real phase DAG:
+    ///
+    /// - a helper thread runs the CFG-only chain (postdominators, control
+    ///   dependence, lexical successor tree) while the coordinator runs
+    ///   the reaching-definitions fixpoint;
+    /// - once IN-sets land, data-dependence construction fans out over
+    ///   statement ranges (the per-range forward lists concatenate to
+    ///   exactly the sequential result — see
+    ///   [`DataDeps::deps_of_range`]);
+    /// - the chain-index build overlaps the PDG merge and the closure-
+    ///   index condensation on the coordinator.
+    ///
+    /// Deterministic: the installed artifacts are bit-identical to the
+    /// sequential path under any thread count. `threads <= 1` runs the
+    /// plain sequential warm (plus the closure index). Worker threads
+    /// have empty trace sinks, so phases computed off-coordinator emit no
+    /// events; the coordinator emits a `parallel_warm` phase and
+    /// `analysis.parallel.*` counters when there was cold work to do.
+    ///
+    /// # Panics
+    ///
+    /// A panicking phase worker is re-raised on the coordinator with the
+    /// phase name attached (mirroring how `BatchSlicer::try_slice_all`
+    /// attributes a slicer panic to its criterion).
+    pub fn warm_parallel(&self, threads: usize) {
+        if threads <= 1 {
+            self.warm();
+            let _ = self.closure_index();
+            return;
+        }
+        if self.reaching.get().is_some()
+            && self.pdg.get().is_some()
+            && self.pdom.get().is_some()
+            && self.lst.get().is_some()
+            && self.chain_index.get().is_some()
+            && self.closure_index.get().is_some()
+        {
+            return; // fully warm: nothing to schedule
+        }
+        let _t = obs::phase(obs::Phase::ParallelWarm);
+        let need_pdg = self.pdg.get().is_none();
+        let n = self.prog.len();
+        std::thread::scope(|scope| {
+            // CFG-only chain: nothing here reads the reaching fixpoint or
+            // the PDG, so it overlaps both.
+            let helper = spawn_caught(scope, || {
+                let pdom = (self.pdom.get().is_none()).then(|| self.cfg.postdominators());
+                let control = need_pdg.then(|| {
+                    let tree = pdom
+                        .as_ref()
+                        .or_else(|| self.pdom.get())
+                        .expect("pdom just computed or already cached");
+                    ControlDeps::compute_with_pdom(self.prog, &self.cfg, tree)
+                });
+                let lst = (self.lst.get().is_none())
+                    .then(|| LexSuccTree::build(self.prog, &self.structure));
+                (pdom, control, lst)
+            });
+
+            // The reaching-definitions fixpoint on the coordinator.
+            if self.reaching.get().is_none() {
+                let rd = {
+                    let _t = obs::phase(obs::Phase::ReachingDefs);
+                    ReachingDefs::compute(self.prog, &self.cfg)
+                };
+                if self.reaching.set(rd).is_ok() {
+                    self.n_reaching.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
+            // Data-dependence fan-out over statement ranges; the
+            // coordinator takes the first range itself.
+            let mut parts: Vec<Vec<Vec<StmtId>>> = Vec::new();
+            if need_pdg {
+                let rd = self.reaching.get().expect("installed above");
+                let chunk = n.div_ceil(threads).max(1);
+                let ranges: Vec<(usize, usize)> = (0..threads)
+                    .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+                    .filter(|&(lo, hi)| lo < hi)
+                    .collect();
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .skip(1)
+                    .map(|&(lo, hi)| {
+                        spawn_caught(scope, move || {
+                            DataDeps::deps_of_range(self.prog, &self.cfg, rd, lo, hi)
+                        })
+                    })
+                    .collect();
+                if let Some(&(lo, hi)) = ranges.first() {
+                    parts.push(DataDeps::deps_of_range(self.prog, &self.cfg, rd, lo, hi));
+                }
+                for h in handles {
+                    parts.push(join_caught("data_deps", h));
+                }
+                obs::record(|| obs::Event::Count {
+                    name: "analysis.parallel.data_ranges",
+                    value: ranges.len() as u64,
+                });
+            }
+
+            let (pdom, control, lst) = join_caught("cfg_chain", helper);
+            if let Some(x) = pdom {
+                if self.pdom.set(x).is_ok() {
+                    self.n_pdom.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if let Some(x) = lst {
+                if self.lst.set(x).is_ok() {
+                    self.n_lst.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
+            // The chain index reads only pdom + LST (+ structure), both
+            // installed above: overlap it with the PDG merge and the
+            // condensation.
+            let chain = (self.chain_index.get().is_none())
+                .then(|| spawn_caught(scope, || ChainIndex::build(self)));
+
+            if let Some(control) = control {
+                let _t = obs::phase(obs::Phase::PdgBuild);
+                let mut deps: Vec<Vec<StmtId>> = Vec::with_capacity(n);
+                for part in parts {
+                    deps.extend(part);
+                }
+                let data = DataDeps::from_deps(deps);
+                let pdg = Pdg::from_parts(data, control);
+                if self.pdg.set(pdg).is_ok() {
+                    self.n_pdg.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
+            if self.closure_index.get().is_none() {
+                let ci = ClosureIndex::build(self.pdg.get().expect("pdg installed above"));
+                if self.closure_index.set(ci).is_ok() {
+                    self.n_closure.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
+            if let Some(h) = chain {
+                let ci = join_caught("chain_index", h);
+                if self.chain_index.set(ci).is_ok() {
+                    self.n_chain.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        obs::record(|| obs::Event::Count {
+            name: "analysis.parallel.threads",
+            value: threads as u64,
+        });
     }
 
     /// Whether `s` is a jump statement (including the fused conditional
@@ -456,6 +708,39 @@ impl<'p> Analysis<'p> {
     }
 }
 
+/// Spawns `f` on a scoped worker, catching any panic *worker-side* so the
+/// coordinator can re-raise it with the phase name attached — a raw scoped
+/// join only says "a scoped thread panicked", which attributes nothing.
+fn spawn_caught<'scope, 'env, T: Send + 'scope>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    f: impl FnOnce() -> T + Send + 'scope,
+) -> std::thread::ScopedJoinHandle<'scope, Result<T, String>> {
+    scope.spawn(move || catch_unwind(AssertUnwindSafe(f)).map_err(worker_panic_message))
+}
+
+/// Renders a caught worker panic payload.
+fn worker_panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Joins a [`spawn_caught`] worker, re-raising any worker panic on the
+/// coordinator attributed to its phase — the `warm_parallel` analogue of
+/// `BatchSlicer::try_slice_all` attributing a slicer panic to its
+/// criterion.
+fn join_caught<T>(phase: &str, h: std::thread::ScopedJoinHandle<'_, Result<T, String>>) -> T {
+    match h.join() {
+        Ok(Ok(v)) => v,
+        Ok(Err(msg)) => panic!("warm_parallel: `{phase}` phase worker panicked: {msg}"),
+        Err(_) => panic!("warm_parallel: `{phase}` phase worker panicked"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +843,7 @@ mod tests {
                 pdom_builds: 1,
                 lst_builds: 1,
                 chain_index_builds: 0,
+                closure_index_builds: 0,
             },
             "each artifact computed exactly once"
         );
@@ -565,6 +851,130 @@ mod tests {
             let _ = a.chain_index();
         }
         assert_eq!(a.stats().chain_index_builds, 1);
+    }
+
+    /// The phase-DAG scheduler is deterministic: the artifacts it installs
+    /// are bit-identical to the sequential path under 1, 2, and 4 threads,
+    /// and every slicer sees the same slices.
+    #[test]
+    fn warm_parallel_is_deterministic_across_thread_counts() {
+        let p = parse(
+            "sum = 0;
+             positives = 0;
+             L3: if (eof()) goto L14;
+             read(x);
+             if (x > 0) goto L8;
+             sum = sum + f1(x);
+             goto L13;
+             L8: positives = positives + 1;
+             if (x % 2 != 0) goto L12;
+             sum = sum + f2(x);
+             goto L13;
+             L12: sum = sum + f3(x);
+             L13: goto L3;
+             L14: write(sum);
+             write(positives);",
+        )
+        .unwrap();
+        let seq = Analysis::new(&p);
+        seq.warm_parallel(1);
+        for threads in [2usize, 4] {
+            let par = Analysis::new(&p);
+            par.warm_parallel(threads);
+            for s in p.stmt_ids() {
+                assert_eq!(
+                    par.pdg().data().deps(s),
+                    seq.pdg().data().deps(s),
+                    "data deps at line {} under {threads} threads",
+                    p.line_of(s)
+                );
+                assert_eq!(
+                    par.pdg().control().deps(s),
+                    seq.pdg().control().deps(s),
+                    "control deps at line {} under {threads} threads",
+                    p.line_of(s)
+                );
+                assert_eq!(par.backward_closure([s]), seq.backward_closure([s]));
+                assert_eq!(par.forward_closure([s]), seq.forward_closure([s]));
+                let c = crate::Criterion::at_stmt(s);
+                assert_eq!(
+                    crate::agrawal_slice(&par, &c).stmts,
+                    crate::agrawal_slice(&seq, &c).stmts,
+                    "figure-7 slice at line {} under {threads} threads",
+                    p.line_of(s)
+                );
+            }
+            assert_eq!(
+                par.stats(),
+                AnalysisStats {
+                    reaching_defs: 1,
+                    pdg_builds: 1,
+                    pdom_builds: 1,
+                    lst_builds: 1,
+                    chain_index_builds: 1,
+                    closure_index_builds: 1,
+                },
+                "every artifact built exactly once under {threads} threads"
+            );
+        }
+    }
+
+    /// A second parallel warm on an already-warm analysis schedules
+    /// nothing, and a partially warm analysis only fills the gaps.
+    #[test]
+    fn warm_parallel_is_idempotent_and_completes_partial_warmth() {
+        let p = parse("read(c); while (c) { read(c); } write(c);").unwrap();
+        let a = Analysis::new(&p);
+        let _ = a.pdg(); // pre-force part of the DAG
+        let _ = a.lst();
+        a.warm_parallel(4);
+        a.warm_parallel(4);
+        assert_eq!(
+            a.stats(),
+            AnalysisStats {
+                reaching_defs: 1,
+                pdg_builds: 1,
+                pdom_builds: 1,
+                lst_builds: 1,
+                chain_index_builds: 1,
+                closure_index_builds: 1,
+            }
+        );
+    }
+
+    /// A panicking phase worker is re-raised on the coordinator with the
+    /// phase name attached, exactly like `try_slice_all` attributes a
+    /// slicer panic to its criterion.
+    #[test]
+    fn warm_parallel_attributes_worker_panics_to_their_phase() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let h = spawn_caught(s, || -> usize { panic!("boom in pdom") });
+                join_caught("cfg_chain", h)
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = worker_panic_message(caught);
+        assert!(msg.contains("`cfg_chain`"), "phase attributed: {msg}");
+        assert!(msg.contains("boom in pdom"), "payload preserved: {msg}");
+    }
+
+    /// Once the condensation exists, the routed closure wrappers answer
+    /// from it — and agree with the direct walk bit for bit.
+    #[test]
+    fn routed_closures_match_direct_walks() {
+        let p = parse("read(c); while (c) { read(x); y = x; } write(y); write(c);").unwrap();
+        let a = Analysis::new(&p);
+        let direct: Vec<StmtSet> = p
+            .stmt_ids()
+            .map(|s| a.pdg().backward_closure([s]))
+            .collect();
+        let _ = a.closure_index();
+        assert_eq!(a.stats().closure_index_builds, 1);
+        for (i, s) in p.stmt_ids().enumerate() {
+            assert_eq!(a.backward_closure([s]), direct[i]);
+            assert_eq!(a.forward_closure([s]), a.pdg().forward_closure([s]));
+        }
     }
 
     #[test]

@@ -278,7 +278,10 @@ impl<'a, 'p> BatchSlicer<'a, 'p> {
         }
         // Force every lazy artifact up front so workers never race to
         // initialize one (OnceLock would serialize them on first touch).
-        a.warm();
+        // The warm itself runs on the phase-DAG schedule across the same
+        // thread budget, and additionally condenses the PDG so every
+        // worker's closures become bitset unions.
+        a.warm_parallel(threads);
 
         let next = AtomicUsize::new(0);
         let worker = || {

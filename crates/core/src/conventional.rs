@@ -82,7 +82,7 @@ impl Criterion {
 pub fn conventional_slice(a: &Analysis<'_>, crit: &Criterion) -> Slice {
     let stmts = {
         let _t = jumpslice_obs::phase(jumpslice_obs::Phase::ConventionalClosure);
-        a.pdg().backward_closure(crit.seeds(a))
+        a.backward_closure(crit.seeds(a))
     };
     // The paper's Figure 3-b renders the conventional slice with L14
     // re-associated; doing the same here keeps every slice executable.

@@ -366,6 +366,63 @@ mod tests {
     }
 
     #[test]
+    fn traced_slices_bypass_the_condensation_and_stay_valid() {
+        // The provenance contract: the recorder walks raw PDG edges itself,
+        // so forcing the SCC-condensed closure index must change nothing —
+        // not the slice, not any per-statement reason — and every witness
+        // chain must still follow real dependence edges to a root.
+        for (p, line) in [
+            (corpus::fig1(), 12),
+            (corpus::fig3(), 15),
+            (corpus::fig10(), 9),
+        ] {
+            let a = Analysis::new(&p);
+            a.closure_index(); // every routed closure now answers condensed
+            let crit = Criterion::at_stmt(p.at_line(line));
+            let plain = agrawal_slice(&a, &crit);
+            let (traced, prov) = agrawal_slice_traced(&a, &crit);
+            assert_eq!(plain.stmts, traced.stmts);
+            assert_eq!(plain.traversals, traced.traversals);
+            assert_eq!(plain.moved_labels, traced.moved_labels);
+
+            // Bit-identical to a condensation-free analysis.
+            let b = Analysis::new(&p);
+            let (ref_traced, ref_prov) = agrawal_slice_traced(&b, &crit);
+            assert_eq!(traced.stmts, ref_traced.stmts);
+            for s in p.stmt_ids() {
+                assert_eq!(prov.why(s), ref_prov.why(s), "reason for {s:?}");
+            }
+
+            // Chains are well-formed: every Data/Control hop is a real PDG
+            // edge, and every chain ends at a root.
+            let pdg = a.pdg();
+            for s in traced.stmts.iter() {
+                let chain = prov.chain(s).expect("every sliced stmt has a chain");
+                for (cur, why) in &chain {
+                    match why {
+                        Why::Data { to } => assert!(
+                            pdg.data().deps(*to).contains(cur),
+                            "line {}: no data edge {to:?} -> {cur:?}",
+                            p.line_of(*cur)
+                        ),
+                        Why::Control { to } => assert!(
+                            pdg.control().deps(*to).contains(cur),
+                            "line {}: no control edge {to:?} -> {cur:?}",
+                            p.line_of(*cur)
+                        ),
+                        Why::Criterion | Why::SeedDef | Why::Jump { .. } => {}
+                    }
+                }
+                let (_, root) = chain.last().unwrap();
+                assert!(
+                    matches!(root, Why::Criterion | Why::SeedDef | Why::Jump { .. }),
+                    "chain must end at a root, got {root:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn figure_3_jump_reasons() {
         let p = corpus::fig3();
         let a = Analysis::new(&p);

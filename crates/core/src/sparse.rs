@@ -695,8 +695,9 @@ pub(crate) fn figure7_sparse(
             Some(r) => r.seed_closure(a, crit),
             None => {
                 let mut s = StmtSet::with_capacity(a.prog().len());
-                a.pdg()
-                    .backward_closure_into_with_scratch(crit.seeds(a), &mut s, &mut work);
+                // An empty target is trivially dependence-closed, so the
+                // routed (possibly condensed) closure applies.
+                a.backward_closure_into_closed(crit.seeds(a), &mut s, &mut work);
                 s
             }
         }
@@ -811,7 +812,12 @@ pub(crate) fn figure7_sparse(
                                 &mut stmts,
                                 Some(&mut delta),
                             ),
-                            None => a.pdg().backward_closure_delta(
+                            // The slice is closed under dependence at every
+                            // admission (same invariant as the dense loop),
+                            // so the routed delta closure applies; the
+                            // condensed path reports the delta in ascending
+                            // order, which the masked unions below absorb.
+                            None => a.backward_closure_delta_closed(
                                 [j],
                                 &mut stmts,
                                 &mut work,

@@ -1,0 +1,454 @@
+//! The condensed-vs-direct closure differential mode (`difftest --mode
+//! closure`).
+//!
+//! `jumpslice_core::Analysis` answers dependence closures two ways: a
+//! direct worklist walk over the PDG, and — once
+//! `Analysis::closure_index` has been forced — a lookup into the
+//! SCC-condensed reachability index. The two must be observably
+//! identical: same closure sets, same slices from every registered
+//! slicer (statements, traversal counts, moved labels), same chops, and
+//! identical traced provenance (the recorder bypasses the condensation
+//! by contract, walking raw PDG edges; this mode proves the bypass holds
+//! and that every witness chain still ends at a root).
+//!
+//! Two sweeps per seed. The *cold* sweep compares a plain analysis
+//! against a second analysis of the same program with the condensation
+//! forced up front. The *edit* sweep drives a
+//! [`jumpslice_incr::EditSession`] through a random edit script and,
+//! after every accepted edit, forces the condensation on the session's
+//! (selectively patched) analysis and holds it against a cold direct
+//! analysis — a stale index surviving a re-solve would surface here.
+//! Mismatches are minimized like the incremental mode's: greedy edit
+//! drops, then the shared statement shrinker.
+
+use crate::harness::{pick_criteria, DiffConfig, Family};
+use crate::shrink::{is_valid_candidate, shrink};
+use crate::ALGOS;
+use jumpslice_core::{
+    agrawal_slice_traced, chop, chop_executable, Analysis, BatchSlicer, Criterion, Why,
+};
+use jumpslice_incr::{random_edit, Edit, EditSession};
+use jumpslice_lang::{print_program, Program};
+use jumpslice_testkit::Rng;
+
+/// Knobs for one condensed-vs-direct differential session.
+#[derive(Clone, Debug)]
+pub struct ClosureConfig {
+    /// First seed (inclusive).
+    pub start_seed: u64,
+    /// Number of seeds; each seed drives one program per family.
+    pub seeds: u64,
+    /// Families to sweep; `None` means all three.
+    pub family: Option<Family>,
+    /// Approximate statements per generated program.
+    pub target_stmts: usize,
+    /// Goto density for the unstructured family.
+    pub jump_density: f64,
+    /// Maximum criteria compared per program state.
+    pub max_criteria: usize,
+    /// Edits attempted per seed's edit sweep (rejected edits count).
+    pub edits_per_script: usize,
+    /// Whether to minimize failing programs/scripts before reporting.
+    pub shrink: bool,
+    /// Stop after this many findings.
+    pub max_findings: usize,
+}
+
+impl Default for ClosureConfig {
+    fn default() -> Self {
+        ClosureConfig {
+            start_seed: 0,
+            // 100 seeds × 3 families = 300 programs per default run.
+            seeds: 100,
+            family: None,
+            target_stmts: 30,
+            jump_density: 0.3,
+            max_criteria: 4,
+            edits_per_script: 4,
+            shrink: true,
+            max_findings: 4,
+        }
+    }
+}
+
+impl ClosureConfig {
+    /// The fixed-seed smoke configuration CI runs.
+    pub fn smoke() -> ClosureConfig {
+        ClosureConfig {
+            seeds: 12,
+            target_stmts: 25,
+            ..ClosureConfig::default()
+        }
+    }
+
+    fn families(&self) -> Vec<Family> {
+        match self.family {
+            Some(f) => vec![f],
+            None => Family::ALL.to_vec(),
+        }
+    }
+
+    /// Generation knobs repackaged for [`Family::generate`].
+    fn gen_cfg(&self) -> DiffConfig {
+        DiffConfig {
+            target_stmts: self.target_stmts,
+            jump_density: self.jump_density,
+            ..DiffConfig::default()
+        }
+    }
+}
+
+/// One condensed-vs-direct violation, minimized when enabled.
+#[derive(Clone, Debug)]
+pub struct ClosureFinding {
+    /// Seed of the generating draw.
+    pub seed: u64,
+    /// Family of the generating draw.
+    pub family: Family,
+    /// Human-readable failure description from the (shrunk) replay.
+    pub detail: String,
+    /// The (shrunk) program text.
+    pub program: String,
+    /// The (shrunk) edit script leading to the mismatching state (empty
+    /// for a cold-sweep mismatch).
+    pub script: Vec<Edit>,
+}
+
+/// Aggregate statistics of one condensed-vs-direct session.
+#[derive(Clone, Debug, Default)]
+pub struct ClosureReport {
+    /// Programs swept (one per seed × family).
+    pub programs: usize,
+    /// Program states compared: the cold state plus one per accepted edit.
+    pub states: usize,
+    /// Edits accepted across all edit sweeps.
+    pub edits_applied: usize,
+    /// Individual equality checks executed (closure sets, slices, chops,
+    /// per-statement provenance).
+    pub comparisons: usize,
+    /// Confirmed condensed-vs-direct mismatches.
+    pub findings: Vec<ClosureFinding>,
+}
+
+/// Compares `direct` (condensation never forced) against `cond`
+/// (condensation forced by the caller) on `p`: raw closures, chops, all
+/// eight slicers, and traced provenance. Returns the comparison count or
+/// the first mismatch.
+fn compare_analyses(
+    p: &Program,
+    direct: &Analysis<'_>,
+    cond: &Analysis<'_>,
+    max_criteria: usize,
+) -> Result<usize, String> {
+    let stmts = pick_criteria(p, direct, max_criteria);
+    if stmts.is_empty() {
+        return Ok(0);
+    }
+    let criteria: Vec<Criterion> = stmts.iter().copied().map(Criterion::at_stmt).collect();
+    let mut comparisons = 0;
+
+    // Raw backward/forward closures, statement by statement. The direct
+    // side walks the PDG explicitly so it can never fall through to a
+    // condensation the batch engine might have built behind our back.
+    for &c in &stmts {
+        let line = p.line_of(c);
+        comparisons += 2;
+        if direct.pdg().backward_closure([c]) != cond.backward_closure([c]) {
+            return Err(format!(
+                "backward closure at line {line}: condensed ≠ direct"
+            ));
+        }
+        if direct.pdg().forward_closure([c]) != cond.forward_closure([c]) {
+            return Err(format!(
+                "forward closure at line {line}: condensed ≠ direct"
+            ));
+        }
+    }
+
+    // Chops (plain and executable) between consecutive criteria.
+    for w in stmts.windows(2) {
+        let (src, sink) = (w[0], w[1]);
+        let at = format!("lines {}→{}", p.line_of(src), p.line_of(sink));
+        comparisons += 2;
+        if chop(direct, src, sink).stmts != chop(cond, src, sink).stmts {
+            return Err(format!("chop {at}: condensed ≠ direct"));
+        }
+        let (d, c) = (
+            chop_executable(direct, src, sink),
+            chop_executable(cond, src, sink),
+        );
+        if d.stmts != c.stmts || d.moved_labels != c.moved_labels {
+            return Err(format!("executable chop {at}: condensed ≠ direct"));
+        }
+    }
+
+    // Every registered slicer, through the sequential batch engine so a
+    // deterministic slicer panic is a verdict, not a crash.
+    let db = BatchSlicer::new(direct).with_threads(1);
+    let cb = BatchSlicer::new(cond).with_threads(1);
+    for algo in ALGOS {
+        match (
+            db.try_slice_all(algo.f, &criteria),
+            cb.try_slice_all(algo.f, &criteria),
+        ) {
+            (Ok(d), Ok(c)) => {
+                for (i, (ds, cs)) in d.iter().zip(&c).enumerate() {
+                    comparisons += 1;
+                    if ds.stmts != cs.stmts
+                        || ds.traversals != cs.traversals
+                        || ds.moved_labels != cs.moved_labels
+                    {
+                        return Err(format!(
+                            "{} at line {}: condensed {} stmts vs direct {} stmts \
+                             (traversals {} vs {})",
+                            algo.name,
+                            p.line_of(stmts[i]),
+                            cs.len(),
+                            ds.len(),
+                            cs.traversals,
+                            ds.traversals
+                        ));
+                    }
+                }
+            }
+            // A deterministic panic in both worlds is the projection
+            // fuzzer's finding, not a condensation bug.
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(_)) => {
+                return Err(format!("{}: panics only with the condensation", algo.name));
+            }
+            (Err(_), Ok(_)) => {
+                return Err(format!(
+                    "{}: panics only without the condensation",
+                    algo.name
+                ));
+            }
+        }
+    }
+
+    // Traced provenance with the condensation enabled: the recorder must
+    // bypass the index (it walks PDG edges itself), so the slice, every
+    // per-statement reason, and every chain root must match the direct
+    // world exactly.
+    for &c in &stmts {
+        let line = p.line_of(c);
+        let crit = Criterion::at_stmt(c);
+        let (ds, dp) = agrawal_slice_traced(direct, &crit);
+        let (cs, cp) = agrawal_slice_traced(cond, &crit);
+        comparisons += 1;
+        if ds != cs {
+            return Err(format!(
+                "criterion line {line}: traced slice differs under condensation"
+            ));
+        }
+        for s in p.stmt_ids() {
+            comparisons += 1;
+            if dp.why(s) != cp.why(s) {
+                return Err(format!(
+                    "criterion line {line}: provenance for line {} differs \
+                     (condensed {:?} vs direct {:?})",
+                    p.line_of(s),
+                    cp.why(s),
+                    dp.why(s)
+                ));
+            }
+        }
+        for s in cs.stmts.iter() {
+            comparisons += 1;
+            let chain = cp.chain(s).ok_or_else(|| {
+                format!(
+                    "criterion line {line}: sliced line {} has no witness chain \
+                     under condensation",
+                    p.line_of(s)
+                )
+            })?;
+            let (_, root) = chain.last().expect("chains are non-empty");
+            if !matches!(root, Why::Criterion | Why::SeedDef | Why::Jump { .. }) {
+                return Err(format!(
+                    "criterion line {line}: chain for line {} ends at non-root {root:?}",
+                    p.line_of(s)
+                ));
+            }
+        }
+    }
+
+    Ok(comparisons)
+}
+
+/// The cold sweep: two fresh analyses of `p`, condensation forced on one.
+fn cold_sweep(p: &Program, max_criteria: usize) -> Result<usize, String> {
+    let direct = Analysis::new(p);
+    let cond = Analysis::new(p);
+    // Force the condensation before any closure is asked for: every
+    // routed closure on `cond` now answers from the index.
+    cond.closure_index();
+    compare_analyses(p, &direct, &cond, max_criteria)
+}
+
+/// One edit-state comparison: force the condensation on the session's
+/// selectively-patched analysis, hold it against a cold direct analysis.
+fn edit_sweep(session: &mut EditSession, max_criteria: usize) -> Result<usize, String> {
+    let p = session.prog().clone();
+    let cold = Analysis::new(&p);
+    session.with_analysis(|a| {
+        a.closure_index();
+        compare_analyses(&p, &cold, a, max_criteria)
+    })
+}
+
+/// Replays `script` on a fresh session over `p` (cold sweep first, edit
+/// sweep after each accepted edit). Returns the first mismatch detail.
+fn replay(p: &Program, script: &[Edit], max_criteria: usize) -> Option<String> {
+    if !is_valid_candidate(p) {
+        return None;
+    }
+    if let Err(detail) = cold_sweep(p, max_criteria) {
+        return Some(detail);
+    }
+    let mut session = EditSession::new(p.clone());
+    for edit in script {
+        if session.apply(edit).is_err() {
+            continue;
+        }
+        if let Err(detail) = edit_sweep(&mut session, max_criteria) {
+            return Some(detail);
+        }
+    }
+    None
+}
+
+/// Minimizes a failing (program, script) pair: greedy single-edit drops,
+/// then the shared statement shrinker with the surviving script replayed
+/// as the failure predicate.
+fn shrink_pair(p: &Program, script: &[Edit], max_criteria: usize) -> (Program, Vec<Edit>) {
+    let mut cur = script.to_vec();
+    let fails = |q: &Program, s: &[Edit]| replay(q, s, max_criteria).is_some();
+
+    'drop: loop {
+        for i in 0..cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if fails(p, &cand) {
+                cur = cand;
+                continue 'drop;
+            }
+        }
+        break;
+    }
+
+    let small = shrink(p, &|q| fails(q, &cur));
+    (small, cur)
+}
+
+/// Runs the condensed-vs-direct differential session described by `cfg`.
+pub fn run_closuretest(cfg: &ClosureConfig) -> ClosureReport {
+    run_closuretest_with(cfg, |_| {})
+}
+
+/// Like [`run_closuretest`], invoking `progress` after each program (the
+/// binary uses this for live output).
+pub fn run_closuretest_with(
+    cfg: &ClosureConfig,
+    mut progress: impl FnMut(&ClosureReport),
+) -> ClosureReport {
+    let mut report = ClosureReport::default();
+    let gen_cfg = cfg.gen_cfg();
+
+    'seeds: for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        for (fi, family) in cfg.families().into_iter().enumerate() {
+            if report.findings.len() >= cfg.max_findings {
+                break 'seeds;
+            }
+            let p = family.generate(seed, &gen_cfg);
+            report.programs += 1;
+            let mut script: Vec<Edit> = Vec::new();
+
+            let mut mismatch = match cold_sweep(&p, cfg.max_criteria) {
+                Ok(n) => {
+                    report.states += 1;
+                    report.comparisons += n;
+                    None
+                }
+                Err(detail) => Some(detail),
+            };
+            if mismatch.is_none() {
+                // Same rng derivation as the incremental mode, so a seed's
+                // edit script is reproducible across modes.
+                let mut rng = Rng::seed_from_u64(seed.wrapping_mul(3).wrapping_add(fi as u64));
+                let mut session = EditSession::new(p.clone());
+                for _ in 0..cfg.edits_per_script {
+                    let edit = random_edit(&mut rng, session.prog());
+                    if session.apply(&edit).is_err() {
+                        continue;
+                    }
+                    script.push(edit);
+                    report.edits_applied += 1;
+                    match edit_sweep(&mut session, cfg.max_criteria) {
+                        Ok(n) => {
+                            report.states += 1;
+                            report.comparisons += n;
+                        }
+                        Err(detail) => {
+                            mismatch = Some(detail);
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if let Some(detail) = mismatch {
+                let (small, small_script) = if cfg.shrink {
+                    shrink_pair(&p, &script, cfg.max_criteria)
+                } else {
+                    (p.clone(), script.clone())
+                };
+                let detail = replay(&small, &small_script, cfg.max_criteria).unwrap_or(detail);
+                report.findings.push(ClosureFinding {
+                    seed,
+                    family,
+                    detail,
+                    program: print_program(&small),
+                    script: small_script,
+                });
+            }
+            progress(&report);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_mismatch_free() {
+        let cfg = ClosureConfig {
+            seeds: 4,
+            target_stmts: 25,
+            ..ClosureConfig::default()
+        };
+        let report = run_closuretest(&cfg);
+        assert_eq!(report.programs, 12);
+        assert!(
+            report.states > report.programs,
+            "edit states were swept: {report:?}"
+        );
+        assert!(report.edits_applied > 0, "{report:?}");
+        assert!(report.comparisons > 0, "{report:?}");
+        assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    }
+
+    #[test]
+    fn single_family_knob_restricts_the_sweep() {
+        let cfg = ClosureConfig {
+            seeds: 3,
+            target_stmts: 20,
+            family: Some(Family::Unstructured),
+            ..ClosureConfig::default()
+        };
+        let report = run_closuretest(&cfg);
+        assert_eq!(report.programs, 3);
+        assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    }
+}

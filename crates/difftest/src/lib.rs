@@ -18,7 +18,12 @@
 //! A third mode ([`run_sparsetest`]) pits the sparse change-driven
 //! Figure-7 kernel against the retained dense reference loop, demanding
 //! identical slices, traversal counts, moved labels, and traced
-//! provenance on every generated program.
+//! provenance on every generated program. A fourth mode
+//! ([`run_closuretest`]) holds the SCC-condensed closure engine against
+//! the direct PDG walk — identical closures, slices, chops, and traced
+//! provenance on every generated program *and* across incremental edit
+//! states, so a condensation staleness bug surviving an `EditSession`
+//! re-solve would be caught.
 //!
 //! In the tradition of differential testing of program analyzers (Chalupa's
 //! cross-checked control-dependence algorithms; SymPas's
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod closure;
 pub mod emit;
 mod harness;
 mod incr;
@@ -50,6 +56,9 @@ mod rewrite;
 mod shrink;
 mod sparse;
 
+pub use closure::{
+    run_closuretest, run_closuretest_with, ClosureConfig, ClosureFinding, ClosureReport,
+};
 pub use harness::{
     run_difftest, run_difftest_with, scope_of, DiffConfig, DiffReport, Family, Finding, FindingKind,
 };

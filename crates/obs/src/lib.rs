@@ -109,6 +109,12 @@ pub enum Phase {
     /// One request handled by the serve daemon (parse, cache probe, slice
     /// work, response encoding).
     ServeRequest,
+    /// One parallel cold-path warm (`Analysis::warm_parallel`): the whole
+    /// scoped phase-DAG schedule, from first spawn to last join.
+    ParallelWarm,
+    /// SCC condensation of the PDG plus per-component reachability bitsets
+    /// (the condensed closure engine's one-time build).
+    ClosureIndexBuild,
 }
 
 impl Phase {
@@ -125,6 +131,8 @@ impl Phase {
             Phase::LabelReassoc => "label_reassoc",
             Phase::BatchRun => "batch_run",
             Phase::ServeRequest => "serve_request",
+            Phase::ParallelWarm => "parallel_warm",
+            Phase::ClosureIndexBuild => "closure_index_build",
         }
     }
 
@@ -141,6 +149,8 @@ impl Phase {
             Phase::LabelReassoc,
             Phase::BatchRun,
             Phase::ServeRequest,
+            Phase::ParallelWarm,
+            Phase::ClosureIndexBuild,
         ]
         .into_iter()
         .find(|p| p.name() == s)
@@ -537,6 +547,10 @@ const KNOWN_COUNTS: &[&str] = &[
     "serve.store.corrupt",
     "serve.store.write",
     "store.corrupt_fallback",
+    "analysis.parallel.threads",
+    "analysis.parallel.data_ranges",
+    "closure.condensed.components",
+    "closure.condensed.queries",
     "edges",
 ];
 

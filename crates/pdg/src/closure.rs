@@ -1,0 +1,376 @@
+//! SCC-condensed transitive-closure engine over the PDG.
+//!
+//! Every slicer in the workspace bottoms out in `backward_closure` /
+//! `forward_closure` walks over the dependence edges. Those walks are
+//! O(edges) *per criterion*; a 120-criterion batch sweep re-traverses the
+//! same edges 120 times. This module condenses the PDG once with
+//! [`tarjan_scc`], precomputes the full reachability set of every strongly
+//! connected component as a dense [`StmtSet`] (word-parallel unions in
+//! reverse-topological order), and then answers any closure query as a
+//! component lookup plus a bitset union — O(components × words) shared work
+//! up front, O(seeds × words) per query after.
+//!
+//! # Equivalence contract
+//!
+//! For a query over `seeds` into an **empty** target set, the condensed
+//! answer is exactly the direct walk's answer: the transitive closure of
+//! data ∪ control dependence from the seeds (seeds included).
+//!
+//! For the layered forms (`*_into`, `*_delta`) the direct walk treats
+//! statements already in the target as visited marks — it never explores
+//! *their* dependences. The condensed engine instead unions the seeds' full
+//! closures into the target. The two agree exactly when the pre-existing
+//! target is already **closed under dependence**, which holds at every call
+//! site the workspace routes here: the Figure-7 fixpoint only ever layers
+//! admission closures onto a slice that is a union of closures (see the
+//! invariant note in `core/src/agrawal.rs`). Callers layering onto a
+//! non-closed set must use the direct walk.
+//!
+//! Delta order: the direct walk reports newly inserted statements in DFS
+//! pop order; the condensed engine reports them in ascending statement
+//! order. The sparse Figure-7 kernel consumes deltas only through set
+//! unions and net-insertion counts, so the resulting slices, traversal
+//! counts, and moved labels are bit-identical (`difftest --mode closure`
+//! pins this over random corpora and edit states).
+
+use crate::Pdg;
+use jumpslice_dataflow::StmtSet;
+use jumpslice_graph::{tarjan_scc, DiGraph, NodeId};
+use jumpslice_lang::StmtId;
+use jumpslice_obs as obs;
+
+/// Precomputed per-component reachability over a PDG's dependence edges.
+///
+/// Immutable once built; queries take `&self`, so a single index can be
+/// shared across batch worker threads exactly like the PDG itself.
+#[derive(Clone, Debug)]
+pub struct ClosureIndex {
+    /// Statement index → component id (Tarjan emission order: a
+    /// component's dependence successors all have *smaller* ids).
+    comp_of: Vec<u32>,
+    /// Per component: the full backward closure (the component's members
+    /// plus everything they transitively depend on).
+    backward: Vec<StmtSet>,
+    /// Per component: the full forward closure (members plus everything
+    /// transitively dependent on them).
+    forward: Vec<StmtSet>,
+    /// Dense statement-id bound (capacity of every set above).
+    num_stmts: usize,
+}
+
+/// Merges two sorted, deduplicated id lists into one (sorted, deduplicated).
+fn merge_sorted(a: &[StmtId], b: &[StmtId], out: &mut Vec<NodeId>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let next = match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                a[i - 1]
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                b[j - 1]
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+                a[i - 1]
+            }
+        };
+        out.push(NodeId::new(next.index()));
+    }
+    out.extend(a[i..].iter().map(|s| NodeId::new(s.index())));
+    out.extend(b[j..].iter().map(|s| NodeId::new(s.index())));
+}
+
+impl ClosureIndex {
+    /// Condenses `pdg` and precomputes both reachability directions.
+    ///
+    /// Emits a [`Phase::ClosureIndexBuild`](obs::Phase::ClosureIndexBuild)
+    /// timer and a `closure.condensed.components` count on the caller's
+    /// trace sink.
+    pub fn build(pdg: &Pdg) -> ClosureIndex {
+        let _t = obs::phase(obs::Phase::ClosureIndexBuild);
+        let n = pdg.control().num_stmts();
+
+        // The dependence graph: statement u → each statement it directly
+        // depends on (data then control, merged). Both inputs are sorted,
+        // so a linear merge keeps `from_succs`'s no-duplicates contract.
+        let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        let mut merged = Vec::new();
+        for u in 0..n {
+            let s = StmtId::from_index(u);
+            merge_sorted(pdg.data().deps(s), pdg.control().deps(s), &mut merged);
+            succs.push(merged.clone());
+        }
+        let g = DiGraph::from_succs(succs).expect("merged dependence lists are duplicate-free");
+
+        // Tarjan emits components in reverse topological order: everything
+        // a component can reach (its dependence successors) is emitted
+        // before it.
+        let sccs = tarjan_scc(&g);
+        let k = sccs.len();
+        let mut comp_of = vec![0u32; n];
+        for (c, members) in sccs.iter().enumerate() {
+            for &m in members {
+                comp_of[m.index()] = c as u32;
+            }
+        }
+
+        // Unique successor components (dependencies) per component; by the
+        // emission order these all have smaller ids than the component.
+        let mut succ_comps: Vec<Vec<u32>> = vec![Vec::new(); k];
+        // And the transpose: predecessor components, all with larger ids.
+        let mut pred_comps: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (c, members) in sccs.iter().enumerate() {
+            let cs = &mut succ_comps[c];
+            for &m in members {
+                for &d in g.succs(m) {
+                    let dc = comp_of[d.index()];
+                    if dc as usize != c {
+                        cs.push(dc);
+                    }
+                }
+            }
+            cs.sort_unstable();
+            cs.dedup();
+            for &dc in cs.iter() {
+                pred_comps[dc as usize].push(c as u32);
+            }
+        }
+
+        // Backward reachability, in emission order: a component's closure
+        // is its members plus the (already-final) closures of its
+        // dependence successors. Equal capacities keep every union on the
+        // word-parallel path.
+        let mut backward: Vec<StmtSet> = Vec::with_capacity(k);
+        for (c, members) in sccs.iter().enumerate() {
+            let mut set = StmtSet::with_capacity(n);
+            for &m in members {
+                set.insert(StmtId::from_index(m.index()));
+            }
+            for &dc in &succ_comps[c] {
+                set.union_with(&backward[dc as usize]);
+            }
+            backward.push(set);
+        }
+
+        // Forward reachability, in reversed emission (= topological) order:
+        // a component's forward set is its members plus the forward sets of
+        // its predecessor components, all of which have larger ids and are
+        // already final.
+        let mut forward: Vec<StmtSet> = (0..k).map(|_| StmtSet::with_capacity(n)).collect();
+        for (c, members) in sccs.iter().enumerate().rev() {
+            let (head, tail) = forward.split_at_mut(c + 1);
+            let set = &mut head[c];
+            for &m in members {
+                set.insert(StmtId::from_index(m.index()));
+            }
+            for &pc in &pred_comps[c] {
+                set.union_with(&tail[pc as usize - c - 1]);
+            }
+        }
+
+        obs::record(|| obs::Event::Count {
+            name: "closure.condensed.components",
+            value: k as u64,
+        });
+        ClosureIndex {
+            comp_of,
+            backward,
+            forward,
+            num_stmts: n,
+        }
+    }
+
+    /// Number of strongly connected components in the dependence graph.
+    pub fn num_components(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Dense statement-id bound the index was built for.
+    pub fn num_stmts(&self) -> usize {
+        self.num_stmts
+    }
+
+    /// The full backward closure of one statement (shared, read-only).
+    pub fn backward_of(&self, s: StmtId) -> &StmtSet {
+        &self.backward[self.comp_of[s.index()] as usize]
+    }
+
+    /// The full forward closure of one statement (shared, read-only).
+    pub fn forward_of(&self, s: StmtId) -> &StmtSet {
+        &self.forward[self.comp_of[s.index()] as usize]
+    }
+
+    /// The transitive backward closure of `seeds` — equals
+    /// [`Pdg::backward_closure`] exactly.
+    pub fn backward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> StmtSet {
+        let mut slice = StmtSet::with_capacity(self.num_stmts);
+        self.backward_closure_into(seeds, &mut slice);
+        slice
+    }
+
+    /// Unions the backward closures of `seeds` into `slice` (not cleared).
+    ///
+    /// Equals [`Pdg::backward_closure_into`] when `slice` is empty or
+    /// closed under dependence (see the module docs).
+    pub fn backward_closure_into(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+    ) {
+        for s in seeds {
+            slice.union_with(self.backward_of(s));
+        }
+    }
+
+    /// [`ClosureIndex::backward_closure_into`] additionally appending every
+    /// newly inserted statement to `delta` (not cleared), in ascending
+    /// statement order.
+    pub fn backward_closure_delta(
+        &self,
+        seeds: impl IntoIterator<Item = StmtId>,
+        slice: &mut StmtSet,
+        delta: &mut Vec<StmtId>,
+    ) {
+        for s in seeds {
+            let b = self.backward_of(s);
+            push_new_bits(b, slice, delta);
+            slice.union_with(b);
+        }
+    }
+
+    /// The transitive forward closure of `seeds` — equals
+    /// [`Pdg::forward_closure`] exactly.
+    pub fn forward_closure(&self, seeds: impl IntoIterator<Item = StmtId>) -> StmtSet {
+        let mut slice = StmtSet::with_capacity(self.num_stmts);
+        for s in seeds {
+            slice.union_with(self.forward_of(s));
+        }
+        slice
+    }
+}
+
+/// Appends the statements of `set \ target` to `delta`, ascending.
+fn push_new_bits(set: &StmtSet, target: &StmtSet, delta: &mut Vec<StmtId>) {
+    let tw = target.words();
+    for (w, &bword) in set.words().iter().enumerate() {
+        let mut new = bword & !tw.get(w).copied().unwrap_or(0);
+        while new != 0 {
+            let b = new.trailing_zeros() as usize;
+            delta.push(StmtId::from_index(w * 64 + b));
+            new &= new - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumpslice_cfg::Cfg;
+    use jumpslice_lang::parse;
+
+    fn index_of(src: &str) -> (jumpslice_lang::Program, Pdg) {
+        let p = parse(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let pdg = Pdg::build(&p, &cfg);
+        (p, pdg)
+    }
+
+    #[test]
+    fn condensed_matches_direct_on_every_seed() {
+        let srcs = [
+            "read(c); if (c) { x = 1; } else { x = 2; } write(x);",
+            "read(c); while (c) { read(c); if (c) break; y = c; } write(y);",
+            "sum = 0; L3: if (eof()) goto L14; read(x); sum = sum + x; goto L3; L14: write(sum);",
+            "do { read(x); if (x) continue; x = 1; } while (!eof()); write(x);",
+        ];
+        for src in srcs {
+            let (p, pdg) = index_of(src);
+            let idx = ClosureIndex::build(&pdg);
+            for s in p.stmt_ids() {
+                assert_eq!(
+                    idx.backward_closure([s]),
+                    pdg.backward_closure([s]),
+                    "backward at line {} of {src:?}",
+                    p.line_of(s)
+                );
+                assert_eq!(
+                    idx.forward_closure([s]),
+                    pdg.forward_closure([s]),
+                    "forward at line {} of {src:?}",
+                    p.line_of(s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_seed_union_matches_direct() {
+        let (p, pdg) = index_of("read(a); read(b); x = a; y = b; write(x); write(y);");
+        let idx = ClosureIndex::build(&pdg);
+        let seeds = [p.at_line(5), p.at_line(6)];
+        assert_eq!(idx.backward_closure(seeds), pdg.backward_closure(seeds));
+    }
+
+    #[test]
+    fn layered_union_onto_a_closed_set_matches_direct() {
+        let (p, pdg) = index_of("read(c); while (c) { read(x); y = x; } write(y); write(c);");
+        let idx = ClosureIndex::build(&pdg);
+        // A dependence-closed base: the closure of write(c).
+        let base = pdg.backward_closure([p.at_line(6)]);
+        let mut direct = base.clone();
+        pdg.backward_closure_into([p.at_line(5)], &mut direct);
+        let mut condensed = base.clone();
+        idx.backward_closure_into([p.at_line(5)], &mut condensed);
+        assert_eq!(condensed, direct);
+    }
+
+    #[test]
+    fn delta_reports_exactly_the_new_statements_ascending() {
+        let (p, pdg) = index_of("read(c); while (c) { read(x); y = x; } write(y); write(c);");
+        let idx = ClosureIndex::build(&pdg);
+        let mut slice = pdg.backward_closure([p.at_line(6)]);
+        let before = slice.clone();
+        let mut delta = Vec::new();
+        idx.backward_closure_delta([p.at_line(5)], &mut slice, &mut delta);
+        assert_eq!(slice, pdg.backward_closure([p.at_line(5), p.at_line(6)]));
+        for w in delta.windows(2) {
+            assert!(w[0] < w[1], "delta ascending and duplicate-free");
+        }
+        let delta_set: StmtSet = delta.iter().copied().collect();
+        for s in p.stmt_ids() {
+            assert_eq!(
+                delta_set.contains(s),
+                slice.contains(s) && !before.contains(s),
+                "delta == newly inserted, at line {}",
+                p.line_of(s)
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_dependences_share_one_component() {
+        // The while predicate is control dependent on itself; loop-carried
+        // data dependences put the body in a cycle with it.
+        let (p, pdg) = index_of("read(n); i = 0; while (i < n) { i = i + 1; } write(i);");
+        let idx = ClosureIndex::build(&pdg);
+        assert!(idx.num_components() < p.len() + 1 || idx.num_components() <= p.len());
+        let s = p.at_line(5);
+        assert_eq!(idx.backward_closure([s]), pdg.backward_closure([s]));
+    }
+
+    #[test]
+    fn build_emits_phase_and_component_count() {
+        let (_, pdg) = index_of("read(a); write(a);");
+        let (idx, trace) = jumpslice_obs::capture(|| ClosureIndex::build(&pdg));
+        let m = jumpslice_obs::Metrics::of(&trace);
+        assert_eq!(m.phase_count.get("closure_index_build"), Some(&1));
+        assert_eq!(
+            m.counts.get("closure.condensed.components"),
+            Some(&(idx.num_components() as u64))
+        );
+    }
+}

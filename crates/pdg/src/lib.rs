@@ -37,6 +37,10 @@ use jumpslice_dataflow::{DataDeps, ReachingDefs, StmtSet};
 use jumpslice_graph::{DiGraph, DomTree, NodeId};
 use jumpslice_lang::{Program, StmtId};
 
+pub mod closure;
+
+pub use closure::ClosureIndex;
+
 /// Control-dependence edges between statements.
 #[derive(Clone, Debug)]
 pub struct ControlDeps {
